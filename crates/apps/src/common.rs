@@ -1,0 +1,86 @@
+//! Shared harness plumbing: layer selection and cluster construction.
+
+use charm_rt::prelude::*;
+use gemini_net::GeminiParams;
+use lrts_mpi::MpiLayer;
+use lrts_ugni::{UgniConfig, UgniLayer};
+use mpi_sim::MpiConfig;
+use sim_core::Time;
+
+/// Which machine layer to run a benchmark on.
+#[derive(Debug, Clone)]
+pub enum LayerKind {
+    /// The paper's uGNI machine layer (configurable optimizations).
+    Ugni(UgniConfig),
+    /// The MPI-based baseline.
+    Mpi(MpiConfig),
+    /// Perfect network with constant latency (ablation baseline).
+    Ideal(Time),
+}
+
+impl LayerKind {
+    pub fn ugni() -> Self {
+        LayerKind::Ugni(UgniConfig::optimized())
+    }
+
+    pub fn mpi() -> Self {
+        LayerKind::Mpi(MpiConfig::default())
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerKind::Ugni(_) => "uGNI-based CHARM++",
+            LayerKind::Mpi(_) => "MPI-based CHARM++",
+            LayerKind::Ideal(_) => "ideal network",
+        }
+    }
+
+    pub fn make_layer(&self) -> Box<dyn MachineLayer> {
+        match self {
+            LayerKind::Ugni(cfg) => Box::new(UgniLayer::new(cfg.clone())),
+            LayerKind::Mpi(cfg) => Box::new(MpiLayer::new(cfg.clone())),
+            LayerKind::Ideal(lat) => Box::new(IdealLayer::new(*lat)),
+        }
+    }
+
+    /// Hardware parameters used by this layer (for cost models in apps).
+    pub fn params(&self) -> GeminiParams {
+        match self {
+            LayerKind::Ugni(cfg) => cfg.params.clone(),
+            LayerKind::Mpi(cfg) => cfg.params.clone(),
+            LayerKind::Ideal(_) => GeminiParams::hopper(),
+        }
+    }
+
+    /// Build a cluster of `num_pes` PEs with `cores_per_node` per node.
+    pub fn cluster(&self, num_pes: u32, cores_per_node: u32) -> Cluster {
+        let cfg = ClusterCfg::new(num_pes, cores_per_node);
+        Cluster::new(cfg, self.make_layer())
+    }
+
+    /// Like [`LayerKind::cluster`] with a Fig.-12-style timeline trace.
+    pub fn cluster_traced(
+        &self,
+        num_pes: u32,
+        cores_per_node: u32,
+        bucket: Time,
+    ) -> Cluster {
+        let mut cfg = ClusterCfg::new(num_pes, cores_per_node);
+        cfg.trace_bucket = Some(bucket);
+        Cluster::new(cfg, self.make_layer())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_kinds_construct() {
+        for k in [LayerKind::ugni(), LayerKind::mpi(), LayerKind::Ideal(500)] {
+            let c = k.cluster(4, 2);
+            assert_eq!(c.cfg.num_pes, 4);
+            assert!(!k.name().is_empty());
+        }
+    }
+}

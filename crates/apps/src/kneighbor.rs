@@ -1,0 +1,173 @@
+//! The synthetic kNeighbor benchmark (paper §V-B, Fig. 10).
+//!
+//! "each core sends messages to its k left and k right neighbors in a ring
+//! virtual topology. When each core receives all the 2*k messages, it
+//! proceeds to the next iteration. We measure the total time for sending
+//! 2*k messages and receiving 2*k ping-back messages."
+//!
+//! The paper runs 3 cores on 3 different nodes with k = 1. The interesting
+//! result: even though one-way ping-pong latencies are similar, the
+//! MPI-based runtime is ~2x slower here because its blocking `MPI_Recv`
+//! stalls the progress engine while concurrent messages are in flight —
+//! "in uGNI-based CHARM++, the progress engine is free to continue working
+//! when the underlying BTE is receiving message".
+
+use crate::common::LayerKind;
+use bytes::Bytes;
+use charm_rt::prelude::*;
+use sim_core::Time;
+
+struct St {
+    /// Cumulative neighbor-data messages received.
+    data_total: u64,
+    /// Cumulative ping-back acks received.
+    ack_total: u64,
+    /// Iterations this PE has completed.
+    iter: u32,
+    iters: u32,
+    t0: Time,
+    total: Time,
+    done: bool,
+}
+
+/// Average per-iteration time in ns, measured on PE 0.
+pub fn kneighbor_iteration_time(
+    layer: &LayerKind,
+    cores: u32,
+    cores_per_node: u32,
+    k: u32,
+    bytes: usize,
+    iters: u32,
+) -> f64 {
+    assert!(cores > 2 * k, "ring too small for k");
+    let mut c = layer.cluster(cores, cores_per_node);
+    c.init_user(|_| St {
+        data_total: 0,
+        ack_total: 0,
+        iter: 0,
+        iters,
+        t0: 0,
+        total: 0,
+        done: false,
+    });
+
+    let expected = (2 * k) as u64;
+    let neighbors = move |pe: PeId| -> Vec<PeId> {
+        let mut v = Vec::new();
+        for d in 1..=k {
+            v.push((pe + d) % cores);
+            v.push((pe + cores - d) % cores);
+        }
+        v
+    };
+
+    // Advance as many iterations as the cumulative counts allow; returns
+    // the next batches to send. Counting cumulatively makes early arrivals
+    // from faster neighbors (already in iteration i+1) harmless.
+    fn maybe_advance(ctx: &mut PeCtx, expected: u64) -> u32 {
+        let now = ctx.now();
+        let pe = ctx.pe();
+        let st = ctx.user::<St>();
+        let mut batches = 0;
+        while !st.done
+            && st.ack_total >= expected * (st.iter as u64 + 1)
+            && st.data_total >= expected * (st.iter as u64 + 1)
+        {
+            st.iter += 1;
+            if pe == 0 {
+                st.total += now - st.t0;
+                st.t0 = now;
+            }
+            if st.iter >= st.iters {
+                st.done = true;
+            } else {
+                batches += 1;
+            }
+        }
+        batches
+    }
+
+    let ack = std::rc::Rc::new(std::cell::Cell::new(HandlerId(0)));
+    let ack2 = ack.clone();
+
+    let data = c.register_handler(move |ctx, env| {
+        // Ping back, reusing the buffer (paper: "the same message buffer is
+        // used to send the ack back").
+        ctx.send(env.src_pe, ack2.get(), env.payload.clone());
+        ctx.user::<St>().data_total += 1;
+        let batches = maybe_advance(ctx, expected);
+        for _ in 0..batches {
+            for n in neighbors(ctx.pe()) {
+                ctx.send(n, env.handler, Bytes::from(vec![0u8; env.payload.len()]));
+            }
+        }
+    });
+    let bytes_copy = bytes;
+    let ack_h = c.register_handler(move |ctx, _env| {
+        ctx.user::<St>().ack_total += 1;
+        let batches = maybe_advance(ctx, expected);
+        for _ in 0..batches {
+            for n in neighbors(ctx.pe()) {
+                ctx.send(n, data, Bytes::from(vec![0u8; bytes_copy]));
+            }
+        }
+    });
+    ack.set(ack_h);
+
+    let kick = c.register_handler(move |ctx, _| {
+        let now = ctx.now();
+        ctx.user::<St>().t0 = now;
+        for n in neighbors(ctx.pe()) {
+            ctx.send(n, data, Bytes::from(vec![0u8; bytes_copy]));
+        }
+    });
+    for pe in 0..cores {
+        c.inject(0, pe, kick, Bytes::new());
+    }
+    c.run();
+    let st = c.user::<St>(0);
+    assert!(
+        st.done,
+        "kNeighbor stalled: finished {} of {} iterations (data {}, acks {})",
+        st.iter, iters, st.data_total, st.ack_total
+    );
+    st.total as f64 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_and_times_positive() {
+        let t = kneighbor_iteration_time(&LayerKind::ugni(), 3, 1, 1, 1024, 4);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn all_layers_complete_all_iterations() {
+        for layer in [LayerKind::ugni(), LayerKind::mpi(), LayerKind::Ideal(900)] {
+            let t = kneighbor_iteration_time(&layer, 5, 1, 2, 16_384, 6);
+            assert!(t > 0.0, "{}", layer.name());
+        }
+    }
+
+    #[test]
+    fn fig10_mpi_slower_for_large_messages() {
+        // Paper Fig. 10: "The latency on uGNI-based CHARM++ is only half of
+        // that on the MPI-based CHARM++ ... even for 1M byte message".
+        let u = kneighbor_iteration_time(&LayerKind::ugni(), 3, 1, 1, 262_144, 10);
+        let m = kneighbor_iteration_time(&LayerKind::mpi(), 3, 1, 1, 262_144, 10);
+        assert!(
+            u * 1.4 < m,
+            "expected MPI well behind under concurrency: uGNI {u:.0}ns MPI {m:.0}ns"
+        );
+    }
+
+    #[test]
+    fn larger_k_multiplies_traffic() {
+        let t1 = kneighbor_iteration_time(&LayerKind::ugni(), 8, 1, 1, 4096, 5);
+        let t3 = kneighbor_iteration_time(&LayerKind::ugni(), 8, 1, 3, 4096, 5);
+        assert!(t3 > t1, "k=3 moves 3x the messages: {t1} vs {t3}");
+    }
+}

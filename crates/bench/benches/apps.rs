@@ -1,0 +1,57 @@
+//! Criterion benches of whole-application simulations: events-per-second
+//! throughput of the DES when running the paper's workloads at small
+//! scale.
+
+use charm_apps::minimd::{run_minimd, MdConfig};
+use charm_apps::nqueens::{run_nqueens, NqConfig, WorkMode};
+use charm_apps::LayerKind;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_nqueens(c: &mut Criterion) {
+    let cfg = NqConfig {
+        n: 10,
+        threshold: 3,
+        mode: WorkMode::Exact { ns_per_node: 120 },
+        seed: 1,
+    };
+    c.bench_function("sim_nqueens_10_exact_16pe", |b| {
+        b.iter(|| black_box(run_nqueens(&LayerKind::ugni(), 16, 4, &cfg).solutions))
+    });
+    let modeled = NqConfig {
+        n: 13,
+        threshold: 4,
+        mode: WorkMode::Modeled {
+            total_seq_ns: 1_000_000_000,
+            alpha: 1.2,
+        },
+        seed: 1,
+    };
+    c.bench_function("sim_nqueens_13_modeled_64pe", |b| {
+        b.iter(|| black_box(run_nqueens(&LayerKind::ugni(), 64, 16, &modeled).time_ns))
+    });
+}
+
+fn bench_minimd(c: &mut Criterion) {
+    let cfg = MdConfig {
+        atoms: 8_000,
+        steps: 2,
+        ns_per_atom: 21_233,
+        patches: None,
+        pme_bytes: 2_048,
+        lb_at_step: None,
+        imbalance: 0.3,
+        seed: 2,
+    };
+    c.bench_function("sim_minimd_8k_atoms_24pe", |b| {
+        b.iter(|| black_box(run_minimd(&LayerKind::ugni(), 24, 8, &cfg).ms_per_step))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_nqueens, bench_minimd);
+criterion_main!(benches);

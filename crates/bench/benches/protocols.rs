@@ -1,0 +1,89 @@
+//! Criterion benches of full protocol round trips through the runtime:
+//! how fast the *simulator* executes a small/large message exchange and
+//! an ablation of GET- vs PUT-based rendezvous cost in virtual time.
+
+use bytes::Bytes;
+use charm_apps::pingpong::charm_one_way;
+use charm_apps::LayerKind;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gemini_net::{GeminiParams, RdmaOp};
+use ugni::{Gni, PostDescriptor};
+
+fn bench_charm_pingpong(c: &mut Criterion) {
+    c.bench_function("sim_charm_pingpong_small_x10", |b| {
+        b.iter(|| black_box(charm_one_way(&LayerKind::ugni(), 1, 64, 10, false)))
+    });
+    c.bench_function("sim_charm_pingpong_64k_x10", |b| {
+        b.iter(|| black_box(charm_one_way(&LayerKind::ugni(), 1, 65_536, 10, false)))
+    });
+    c.bench_function("sim_charm_pingpong_mpi_64k_x10", |b| {
+        b.iter(|| black_box(charm_one_way(&LayerKind::mpi(), 1, 65_536, 10, false)))
+    });
+}
+
+/// Ablation (DESIGN.md §5.1): GET-based rendezvous (the paper's choice)
+/// vs PUT-based, as raw virtual-time latencies. GET saves one rendezvous
+/// message; PUT pays an extra control round trip before data can move.
+fn bench_get_vs_put_rendezvous(c: &mut Criterion) {
+    fn rendezvous(op: RdmaOp, bytes: u64) -> u64 {
+        let mut g = Gni::new(GeminiParams::hopper(), 2);
+        let cq = g.cq_create();
+        let data = Bytes::from(vec![0u8; bytes as usize]);
+        // Control message first (INIT for GET; rendezvous+CTS for PUT is
+        // one extra smsg, per the paper's argument in §III-C).
+        let ep01 = g.ep_create(0, 1, cq);
+        let mut t = 0;
+        let ctrl_hops = match op {
+            RdmaOp::Get => 1,
+            RdmaOp::Put => 2,
+        };
+        for _ in 0..ctrl_hops {
+            let ok = g.smsg_send_w_tag(t, ep01, 1, Bytes::from_static(b"ctl")).unwrap();
+            t = ok.deliver_at;
+        }
+        let (init, remote) = match op {
+            RdmaOp::Get => (1u32, 0u32),
+            RdmaOp::Put => (0, 1),
+        };
+        let ep = g.ep_create(init, remote, cq);
+        let la = g.alloc_addr(init);
+        let (lh, _) = g.mem_register(init, la, bytes);
+        let ra = g.alloc_addr(remote);
+        let (rh, _) = g.mem_register(remote, ra, bytes);
+        g.mem_write(remote, ra, data.clone());
+        g.mem_write(init, la, data.clone());
+        let ok = g
+            .post_rdma(
+                t,
+                ep,
+                PostDescriptor {
+                    op,
+                    local_mem: lh,
+                    local_addr: la,
+                    remote_mem: rh,
+                    remote_addr: ra,
+                    bytes,
+                    data: Some(data),
+                    user_id: 0,
+                },
+            )
+            .unwrap();
+        ok.data_at
+    }
+
+    c.bench_function("rendezvous_get_virtual_64k", |b| {
+        b.iter(|| black_box(rendezvous(RdmaOp::Get, 65_536)))
+    });
+    c.bench_function("rendezvous_put_virtual_64k", |b| {
+        b.iter(|| black_box(rendezvous(RdmaOp::Put, 65_536)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_charm_pingpong, bench_get_vs_put_rendezvous);
+criterion_main!(benches);

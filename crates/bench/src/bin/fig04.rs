@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 04 series. See DESIGN.md §4.
+fn main() {
+    let e = charm_bench::Effort::default();
+    println!("{}", charm_bench::fig04(&e).render());
+}

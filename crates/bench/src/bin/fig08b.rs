@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 08b series. See DESIGN.md §4.
+fn main() {
+    let e = charm_bench::Effort::default();
+    println!("{}", charm_bench::fig08b(&e).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 12 time profiles (Projections-style).
+fn main() {
+    let e = charm_bench::Effort::default();
+    println!("{}", charm_bench::fig12(&e));
+}

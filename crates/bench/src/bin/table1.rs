@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table I (N-Queens best configurations).
+fn main() {
+    let e = charm_bench::Effort::default();
+    println!("{}", charm_bench::render_table1(&charm_bench::table1(&e)));
+}

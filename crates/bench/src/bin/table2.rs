@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table II (ApoA1 strong scaling).
+fn main() {
+    let e = charm_bench::Effort::default();
+    println!("{}", charm_bench::render_table2(&charm_bench::table2(&e)));
+}

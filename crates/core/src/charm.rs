@@ -1,0 +1,663 @@
+//! The Charm layer: indexed collections of migratable objects (chare
+//! arrays) with asynchronous entry-method invocation, spanning-tree
+//! broadcast, and tree reductions (paper §III-A).
+//!
+//! Objects are `Box<dyn Any>` states owned by the runtime and placed
+//! round-robin over PEs. An entry-method send is an ordinary Converse
+//! message to the owning PE carrying a small Charm sub-header; handler 0
+//! ([`CHARM_HANDLER`]) decodes it and invokes the registered entry function
+//! on the addressed element — active messages, exactly as the paper
+//! describes the model.
+
+use crate::cluster::{Cluster, PeCtx};
+use crate::msg::{Envelope, HandlerId, PeId};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The reserved Converse handler that dispatches all Charm traffic.
+pub const CHARM_HANDLER: HandlerId = HandlerId(0);
+
+/// Fan-out of the PE spanning tree used for broadcast and reductions.
+pub const TREE_ARITY: u32 = 4;
+
+/// A chare array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub u16);
+
+/// An entry method of some array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryId(pub u16);
+
+/// Reduction combiner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl RedOp {
+    fn combine(self, acc: &mut [f64], vals: &[f64]) {
+        assert_eq!(acc.len(), vals.len(), "reduction arity mismatch");
+        for (a, v) in acc.iter_mut().zip(vals) {
+            match self {
+                RedOp::Sum => *a += v,
+                RedOp::Min => *a = a.min(*v),
+                RedOp::Max => *a = a.max(*v),
+            }
+        }
+    }
+
+    fn id(self) -> u8 {
+        match self {
+            RedOp::Sum => 0,
+            RedOp::Min => 1,
+            RedOp::Max => 2,
+        }
+    }
+
+    fn from_id(b: u8) -> Self {
+        match b {
+            0 => RedOp::Sum,
+            1 => RedOp::Min,
+            2 => RedOp::Max,
+            _ => panic!("bad reduction op {b}"),
+        }
+    }
+}
+
+type EntryFn = Rc<dyn Fn(&mut PeCtx, &mut dyn Any, u64, Bytes)>;
+
+struct ArrayDef {
+    #[allow(dead_code)]
+    name: String,
+    num_elems: u64,
+    /// Reduction client: (handler, pe) receiving finished reductions.
+    red_client: Option<(HandlerId, PeId)>,
+    /// PEs owning at least one element, sorted. The reduction tree spans
+    /// exactly these (a PE with no elements never contributes, so it must
+    /// not appear in the tree).
+    participants: Vec<PeId>,
+}
+
+struct EntryDef {
+    array: ArrayId,
+    f: EntryFn,
+}
+
+/// Global (pre-run) Charm registrations.
+#[derive(Default)]
+pub struct CharmRegistry {
+    arrays: Vec<ArrayDef>,
+    entries: Vec<EntryDef>,
+}
+
+/// Per-PE Charm runtime state.
+#[derive(Default)]
+pub struct CharmPe {
+    /// Element states; `Option` so dispatch can take one out while the
+    /// entry runs (an entry may send to a co-located element).
+    elements: HashMap<(u16, u64), Option<Box<dyn Any>>>,
+    /// Elements living on this PE, per array.
+    local_count: HashMap<u16, u64>,
+    /// In-flight reduction partials keyed by (array, wave).
+    reductions: HashMap<(u16, u64), RedState>,
+    /// Next local contribution wave per array.
+    local_wave: HashMap<u16, u64>,
+}
+
+struct RedState {
+    contributed: u64,
+    children_reported: u32,
+    acc: Option<Vec<f64>>,
+    op: RedOp,
+}
+
+impl CharmPe {
+    /// Number of elements of `aid` on this PE.
+    pub fn local_elements(&self, aid: ArrayId) -> u64 {
+        self.local_count.get(&aid.0).copied().unwrap_or(0)
+    }
+}
+
+/// Round-robin element placement.
+pub fn home_pe(idx: u64, num_pes: u32) -> PeId {
+    (idx % num_pes as u64) as PeId
+}
+
+fn tree_parent(pe: PeId) -> PeId {
+    (pe - 1) / TREE_ARITY
+}
+
+fn tree_children(pe: PeId, num_pes: u32) -> impl Iterator<Item = PeId> {
+    (1..=TREE_ARITY)
+        .map(move |i| pe * TREE_ARITY + i)
+        .filter(move |&c| c < num_pes)
+}
+
+// ---- wire format of Charm sub-messages (Envelope payload) ----
+const OP_ENTRY: u8 = 0;
+const OP_BCAST: u8 = 1;
+const OP_REDUCE: u8 = 2;
+
+fn enc_entry(aid: ArrayId, entry: EntryId, idx: u64, user: &Bytes) -> Bytes {
+    let mut b = BytesMut::with_capacity(13 + user.len());
+    b.put_u8(OP_ENTRY);
+    b.put_u16(aid.0);
+    b.put_u16(entry.0);
+    b.put_u64(idx);
+    b.put_slice(user);
+    b.freeze()
+}
+
+fn enc_bcast(aid: ArrayId, entry: EntryId, user: &Bytes) -> Bytes {
+    let mut b = BytesMut::with_capacity(5 + user.len());
+    b.put_u8(OP_BCAST);
+    b.put_u16(aid.0);
+    b.put_u16(entry.0);
+    b.put_slice(user);
+    b.freeze()
+}
+
+fn enc_reduce(aid: ArrayId, wave: u64, op: RedOp, vals: &[f64]) -> Bytes {
+    let mut b = BytesMut::with_capacity(14 + vals.len() * 8);
+    b.put_u8(OP_REDUCE);
+    b.put_u16(aid.0);
+    b.put_u64(wave);
+    b.put_u8(op.id());
+    for v in vals {
+        b.put_f64_le(*v);
+    }
+    b.freeze()
+}
+
+impl Cluster {
+    /// Create a chare array of `n` elements; `ctor(idx)` builds each
+    /// element's state on its home PE.
+    pub fn create_array<T: 'static>(
+        &mut self,
+        name: &str,
+        n: u64,
+        mut ctor: impl FnMut(u64) -> T,
+    ) -> ArrayId {
+        let aid = ArrayId(self.charm.arrays.len() as u16);
+        let num_pes = self.cfg.num_pes;
+        let mut participants: Vec<PeId> = Vec::new();
+        for idx in 0..n {
+            let pe = home_pe(idx, num_pes);
+            let st = &mut self.pes[pe as usize].charm;
+            st.elements.insert((aid.0, idx), Some(Box::new(ctor(idx))));
+            *st.local_count.entry(aid.0).or_insert(0) += 1;
+            if !participants.contains(&pe) {
+                participants.push(pe);
+            }
+        }
+        participants.sort_unstable();
+        self.charm.arrays.push(ArrayDef {
+            name: name.to_string(),
+            num_elems: n,
+            red_client: None,
+            participants,
+        });
+        aid
+    }
+
+    /// Register an entry method for `aid`. The closure receives the PE
+    /// context, the element state, the element index, and the payload.
+    pub fn register_entry<T: 'static>(
+        &mut self,
+        aid: ArrayId,
+        f: impl Fn(&mut PeCtx, &mut T, u64, Bytes) + 'static,
+    ) -> EntryId {
+        let eid = EntryId(self.charm.entries.len() as u16);
+        self.charm.entries.push(EntryDef {
+            array: aid,
+            f: Rc::new(move |ctx, any, idx, payload| {
+                let t = any.downcast_mut::<T>().expect("element state type");
+                f(ctx, t, idx, payload)
+            }),
+        });
+        eid
+    }
+
+    /// Route finished reductions of `aid` to `(handler, pe)`.
+    pub fn set_reduction_client(&mut self, aid: ArrayId, handler: HandlerId, pe: PeId) {
+        self.charm.arrays[aid.0 as usize].red_client = Some((handler, pe));
+    }
+
+    /// Number of elements in an array.
+    pub fn array_len(&self, aid: ArrayId) -> u64 {
+        self.charm.arrays[aid.0 as usize].num_elems
+    }
+
+    /// Kick an entry method from outside the simulation (mainchare-style),
+    /// at virtual time `at`.
+    pub fn inject_entry(
+        &mut self,
+        at: sim_core::Time,
+        aid: ArrayId,
+        idx: u64,
+        entry: EntryId,
+        payload: Bytes,
+    ) {
+        let pe = home_pe(idx, self.cfg.num_pes);
+        self.inject(at, pe, CHARM_HANDLER, enc_entry(aid, entry, idx, &payload));
+    }
+
+    /// Inject a broadcast from outside the simulation.
+    pub fn inject_broadcast(
+        &mut self,
+        at: sim_core::Time,
+        aid: ArrayId,
+        entry: EntryId,
+        payload: Bytes,
+    ) {
+        self.inject(at, 0, CHARM_HANDLER, enc_bcast(aid, entry, &payload));
+    }
+
+    /// Read an element's state after a run.
+    pub fn element<T: 'static>(&self, aid: ArrayId, idx: u64) -> &T {
+        let pe = home_pe(idx, self.cfg.num_pes);
+        self.pes[pe as usize]
+            .charm
+            .elements
+            .get(&(aid.0, idx))
+            .expect("no such element")
+            .as_ref()
+            .expect("element taken")
+            .downcast_ref()
+            .expect("element type mismatch")
+    }
+}
+
+impl PeCtx<'_> {
+    /// Asynchronous entry-method invocation on element `idx` of `aid`.
+    pub fn charm_send(&mut self, aid: ArrayId, idx: u64, entry: EntryId, payload: Bytes) {
+        let pe = home_pe(idx, self.num_pes());
+        self.send(pe, CHARM_HANDLER, enc_entry(aid, entry, idx, &payload));
+    }
+
+    /// Broadcast an entry-method invocation to every element of `aid`
+    /// (spanning tree over PEs, then local fan-out).
+    pub fn charm_broadcast(&mut self, aid: ArrayId, entry: EntryId, payload: Bytes) {
+        // Route to the tree root; it forwards.
+        self.send(0, CHARM_HANDLER, enc_bcast(aid, entry, &payload));
+    }
+
+    /// Contribute this element's share of the current reduction wave.
+    /// When every element of `aid` has contributed, the combined vector is
+    /// delivered to the array's reduction client.
+    pub fn contribute(&mut self, aid: ArrayId, vals: &[f64], op: RedOp) {
+        let local = self.charm_pe.local_elements(aid);
+        assert!(local > 0, "contribute from a PE with no elements");
+        let wave = *self.charm_pe.local_wave.entry(aid.0).or_insert(0);
+        red_accumulate(self, aid, wave, op, vals, true);
+    }
+}
+
+/// Fold a contribution (local element or child partial) into this PE's
+/// reduction state, flushing up the tree when complete.
+fn red_accumulate(
+    ctx: &mut PeCtx<'_>,
+    aid: ArrayId,
+    wave: u64,
+    op: RedOp,
+    vals: &[f64],
+    from_local_element: bool,
+) {
+    let pe = ctx.pe();
+    // Tree over participating PEs (ranks in the sorted participant list).
+    let participants = &ctx.charm_reg.arrays[aid.0 as usize].participants;
+    let n_parts = participants.len() as u32;
+    let rank = participants
+        .binary_search(&pe)
+        .expect("reduction message on a PE with no elements") as u32;
+    let n_children = tree_children(rank, n_parts).count() as u32;
+    let parent_pe = if rank == 0 {
+        None
+    } else {
+        Some(participants[tree_parent(rank) as usize])
+    };
+    let local_needed = ctx.charm_pe.local_elements(aid);
+
+    let st = ctx
+        .charm_pe
+        .reductions
+        .entry((aid.0, wave))
+        .or_insert(RedState {
+            contributed: 0,
+            children_reported: 0,
+            acc: None,
+            op,
+        });
+    debug_assert_eq!(st.op, op, "mixed reduction ops in one wave");
+    match &mut st.acc {
+        None => st.acc = Some(vals.to_vec()),
+        Some(acc) => op.combine(acc, vals),
+    }
+    if from_local_element {
+        st.contributed += 1;
+    } else {
+        st.children_reported += 1;
+    }
+    let done = st.contributed == local_needed && st.children_reported == n_children;
+    if !done {
+        return;
+    }
+    let acc = ctx
+        .charm_pe
+        .reductions
+        .remove(&(aid.0, wave))
+        .and_then(|s| s.acc)
+        .expect("finished reduction with no accumulator");
+    // This PE's wave is finished; advance the local wave counter so the
+    // next contribute() call on this PE opens the following wave.
+    let w = ctx.charm_pe.local_wave.entry(aid.0).or_insert(0);
+    if *w == wave {
+        *w = wave + 1;
+    }
+    match parent_pe {
+        None => {
+            // Root: deliver to the client.
+            let (handler, target) = ctx.charm_reg.arrays[aid.0 as usize]
+                .red_client
+                .expect("reduction finished but no client registered");
+            let mut b = BytesMut::with_capacity(8 + acc.len() * 8);
+            b.put_u64_le(wave);
+            for v in &acc {
+                b.put_f64_le(*v);
+            }
+            ctx.send(target, handler, b.freeze());
+        }
+        Some(parent) => {
+            ctx.send(parent, CHARM_HANDLER, enc_reduce(aid, wave, op, &acc));
+        }
+    }
+}
+
+/// The Converse handler behind [`CHARM_HANDLER`].
+pub fn dispatch(ctx: &mut PeCtx, env: Envelope) {
+    let p = &env.payload;
+    match p[0] {
+        OP_ENTRY => {
+            let aid = ArrayId(u16::from_be_bytes([p[1], p[2]]));
+            let eid = EntryId(u16::from_be_bytes([p[3], p[4]]));
+            let idx = u64::from_be_bytes(p[5..13].try_into().unwrap());
+            let user = env.payload.slice(13..);
+            invoke_entry(ctx, aid, eid, idx, user);
+        }
+        OP_BCAST => {
+            let aid = ArrayId(u16::from_be_bytes([p[1], p[2]]));
+            let eid = EntryId(u16::from_be_bytes([p[3], p[4]]));
+            let user = env.payload.slice(5..);
+            // Forward down the PE spanning tree.
+            let pe = ctx.pe();
+            let num_pes = ctx.num_pes();
+            for child in tree_children(pe, num_pes) {
+                ctx.send(child, CHARM_HANDLER, env.payload.clone());
+            }
+            // Invoke on each local element.
+            let local: Vec<u64> = ctx
+                .charm_pe
+                .elements
+                .keys()
+                .filter(|(a, _)| *a == aid.0)
+                .map(|(_, i)| *i)
+                .collect();
+            let mut local = local;
+            local.sort_unstable();
+            for idx in local {
+                invoke_entry(ctx, aid, eid, idx, user.clone());
+            }
+        }
+        OP_REDUCE => {
+            let aid = ArrayId(u16::from_be_bytes([p[1], p[2]]));
+            let wave = u64::from_be_bytes(p[3..11].try_into().unwrap());
+            let op = RedOp::from_id(p[11]);
+            let vals: Vec<f64> = (0..(p.len() - 12) / 8)
+                .map(|i| f64::from_le_bytes(p[12 + i * 8..20 + i * 8].try_into().unwrap()))
+                .collect();
+            red_accumulate(ctx, aid, wave, op, &vals, false);
+        }
+        op => panic!("bad charm opcode {op}"),
+    }
+}
+
+fn invoke_entry(ctx: &mut PeCtx, aid: ArrayId, eid: EntryId, idx: u64, user: Bytes) {
+    let def = &ctx.charm_reg.entries[eid.0 as usize];
+    assert_eq!(def.array, aid, "entry {eid:?} does not belong to {aid:?}");
+    let f = def.f.clone();
+    let pe = ctx.pe();
+    let mut state = ctx
+        .charm_pe
+        .elements
+        .get_mut(&(aid.0, idx))
+        .unwrap_or_else(|| panic!("message for missing element {aid:?}[{idx}] on PE {pe}"))
+        .take()
+        .expect("reentrant entry on one element");
+    f(ctx, state.as_mut(), idx, user);
+    *ctx.charm_pe.elements.get_mut(&(aid.0, idx)).unwrap() = Some(state);
+}
+
+// `wire` is re-exported for payload packing in the doc examples.
+pub use crate::msg::wire as payload_wire;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterCfg};
+    use crate::ideal::IdealLayer;
+    use crate::msg::wire;
+
+    fn cluster(pes: u32) -> Cluster {
+        Cluster::new(ClusterCfg::new(pes, 4), Box::new(IdealLayer::new(1000)))
+    }
+
+    #[test]
+    fn tree_shape_is_consistent() {
+        let n = 23;
+        for pe in 1..n {
+            let p = tree_parent(pe);
+            assert!(tree_children(p, n).any(|c| c == pe), "pe {pe}");
+        }
+        // Every PE reachable from the root.
+        let mut seen = vec![false; n as usize];
+        let mut stack = vec![0u32];
+        while let Some(pe) = stack.pop() {
+            seen[pe as usize] = true;
+            stack.extend(tree_children(pe, n));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn entry_send_reaches_element() {
+        let mut c = cluster(4);
+        let aid = c.create_array("counters", 10, |_| 0u64);
+        let bump = c.register_entry::<u64>(aid, |_ctx, st, _idx, payload| {
+            *st += wire::unpack_u64(&payload, 0);
+        });
+        c.inject_entry(0, aid, 7, bump, wire::pack_u64s(&[41]));
+        c.inject_entry(0, aid, 7, bump, wire::pack_u64s(&[1]));
+        c.run();
+        assert_eq!(*c.element::<u64>(aid, 7), 42);
+        assert_eq!(*c.element::<u64>(aid, 6), 0);
+    }
+
+    #[test]
+    fn elements_chat_between_pes() {
+        let mut c = cluster(3);
+        let aid = c.create_array("relay", 6, |_| 0u64);
+        let entry = c.register_entry::<u64>(aid, move |ctx, st, idx, payload| {
+            let hops = wire::unpack_u64(&payload, 0);
+            *st += 1;
+            if hops > 0 {
+                let next = (idx + 1) % 6;
+                ctx.charm_send(aid, next, EntryId(0), wire::pack_u64s(&[hops - 1]));
+            }
+        });
+        c.inject_entry(0, aid, 0, entry, wire::pack_u64s(&[12]));
+        c.run();
+        // 13 invocations around the ring: each element hit at least twice.
+        let total: u64 = (0..6).map(|i| *c.element::<u64>(aid, i)).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_element() {
+        let mut c = cluster(5);
+        let aid = c.create_array("cells", 17, |_| 0u32);
+        let touch = c.register_entry::<u32>(aid, |_ctx, st, _idx, _p| *st += 1);
+        c.inject_broadcast(0, aid, touch, Bytes::new());
+        c.run();
+        for i in 0..17 {
+            assert_eq!(*c.element::<u32>(aid, i), 1, "element {i} missed");
+        }
+    }
+
+    #[test]
+    fn reduction_sums_over_all_elements() {
+        let mut c = cluster(4);
+        let aid = c.create_array("vals", 12, |idx| idx as f64);
+        let done = std::rc::Rc::new(std::cell::Cell::new(-1.0));
+        let done2 = done.clone();
+        let client = c.register_handler(move |ctx, env| {
+            let wave = u64::from_le_bytes(env.payload[0..8].try_into().unwrap());
+            assert_eq!(wave, 0);
+            done2.set(wire::unpack_f64(&env.payload[8..], 0));
+            ctx.stop();
+        });
+        c.set_reduction_client(aid, client, 0);
+        let kick = c.register_entry::<f64>(aid, move |ctx, st, _idx, _p| {
+            ctx.contribute(aid, &[*st], RedOp::Sum);
+        });
+        c.inject_broadcast(0, aid, kick, Bytes::new());
+        c.run();
+        // sum 0..12 = 66
+        assert_eq!(done.get(), 66.0);
+    }
+
+    #[test]
+    fn successive_reduction_waves_keep_sequence() {
+        let mut c = cluster(3);
+        let aid = c.create_array("w", 6, |_| ());
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let r2 = results.clone();
+        let kick_cell: std::rc::Rc<std::cell::Cell<Option<EntryId>>> =
+            std::rc::Rc::new(std::cell::Cell::new(None));
+        let kc = kick_cell.clone();
+        let client = c.register_handler(move |ctx, env| {
+            let wave = u64::from_le_bytes(env.payload[0..8].try_into().unwrap());
+            let v = wire::unpack_f64(&env.payload[8..], 0);
+            r2.borrow_mut().push((wave, v));
+            if wave < 2 {
+                ctx.charm_broadcast(aid, kc.get().unwrap(), Bytes::new());
+            } else {
+                ctx.stop();
+            }
+        });
+        c.set_reduction_client(aid, client, 0);
+        let kick = c.register_entry::<()>(aid, move |ctx, _st, _idx, _p| {
+            ctx.contribute(aid, &[1.0], RedOp::Sum);
+        });
+        kick_cell.set(Some(kick));
+        c.inject_broadcast(0, aid, kick, Bytes::new());
+        c.run();
+        assert_eq!(&*results.borrow(), &[(0, 6.0), (1, 6.0), (2, 6.0)]);
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        for (op, expect) in [(RedOp::Min, 0.0), (RedOp::Max, 9.0)] {
+            let mut c = cluster(2);
+            let aid = c.create_array("mm", 10, |idx| idx as f64);
+            let got = std::rc::Rc::new(std::cell::Cell::new(f64::NAN));
+            let g2 = got.clone();
+            let client = c.register_handler(move |ctx, env| {
+                g2.set(wire::unpack_f64(&env.payload[8..], 0));
+                ctx.stop();
+            });
+            c.set_reduction_client(aid, client, 0);
+            let kick = c.register_entry::<f64>(aid, move |ctx, st, _i, _p| {
+                ctx.contribute(aid, &[*st], op);
+            });
+            c.inject_broadcast(0, aid, kick, Bytes::new());
+            c.run();
+            assert_eq!(got.get(), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_completes_with_fewer_elements_than_pes() {
+        // Regression: the reduction tree must span only PEs that own
+        // elements — PEs without elements used to deadlock the wave.
+        let mut c = cluster(16);
+        let aid = c.create_array("sparse", 3, |idx| idx as f64);
+        let got = std::rc::Rc::new(std::cell::Cell::new(f64::NAN));
+        let g2 = got.clone();
+        let client = c.register_handler(move |ctx, env| {
+            g2.set(wire::unpack_f64(&env.payload[8..], 0));
+            ctx.stop();
+        });
+        c.set_reduction_client(aid, client, 0);
+        let kick = c.register_entry::<f64>(aid, move |ctx, st, _i, _p| {
+            ctx.contribute(aid, &[*st], RedOp::Sum);
+        });
+        c.inject_broadcast(0, aid, kick, Bytes::new());
+        let r = c.run();
+        assert!(r.stopped_early, "sparse reduction deadlocked");
+        assert_eq!(got.get(), 0.0 + 1.0 + 2.0);
+    }
+
+    #[test]
+    fn broadcast_message_count_is_tree_not_quadratic() {
+        let mut c = cluster(16);
+        let aid = c.create_array("wide", 16, |_| 0u32);
+        let touch = c.register_entry::<u32>(aid, |_ctx, st, _idx, _p| *st += 1);
+        c.inject_broadcast(0, aid, touch, Bytes::new());
+        c.run();
+        // Tree forwarding: at most num_pes - 1 forwards (plus the inject).
+        assert!(
+            c.stats().msgs_sent <= 16,
+            "broadcast used {} messages",
+            c.stats().msgs_sent
+        );
+        for i in 0..16 {
+            assert_eq!(*c.element::<u32>(aid, i), 1);
+        }
+    }
+
+    #[test]
+    fn vector_reductions_combine_elementwise() {
+        let mut c = cluster(4);
+        let aid = c.create_array("vec", 8, |idx| idx as f64);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let g2 = got.clone();
+        let client = c.register_handler(move |ctx, env| {
+            let body = &env.payload[8..];
+            *g2.borrow_mut() = (0..wire::f64_count(body))
+                .map(|i| wire::unpack_f64(body, i))
+                .collect();
+            ctx.stop();
+        });
+        c.set_reduction_client(aid, client, 0);
+        let kick = c.register_entry::<f64>(aid, move |ctx, st, _i, _p| {
+            ctx.contribute(aid, &[*st, 1.0, -*st], RedOp::Sum);
+        });
+        c.inject_broadcast(0, aid, kick, Bytes::new());
+        c.run();
+        assert_eq!(&*got.borrow(), &[28.0, 8.0, -28.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing element")]
+    fn send_to_missing_element_panics() {
+        let mut c = cluster(2);
+        let aid = c.create_array("small", 2, |_| ());
+        let e = c.register_entry::<()>(aid, |_, _, _, _| {});
+        c.inject_entry(0, aid, 99, e, Bytes::new());
+        c.run();
+    }
+}

@@ -1,0 +1,944 @@
+//! The sequential discrete-event driver binding Converse schedulers,
+//! a machine layer, and the simulated fabric into one runnable job.
+//!
+//! Execution model (DESIGN.md §3): every PE owns a Converse scheduler — a
+//! FIFO of delivered envelopes. Handlers are real Rust closures executed at
+//! their virtual start time; they account for computation with
+//! [`PeCtx::charge`] and their sends are timestamped at the PE-local
+//! virtual time at which they were issued. A PE processes one message at a
+//! time (`busy_until`); machine-layer progress for a PE is deferred while
+//! that PE is busy, which is exactly how a non-SMP Charm++ process only
+//! advances the network between handler executions — the mechanism behind
+//! the paper's Fig. 10 and Fig. 12 observations.
+
+use crate::charm::{CharmPe, CharmRegistry};
+use crate::lrts::{MachineLayer, PersistentHandle};
+use crate::qd::{QdPe, QdState};
+use crate::msg::{Envelope, HandlerId, PeId};
+use crate::trace::{Kind, Trace};
+use bytes::Bytes;
+use gemini_net::NodeId;
+use sim_core::{DetRng, EventQueue, Time};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterCfg {
+    pub num_pes: u32,
+    pub cores_per_node: u32,
+    /// Converse scheduler cost per executed handler (dequeue + dispatch).
+    pub sched_overhead: Time,
+    /// Converse-level cost of issuing one send (envelope setup), excluding
+    /// everything the machine layer charges.
+    pub send_overhead: Time,
+    /// Timeline bucket width for Fig.-12-style profiles (None = totals only).
+    pub trace_bucket: Option<Time>,
+    /// Safety valve for runaway simulations.
+    pub max_events: u64,
+    /// Seed for all per-PE deterministic RNGs.
+    pub seed: u64,
+}
+
+impl ClusterCfg {
+    pub fn new(num_pes: u32, cores_per_node: u32) -> Self {
+        ClusterCfg {
+            num_pes,
+            cores_per_node,
+            sched_overhead: 200,
+            send_overhead: 100,
+            trace_bucket: None,
+            max_events: 2_000_000_000,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    pub fn num_nodes(&self) -> u32 {
+        self.num_pes.div_ceil(self.cores_per_node)
+    }
+}
+
+/// Commands from application handlers to the machine layer, executed at
+/// the PE-local virtual time they were issued (this keeps all fabric calls
+/// globally time-ordered).
+pub enum Cmd {
+    Send {
+        dst: PeId,
+        msg: Bytes,
+    },
+    CreatePersistent {
+        dst: PeId,
+        max_bytes: u64,
+        handle: PersistentHandle,
+    },
+    SendPersistent {
+        handle: PersistentHandle,
+        dst: PeId,
+        msg: Bytes,
+    },
+}
+
+/// Simulation events.
+pub enum Event {
+    /// Let the PE's Converse scheduler run one message.
+    PeRun(PeId),
+    /// Hand an encoded envelope to a PE's scheduler queue.
+    Deliver(PeId, Bytes),
+    /// Machine-layer-specific event, processed when the PE is free.
+    Machine(PeId, Box<dyn Any>),
+    /// Machine-layer event processed at its exact time even if the PE is
+    /// busy (protocol continuations whose CPU cost was already charged).
+    MachineNow(PeId, Box<dyn Any>),
+    /// Drain a PE's parked machine events now that it may be free.
+    ParkedWake(PeId),
+    /// Application command issued from a handler on `PeId`.
+    Cmd(PeId, Cmd),
+}
+
+pub(crate) struct PeState {
+    /// Prioritized Converse scheduler queue: (priority, seq) ordering,
+    /// FIFO within a priority (Charm++'s prioritized execution).
+    queue: std::collections::BinaryHeap<std::cmp::Reverse<PrioEnv>>,
+    queue_seq: u64,
+    busy_until: Time,
+    run_scheduled: bool,
+    /// Machine events deferred while this PE was busy, drained by a single
+    /// ParkedWake event (re-queueing each one individually is quadratic
+    /// under load).
+    parked: VecDeque<Box<dyn Any>>,
+    parked_wake: bool,
+    user: Box<dyn Any>,
+    rng: DetRng,
+    pub(crate) charm: CharmPe,
+    qd: QdPe,
+}
+
+/// Queue entry ordered by (priority, arrival sequence).
+pub(crate) struct PrioEnv {
+    prio: u16,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for PrioEnv {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl Eq for PrioEnv {}
+impl PartialOrd for PrioEnv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioEnv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.prio, self.seq).cmp(&(other.prio, other.seq))
+    }
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Default, Clone)]
+pub struct ClusterStats {
+    pub events: u64,
+    /// Event-type breakdown: [PeRun, Deliver, Machine, MachineNow, Cmd].
+    pub event_kinds: [u64; 5],
+    pub handlers_run: u64,
+    pub msgs_sent: u64,
+    pub msgs_delivered: u64,
+    pub bytes_sent: u64,
+    /// Messages / bytes that actually crossed the machine layer (excludes
+    /// Converse self-send loopback).
+    pub net_msgs: u64,
+    pub net_bytes: u64,
+}
+
+/// Result of [`Cluster::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time of the last processed event.
+    pub end_time: Time,
+    pub stats: ClusterStats,
+    pub stopped_early: bool,
+}
+
+/// A complete simulated job.
+pub struct Cluster {
+    pub cfg: ClusterCfg,
+    now: Time,
+    events: EventQueue<Event>,
+    pub(crate) pes: Vec<PeState>,
+    layer: Option<Box<dyn MachineLayer>>,
+    handlers: Vec<Rc<dyn Fn(&mut PeCtx, Envelope)>>,
+    pub(crate) charm: CharmRegistry,
+    trace: Trace,
+    stats: ClusterStats,
+    next_persistent: u64,
+    stopped: bool,
+    /// Handlers whose traffic is excluded from quiescence counting (QD's
+    /// own control messages and the QD client notification).
+    system_handlers: std::collections::HashSet<u16>,
+    qd: Option<QdState>,
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterCfg, layer: Box<dyn MachineLayer>) -> Self {
+        let trace = Trace::new(cfg.num_pes, cfg.trace_bucket);
+        let pes = (0..cfg.num_pes)
+            .map(|pe| PeState {
+                queue: std::collections::BinaryHeap::new(),
+                queue_seq: 0,
+                busy_until: 0,
+                run_scheduled: false,
+                parked: VecDeque::new(),
+                parked_wake: false,
+                user: Box::new(()),
+                rng: DetRng::derive(cfg.seed, pe as u64),
+                charm: CharmPe::default(),
+                qd: QdPe::default(),
+            })
+            .collect();
+        let mut c = Cluster {
+            cfg,
+            now: 0,
+            events: EventQueue::new(),
+            pes,
+            layer: Some(layer),
+            handlers: Vec::new(),
+            charm: CharmRegistry::default(),
+            trace,
+            stats: ClusterStats::default(),
+            next_persistent: 0,
+            stopped: false,
+            system_handlers: std::collections::HashSet::new(),
+            qd: None,
+        };
+        // Handler 0 is reserved for the Charm dispatch (arrays, broadcast,
+        // reductions — see charm.rs).
+        let h = c.register_handler(crate::charm::dispatch);
+        debug_assert_eq!(h, crate::charm::CHARM_HANDLER);
+        // Give the machine layer its LrtsInit call at t=0.
+        let mut layer = c.layer.take().expect("layer");
+        {
+            let mut ctx = MachineCtx {
+                now: 0,
+                cfg: &c.cfg,
+                pes: &mut c.pes,
+                events: &mut c.events,
+                trace: &mut c.trace,
+                stats: &mut c.stats,
+            };
+            layer.init(&mut ctx);
+        }
+        c.layer = Some(layer);
+        c
+    }
+
+    /// Register a Converse handler; returns its id.
+    pub fn register_handler(
+        &mut self,
+        f: impl Fn(&mut PeCtx, Envelope) + 'static,
+    ) -> HandlerId {
+        self.handlers.push(Rc::new(f));
+        HandlerId(self.handlers.len() as u16 - 1)
+    }
+
+    /// Install per-PE user state.
+    pub fn init_user<T: 'static>(&mut self, mut f: impl FnMut(PeId) -> T) {
+        for pe in 0..self.cfg.num_pes {
+            self.pes[pe as usize].user = Box::new(f(pe));
+        }
+    }
+
+    /// Read back per-PE user state after a run.
+    pub fn user<T: 'static>(&self, pe: PeId) -> &T {
+        self.pes[pe as usize]
+            .user
+            .downcast_ref()
+            .expect("user state type mismatch")
+    }
+
+    pub fn user_mut<T: 'static>(&mut self, pe: PeId) -> &mut T {
+        self.pes[pe as usize]
+            .user
+            .downcast_mut()
+            .expect("user state type mismatch")
+    }
+
+    /// Install quiescence detection state (see [`crate::qd::register`]).
+    pub(crate) fn install_qd(&mut self, st: QdState, system: &[HandlerId]) {
+        self.qd = Some(st);
+        for h in system {
+            self.system_handlers.insert(h.0);
+        }
+    }
+
+    /// Seed the job with an initial message (like a mainchare entry).
+    pub fn inject(&mut self, at: Time, dst: PeId, handler: HandlerId, payload: Bytes) {
+        let env = Envelope::new(dst, dst, handler, payload);
+        // Balance the quiescence ledger: an injection is an external send.
+        if !self.system_handlers.contains(&handler.0) {
+            self.pes[dst as usize].qd.sent += 1;
+        }
+        self.events.push(at, Event::Deliver(dst, env.encode()));
+    }
+
+    /// Direct access to the machine layer (e.g. to read its stats after a
+    /// run).
+    pub fn layer_mut<T: 'static>(&mut self) -> &mut T {
+        self.layer
+            .as_mut()
+            .expect("layer")
+            .as_any()
+            .downcast_mut()
+            .expect("layer type mismatch")
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enable the per-PE Projections-style segment log (see
+    /// [`Trace::export_log`]); call before `run`.
+    pub fn enable_trace_log(&mut self) {
+        self.trace.enable_log();
+    }
+
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn node_of(&self, pe: PeId) -> NodeId {
+        pe / self.cfg.cores_per_node
+    }
+
+    /// Run until the event queue drains, a handler calls [`PeCtx::stop`],
+    /// or `max_events` is hit.
+    pub fn run(&mut self) -> RunReport {
+        while !self.stopped {
+            if self.stats.events >= self.cfg.max_events {
+                panic!(
+                    "simulation exceeded max_events={} at t={}",
+                    self.cfg.max_events, self.now
+                );
+            }
+            let Some((t, ev)) = self.events.pop() else {
+                break;
+            };
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.stats.events += 1;
+            self.stats.event_kinds[match &ev {
+                Event::PeRun(_) => 0,
+                Event::Deliver(..) => 1,
+                Event::Machine(..) | Event::ParkedWake(_) => 2,
+                Event::MachineNow(..) => 3,
+                Event::Cmd(..) => 4,
+            }] += 1;
+            self.dispatch(t, ev);
+        }
+        RunReport {
+            end_time: self.now,
+            stats: self.stats.clone(),
+            stopped_early: self.stopped,
+        }
+    }
+
+    fn dispatch(&mut self, t: Time, ev: Event) {
+        match ev {
+            Event::PeRun(pe) => self.pe_run(t, pe),
+            Event::Deliver(pe, bytes) => {
+                let env = Envelope::decode(&bytes);
+                debug_assert_eq!(env.dst_pe, pe);
+                self.stats.msgs_delivered += 1;
+                self.trace.count_msg(pe);
+                let st = &mut self.pes[pe as usize];
+                if !self.system_handlers.contains(&env.handler.0) {
+                    st.qd.delivered += 1;
+                }
+                let seq = st.queue_seq;
+                st.queue_seq += 1;
+                st.queue.push(std::cmp::Reverse(PrioEnv {
+                    prio: env.priority,
+                    seq,
+                    env,
+                }));
+                if !st.run_scheduled {
+                    st.run_scheduled = true;
+                    let at = t.max(st.busy_until);
+                    self.events.push(at, Event::PeRun(pe));
+                }
+            }
+            Event::Machine(pe, mev) => {
+                let st = &mut self.pes[pe as usize];
+                if st.busy_until > t {
+                    // Progress only happens when the PE is free: park the
+                    // event and arm a single wake at the busy horizon.
+                    st.parked.push_back(mev);
+                    if !st.parked_wake {
+                        st.parked_wake = true;
+                        let at = st.busy_until;
+                        self.events.push(at, Event::ParkedWake(pe));
+                    }
+                    return;
+                }
+                self.with_layer(t, |layer, ctx| layer.on_event(ctx, pe, mev));
+            }
+            Event::MachineNow(pe, mev) => {
+                self.with_layer(t, |layer, ctx| layer.on_event(ctx, pe, mev));
+            }
+            Event::ParkedWake(pe) => {
+                self.pes[pe as usize].parked_wake = false;
+                loop {
+                    let st = &mut self.pes[pe as usize];
+                    if st.parked.is_empty() {
+                        break;
+                    }
+                    if st.busy_until > t {
+                        if !st.parked_wake {
+                            st.parked_wake = true;
+                            let at = st.busy_until;
+                            self.events.push(at, Event::ParkedWake(pe));
+                        }
+                        break;
+                    }
+                    let mev = st.parked.pop_front().unwrap();
+                    self.with_layer(t, |layer, ctx| layer.on_event(ctx, pe, mev));
+                }
+            }
+            Event::Cmd(pe, cmd) => {
+                self.with_layer(t, |layer, ctx| match cmd {
+                    Cmd::Send { dst, msg } => layer.sync_send(ctx, pe, dst, msg),
+                    Cmd::CreatePersistent {
+                        dst,
+                        max_bytes,
+                        handle,
+                    } => layer.create_persistent(ctx, pe, dst, max_bytes, handle),
+                    Cmd::SendPersistent { handle, dst, msg } => {
+                        layer.send_persistent(ctx, handle, pe, dst, msg)
+                    }
+                });
+            }
+        }
+    }
+
+    fn with_layer(&mut self, t: Time, f: impl FnOnce(&mut dyn MachineLayer, &mut MachineCtx)) {
+        let mut layer = self.layer.take().expect("machine layer reentrancy");
+        {
+            let mut ctx = MachineCtx {
+                now: t,
+                cfg: &self.cfg,
+                pes: &mut self.pes,
+                events: &mut self.events,
+                trace: &mut self.trace,
+                stats: &mut self.stats,
+            };
+            f(layer.as_mut(), &mut ctx);
+        }
+        self.layer = Some(layer);
+    }
+
+    fn pe_run(&mut self, t: Time, pe: PeId) {
+        let st = &mut self.pes[pe as usize];
+        if st.busy_until > t {
+            // Still finishing earlier work (overhead charges can extend it).
+            self.events.push(st.busy_until, Event::PeRun(pe));
+            return;
+        }
+        let Some(std::cmp::Reverse(PrioEnv { env, .. })) = st.queue.pop() else {
+            st.run_scheduled = false;
+            return;
+        };
+        let handler = self
+            .handlers
+            .get(env.handler.0 as usize)
+            .unwrap_or_else(|| panic!("unregistered handler {:?}", env.handler))
+            .clone();
+
+        let mut outbox: Vec<(Time, Event)> = Vec::new();
+        let mut stop = false;
+        let (charged_app, charged_ovh) = {
+            let st = &mut self.pes[pe as usize];
+            let mut ctx = PeCtx {
+                pe,
+                start: t,
+                charged_app: 0,
+                charged_ovh: 0,
+                cfg: &self.cfg,
+                user: &mut st.user,
+                rng: &mut st.rng,
+                charm_pe: &mut st.charm,
+                charm_reg: &self.charm,
+                outbox: &mut outbox,
+                stop: &mut stop,
+                next_persistent: &mut self.next_persistent,
+                stats: &mut self.stats,
+                qd_pe: &mut st.qd,
+                qd_global: &mut self.qd,
+                system_handlers: &self.system_handlers,
+            };
+            handler(&mut ctx, env);
+            (ctx.charged_app, ctx.charged_ovh)
+        };
+        self.stats.handlers_run += 1;
+
+        let total = charged_app + charged_ovh + self.cfg.sched_overhead;
+        self.trace.record(pe, t, charged_app, Kind::Busy);
+        self.trace.record(
+            pe,
+            t + charged_app,
+            charged_ovh + self.cfg.sched_overhead,
+            Kind::Overhead,
+        );
+
+        for (at, ev) in outbox {
+            self.events.push(at, ev);
+        }
+        if stop {
+            self.stopped = true;
+        }
+
+        let st = &mut self.pes[pe as usize];
+        st.busy_until = t + total;
+        if st.queue.is_empty() {
+            st.run_scheduled = false;
+        } else {
+            self.events.push(st.busy_until, Event::PeRun(pe));
+        }
+    }
+}
+
+/// What a machine layer sees of the cluster.
+pub struct MachineCtx<'a> {
+    now: Time,
+    cfg: &'a ClusterCfg,
+    pes: &'a mut Vec<PeState>,
+    events: &'a mut EventQueue<Event>,
+    trace: &'a mut Trace,
+    stats: &'a mut ClusterStats,
+}
+
+impl MachineCtx<'_> {
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn num_pes(&self) -> u32 {
+        self.cfg.num_pes
+    }
+
+    pub fn cores_per_node(&self) -> u32 {
+        self.cfg.cores_per_node
+    }
+
+    pub fn num_nodes(&self) -> u32 {
+        self.cfg.num_nodes()
+    }
+
+    pub fn node_of(&self, pe: PeId) -> NodeId {
+        pe / self.cfg.cores_per_node
+    }
+
+    /// When the PE will next be free (>= now when busy).
+    pub fn pe_free_at(&self, pe: PeId) -> Time {
+        self.pes[pe as usize].busy_until
+    }
+
+    /// Hand a fully received, decoded-ready message to a PE's scheduler,
+    /// effective immediately.
+    pub fn deliver_now(&mut self, pe: PeId, msg: Bytes) {
+        self.events.push(self.now, Event::Deliver(pe, msg));
+    }
+
+    /// Deliver at a future instant (e.g. after a modeled copy completes).
+    pub fn deliver_at(&mut self, at: Time, pe: PeId, msg: Bytes) {
+        debug_assert!(at >= self.now);
+        self.events.push(at, Event::Deliver(pe, msg));
+    }
+
+    /// Schedule a machine-layer event for `pe` at `at` (delivered when the
+    /// PE is free — use for progress-engine work like draining mailboxes).
+    pub fn schedule(&mut self, at: Time, pe: PeId, ev: Box<dyn Any>) {
+        debug_assert!(at >= self.now);
+        self.events.push(at, Event::Machine(pe, ev));
+    }
+
+    /// Schedule a machine-layer event that fires at `at` even if the PE is
+    /// then busy. Use for protocol continuations (e.g. "buffer prepared,
+    /// ship the control message") whose CPU cost was already charged —
+    /// deferring those would serialize independent transfers behind
+    /// unrelated work.
+    pub fn schedule_nodefer(&mut self, at: Time, pe: PeId, ev: Box<dyn Any>) {
+        debug_assert!(at >= self.now);
+        self.events.push(at, Event::MachineNow(pe, ev));
+    }
+
+    /// Charge `ns` of protocol-processing time to `pe`, starting no earlier
+    /// than now. Extends the PE's busy window and records overhead.
+    pub fn charge_overhead(&mut self, pe: PeId, ns: Time) {
+        if ns == 0 {
+            return;
+        }
+        let st = &mut self.pes[pe as usize];
+        let start = st.busy_until.max(self.now);
+        st.busy_until = start + ns;
+        self.trace.record(pe, start, ns, Kind::Overhead);
+    }
+
+    /// Count a message the machine layer actually put on the wire.
+    pub fn count_send(&mut self, bytes: u64) {
+        self.stats.net_msgs += 1;
+        self.stats.net_bytes += bytes;
+    }
+}
+
+/// What an application handler sees: the Converse/Charm API.
+pub struct PeCtx<'a> {
+    pe: PeId,
+    start: Time,
+    charged_app: Time,
+    charged_ovh: Time,
+    cfg: &'a ClusterCfg,
+    user: &'a mut Box<dyn Any>,
+    rng: &'a mut DetRng,
+    pub(crate) charm_pe: &'a mut CharmPe,
+    pub(crate) charm_reg: &'a CharmRegistry,
+    outbox: &'a mut Vec<(Time, Event)>,
+    stop: &'a mut bool,
+    next_persistent: &'a mut u64,
+    stats: &'a mut ClusterStats,
+    qd_pe: &'a mut QdPe,
+    qd_global: &'a mut Option<QdState>,
+    system_handlers: &'a std::collections::HashSet<u16>,
+}
+
+impl PeCtx<'_> {
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    pub fn num_pes(&self) -> u32 {
+        self.cfg.num_pes
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.pe / self.cfg.cores_per_node
+    }
+
+    pub fn cores_per_node(&self) -> u32 {
+        self.cfg.cores_per_node
+    }
+
+    /// Current PE-local virtual time (start of handler + charged work).
+    pub fn now(&self) -> Time {
+        self.start + self.charged_app + self.charged_ovh
+    }
+
+    /// Account for `ns` of application computation.
+    pub fn charge(&mut self, ns: Time) {
+        self.charged_app += ns;
+    }
+
+    /// Per-PE deterministic RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Typed access to this PE's user state.
+    pub fn user<T: 'static>(&mut self) -> &mut T {
+        self.user.downcast_mut().expect("user state type mismatch")
+    }
+
+    /// Asynchronous send: the message leaves at the current PE-local time.
+    /// Self-sends short-circuit the machine layer (Converse loopback).
+    pub fn send(&mut self, dst: PeId, handler: HandlerId, payload: Bytes) {
+        self.charged_ovh += self.cfg.send_overhead;
+        if !self.system_handlers.contains(&handler.0) {
+            self.qd_pe.sent += 1;
+        }
+        let at = self.now();
+        let env = Envelope::new(self.pe, dst, handler, payload);
+        let bytes = env.encode();
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        if dst == self.pe {
+            self.outbox.push((at, Event::Deliver(dst, bytes)));
+        } else {
+            self.outbox
+                .push((at, Event::Cmd(self.pe, Cmd::Send { dst, msg: bytes })));
+        }
+    }
+
+    /// Like [`PeCtx::send`] with an explicit scheduling priority: smaller
+    /// values are executed first at the destination (Charm++'s prioritized
+    /// messages). Network transit is unaffected — priority orders the
+    /// destination's scheduler queue.
+    pub fn send_prio(&mut self, dst: PeId, handler: HandlerId, payload: Bytes, priority: u16) {
+        self.charged_ovh += self.cfg.send_overhead;
+        if !self.system_handlers.contains(&handler.0) {
+            self.qd_pe.sent += 1;
+        }
+        let at = self.now();
+        let env = Envelope::new(self.pe, dst, handler, payload).with_priority(priority);
+        let bytes = env.encode();
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        if dst == self.pe {
+            self.outbox.push((at, Event::Deliver(dst, bytes)));
+        } else {
+            self.outbox
+                .push((at, Event::Cmd(self.pe, Cmd::Send { dst, msg: bytes })));
+        }
+    }
+
+    /// Deferred send (timer): like [`PeCtx::send`] but leaving after
+    /// `delay` ns of additional virtual time.
+    pub fn send_after(&mut self, delay: Time, dst: PeId, handler: HandlerId, payload: Bytes) {
+        if !self.system_handlers.contains(&handler.0) {
+            self.qd_pe.sent += 1;
+        }
+        let at = self.now() + delay;
+        let env = Envelope::new(self.pe, dst, handler, payload);
+        let bytes = env.encode();
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        if dst == self.pe {
+            self.outbox.push((at, Event::Deliver(dst, bytes)));
+        } else {
+            self.outbox
+                .push((at, Event::Cmd(self.pe, Cmd::Send { dst, msg: bytes })));
+        }
+    }
+
+    /// `LrtsCreatePersistent`: set up a persistent channel to `dst` able to
+    /// carry up to `max_bytes` messages. Returns immediately; the machine
+    /// layer binds the handle when the command reaches it (sends issued
+    /// after this call on this PE are ordered behind the creation).
+    pub fn create_persistent(&mut self, dst: PeId, max_bytes: u64) -> PersistentHandle {
+        let handle = PersistentHandle(*self.next_persistent);
+        *self.next_persistent += 1;
+        let at = self.now();
+        self.outbox.push((
+            at,
+            Event::Cmd(
+                self.pe,
+                Cmd::CreatePersistent {
+                    dst,
+                    max_bytes,
+                    handle,
+                },
+            ),
+        ));
+        handle
+    }
+
+    /// `LrtsSendPersistentMsg`.
+    pub fn send_persistent(&mut self, handle: PersistentHandle, dst: PeId, h: HandlerId, payload: Bytes) {
+        self.charged_ovh += self.cfg.send_overhead;
+        if !self.system_handlers.contains(&h.0) {
+            self.qd_pe.sent += 1;
+        }
+        let at = self.now();
+        let env = Envelope::new(self.pe, dst, h, payload);
+        let bytes = env.encode();
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.outbox.push((
+            at,
+            Event::Cmd(
+                self.pe,
+                Cmd::SendPersistent {
+                    handle,
+                    dst,
+                    msg: bytes,
+                },
+            ),
+        ));
+    }
+
+    /// Halt the whole simulation after this handler returns.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+
+    /// This PE's quiescence counters `(sent, delivered)`, excluding system
+    /// traffic.
+    pub fn qd_counters(&self) -> (u64, u64) {
+        (self.qd_pe.sent, self.qd_pe.delivered)
+    }
+
+    /// The global QD coordinator state (panics when QD is not installed;
+    /// only the QD handlers call this).
+    pub fn qd_state(&mut self) -> &mut QdState {
+        self.qd_global
+            .as_mut()
+            .expect("quiescence detection not installed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealLayer;
+    use crate::msg::wire;
+
+    fn cluster(pes: u32) -> Cluster {
+        Cluster::new(ClusterCfg::new(pes, 4), Box::new(IdealLayer::new(1000)))
+    }
+
+    #[test]
+    fn ping_pong_round_trip_times() {
+        let mut c = cluster(2);
+        // Bounce between PE 0 and PE 1, decrementing; stop at 0.
+        let h = c.register_handler(|ctx, env| {
+            let n = wire::unpack_u64(&env.payload, 0);
+            if n == 0 {
+                ctx.stop();
+            } else {
+                ctx.send(1 - ctx.pe(), env.handler, wire::pack_u64s(&[n - 1]));
+            }
+        });
+        c.inject(0, 0, h, wire::pack_u64s(&[4]));
+        let r = c.run();
+        assert!(r.stopped_early);
+        // 4 network traversals at 1000ns each plus overheads.
+        assert!(r.end_time >= 4_000, "end {}", r.end_time);
+        assert_eq!(r.stats.msgs_delivered, 5); // inject + 4 hops
+        assert_eq!(r.stats.handlers_run, 5);
+    }
+
+    #[test]
+    fn self_send_skips_machine_layer() {
+        let mut c = cluster(1);
+        let h = c.register_handler(|ctx, env| {
+            let n = wire::unpack_u64(&env.payload, 0);
+            if n > 0 {
+                ctx.send(ctx.pe(), env.handler, wire::pack_u64s(&[n - 1]));
+            }
+        });
+        c.inject(0, 0, h, wire::pack_u64s(&[3]));
+        let r = c.run();
+        assert_eq!(r.stats.handlers_run, 4);
+        // No network latency: should finish in a few hundred ns of overhead.
+        assert!(r.end_time < 3_000, "self sends must not touch the network");
+    }
+
+    #[test]
+    fn charge_advances_virtual_time() {
+        let mut c = cluster(1);
+        let h = c.register_handler(|ctx, _| {
+            assert_eq!(ctx.now() - 0, 0);
+            ctx.charge(5_000);
+            assert_eq!(ctx.now(), 5_000);
+        });
+        c.inject(0, 0, h, Bytes::new());
+        c.run();
+        assert_eq!(c.trace().total_busy(), 5_000);
+    }
+
+    #[test]
+    fn busy_pe_serializes_handlers() {
+        let mut c = cluster(2);
+        let h = c.register_handler(|ctx, _| ctx.charge(10_000));
+        // Two messages land at the same PE at t=0.
+        c.inject(0, 1, h, Bytes::new());
+        c.inject(0, 1, h, Bytes::new());
+        c.run();
+        // Second handler cannot start before the first's 10us finishes.
+        assert!(c.trace().end_time() >= 20_000, "end {}", c.trace().end_time());
+        assert_eq!(c.trace().total_busy(), 20_000);
+    }
+
+    #[test]
+    fn user_state_round_trips() {
+        let mut c = cluster(3);
+        c.init_user(|pe| pe as u64 * 100);
+        let h = c.register_handler(|ctx, _| {
+            *ctx.user::<u64>() += 1;
+        });
+        for pe in 0..3 {
+            c.inject(0, pe, h, Bytes::new());
+        }
+        c.run();
+        assert_eq!(*c.user::<u64>(0), 1);
+        assert_eq!(*c.user::<u64>(2), 201);
+    }
+
+    #[test]
+    fn send_after_delays_delivery() {
+        let mut c = cluster(1);
+        let h2 = c.register_handler(|ctx, _| ctx.stop());
+        let h1 = c.register_handler(move |ctx, _| {
+            ctx.send_after(50_000, ctx.pe(), h2, Bytes::new());
+        });
+        c.inject(0, 0, h1, Bytes::new());
+        let r = c.run();
+        assert!(r.end_time >= 50_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            let mut c = cluster(4);
+            let h = c.register_handler(|ctx, env| {
+                let n = wire::unpack_u64(&env.payload, 0);
+                if n > 0 {
+                    let dst = ctx.rng().below(4) as u32;
+                    ctx.send(dst, env.handler, wire::pack_u64s(&[n - 1]));
+                }
+            });
+            c.inject(0, 0, h, wire::pack_u64s(&[64]));
+            c.run().end_time
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered handler")]
+    fn unknown_handler_panics() {
+        let mut c = cluster(1);
+        c.inject(0, 0, HandlerId(40), Bytes::new());
+        c.run();
+    }
+
+    #[test]
+    fn priorities_order_the_scheduler_queue() {
+        let mut c = cluster(1);
+        c.init_user(|_| Vec::<u16>::new());
+        let record = c.register_handler(|ctx, env| {
+            let p = env.priority;
+            ctx.user::<Vec<u16>>().push(p);
+        });
+        let kick = c.register_handler(move |ctx, _| {
+            // Self-sends with a spread of priorities, issued in one burst:
+            // a busy charge ensures they all queue before any runs.
+            ctx.charge(50_000);
+            ctx.send_prio(0, record, Bytes::new(), 900);
+            ctx.send_prio(0, record, Bytes::new(), 5);
+            ctx.send_prio(0, record, Bytes::new(), 100);
+            ctx.send_prio(0, record, Bytes::new(), 5); // FIFO within 5
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.run();
+        assert_eq!(c.user::<Vec<u16>>(0), &vec![5, 5, 100, 900]);
+    }
+
+    #[test]
+    fn trace_records_overhead() {
+        let mut c = cluster(2);
+        let h = c.register_handler(|ctx, env| {
+            if ctx.pe() == 0 {
+                ctx.send(1, env.handler, Bytes::new());
+            }
+        });
+        c.inject(0, 0, h, Bytes::new());
+        c.run();
+        assert!(c.trace().total_overhead() > 0);
+        assert_eq!(c.stats().msgs_sent, 1);
+    }
+}

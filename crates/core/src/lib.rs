@@ -1,0 +1,58 @@
+//! `charm-rt`: an asynchronous message-driven runtime system in Rust,
+//! reproducing the Charm++/Converse stack of the paper (§III).
+//!
+//! Layering, top to bottom (paper Fig. 3):
+//!
+//! * [`charm`] — chare arrays, entry methods, broadcast, reductions;
+//! * [`ssse`] — the state-space search engine used by N-Queens;
+//! * [`cluster`] — the Converse scheduler per PE plus the discrete-event
+//!   driver that binds everything to virtual time;
+//! * [`lrts`] — the Lower-level RunTime System interface a machine layer
+//!   implements (`LrtsInit` / `LrtsSyncSend` / `LrtsNetworkEngine` /
+//!   persistent messages);
+//! * [`ideal`] — a perfect-network machine layer for tests and ablations.
+//!
+//! Machine layers for the simulated Gemini (`lrts-ugni`) and the simulated
+//! MPI (`lrts-mpi`) live in sibling crates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use charm_rt::prelude::*;
+//! use bytes::Bytes;
+//!
+//! let mut c = Cluster::new(ClusterCfg::new(4, 2), Box::new(IdealLayer::new(1_000)));
+//! let hello = c.register_handler(|ctx, env| {
+//!     if ctx.pe() + 1 < ctx.num_pes() {
+//!         ctx.send(ctx.pe() + 1, env.handler, env.payload);
+//!     } else {
+//!         ctx.stop();
+//!     }
+//! });
+//! c.inject(0, 0, hello, Bytes::from_static(b"hi"));
+//! let report = c.run();
+//! assert!(report.stopped_early);
+//! ```
+
+pub mod charm;
+pub mod cluster;
+pub mod ideal;
+pub mod lrts;
+pub mod msg;
+pub mod qd;
+pub mod ssse;
+pub mod trace;
+
+/// The commonly used names, for `use charm_rt::prelude::*`.
+pub mod prelude {
+    pub use crate::charm::{ArrayId, EntryId, RedOp, CHARM_HANDLER};
+    pub use crate::cluster::{Cluster, ClusterCfg, MachineCtx, PeCtx, RunReport};
+    pub use crate::ideal::IdealLayer;
+    pub use crate::lrts::{MachineLayer, PersistentHandle};
+    pub use crate::msg::{wire, Envelope, HandlerId, PeId};
+    pub use crate::qd::Qd;
+    pub use crate::ssse::{Ssse, SsseStats};
+    pub use crate::trace::{Kind, Trace};
+}
+
+pub use prelude::*;

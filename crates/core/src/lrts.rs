@@ -1,0 +1,82 @@
+//! The Lower-level RunTime System (LRTS) interface — paper §III-B.
+//!
+//! This is the "concise specification of the minimum requirements to
+//! implement the CHARM++ software stack" on a new network. The three
+//! essential functions map directly:
+//!
+//! | Paper                   | Here                              |
+//! |-------------------------|-----------------------------------|
+//! | `LrtsInit`              | [`MachineLayer::init`]            |
+//! | `LrtsSyncSend`          | [`MachineLayer::sync_send`]       |
+//! | `LrtsNetworkEngine`     | [`MachineLayer::on_event`] (the progress engine, driven by simulation events instead of a poll loop) |
+//! | `LrtsCreatePersistent`  | [`MachineLayer::create_persistent`] |
+//! | `LrtsSendPersistentMsg` | [`MachineLayer::send_persistent`] |
+//!
+//! A machine layer is a state machine: `sync_send` starts a protocol,
+//! `on_event` advances it when the simulated NIC raises completions, and
+//! delivery back into the Converse scheduler happens through
+//! [`crate::cluster::MachineCtx::deliver_now`]. All CPU time a layer burns
+//! must be charged via [`crate::cluster::MachineCtx::charge_overhead`] so it
+//! shows up as runtime overhead in traces (the black part of the paper's
+//! Fig. 12).
+
+use crate::cluster::MachineCtx;
+use crate::msg::PeId;
+use bytes::Bytes;
+use std::any::Any;
+
+/// Handle for a persistent communication channel (paper §IV-A). Allocated
+/// by the driver; bound to machine-layer state when the create command is
+/// processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersistentHandle(pub u64);
+
+/// A Converse machine layer.
+pub trait MachineLayer {
+    /// Short name used in reports (e.g. `"uGNI"`, `"MPI"`).
+    fn name(&self) -> &'static str;
+
+    /// Downcast access, so harnesses can read layer-specific stats after a
+    /// run (`cluster.layer_mut::<UgniLayer>()`).
+    fn as_any(&mut self) -> &mut dyn Any;
+
+    /// `LrtsInit`: one-time setup (mailboxes, CQs, pools).
+    fn init(&mut self, ctx: &mut MachineCtx);
+
+    /// `LrtsSyncSend`: non-blocking send of an encoded [`crate::msg::Envelope`]
+    /// from `src_pe` to `dst_pe`. "The message is either sent immediately
+    /// to network or buffered."
+    fn sync_send(&mut self, ctx: &mut MachineCtx, src_pe: PeId, dst_pe: PeId, msg: Bytes);
+
+    /// Progress engine: a machine-specific event fired (SMSG arrival, CQ
+    /// completion, retry timer, ...). Events are delivered when the owning
+    /// PE is free, modeling progress made between handler executions.
+    fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any>);
+
+    /// `LrtsCreatePersistent`: set up a persistent channel from `src_pe`
+    /// to `dst_pe` with a pre-allocated receive buffer of `max_bytes`.
+    /// Layers without persistent support ignore this; subsequent
+    /// [`MachineLayer::send_persistent`] calls then fall back to
+    /// [`MachineLayer::sync_send`].
+    fn create_persistent(
+        &mut self,
+        _ctx: &mut MachineCtx,
+        _src_pe: PeId,
+        _dst_pe: PeId,
+        _max_bytes: u64,
+        _handle: PersistentHandle,
+    ) {
+    }
+
+    /// `LrtsSendPersistentMsg`. Default: ordinary send.
+    fn send_persistent(
+        &mut self,
+        ctx: &mut MachineCtx,
+        _handle: PersistentHandle,
+        src_pe: PeId,
+        dst_pe: PeId,
+        msg: Bytes,
+    ) {
+        self.sync_send(ctx, src_pe, dst_pe, msg);
+    }
+}

@@ -1,0 +1,210 @@
+//! Message envelopes.
+//!
+//! Every Converse message is an envelope — destination PE, handler id,
+//! payload — serialized to a flat byte buffer before it enters a machine
+//! layer, exactly as Charm++ messages are contiguous buffers the runtime
+//! owns. The machine layers move [`bytes::Bytes`]; this module is the only
+//! place that knows the wire layout.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Processing element (core) index within the job.
+pub type PeId = u32;
+
+/// Converse handler index, assigned by [`crate::cluster::Cluster::register_handler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandlerId(pub u16);
+
+/// Fixed envelope header size on the wire (bytes). Matches the order of
+/// magnitude of Converse's envelope; what matters for the experiments is
+/// that small application payloads still pay a realistic header.
+pub const HEADER_BYTES: usize = 32;
+
+const MAGIC: u16 = 0xC4A7;
+
+/// Default message priority (midpoint; smaller values run first, as in
+/// Charm++'s prioritized execution).
+pub const DEFAULT_PRIO: u16 = u16::MAX / 2;
+
+/// A runtime message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    pub src_pe: PeId,
+    pub dst_pe: PeId,
+    pub handler: HandlerId,
+    /// Scheduling priority: smaller runs first; FIFO within a priority.
+    pub priority: u16,
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    pub fn new(src_pe: PeId, dst_pe: PeId, handler: HandlerId, payload: Bytes) -> Self {
+        Envelope {
+            src_pe,
+            dst_pe,
+            handler,
+            priority: DEFAULT_PRIO,
+            payload,
+        }
+    }
+
+    pub fn with_priority(mut self, priority: u16) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Total wire size: what the machine layer actually transfers.
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+
+    /// Serialize to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_size());
+        b.put_u16(MAGIC);
+        b.put_u16(self.handler.0);
+        b.put_u32(self.src_pe);
+        b.put_u32(self.dst_pe);
+        b.put_u32(self.payload.len() as u32);
+        b.put_u16(self.priority);
+        // Pad the header to its fixed size.
+        b.put_bytes(0, HEADER_BYTES - 18);
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Deserialize from the wire format. Panics on a malformed buffer —
+    /// that is always a machine-layer bug, not an input condition.
+    pub fn decode(buf: &Bytes) -> Envelope {
+        assert!(buf.len() >= HEADER_BYTES, "short envelope: {}", buf.len());
+        let magic = u16::from_be_bytes([buf[0], buf[1]]);
+        assert_eq!(magic, MAGIC, "corrupt envelope magic {magic:#x}");
+        let handler = HandlerId(u16::from_be_bytes([buf[2], buf[3]]));
+        let src_pe = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        let dst_pe = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        let len = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]) as usize;
+        let priority = u16::from_be_bytes([buf[16], buf[17]]);
+        assert_eq!(
+            buf.len(),
+            HEADER_BYTES + len,
+            "envelope length mismatch: wire {} vs header {}",
+            buf.len(),
+            HEADER_BYTES + len
+        );
+        Envelope {
+            src_pe,
+            dst_pe,
+            handler,
+            priority,
+            payload: buf.slice(HEADER_BYTES..),
+        }
+    }
+
+    /// Peek only the destination PE from an encoded buffer (machine layers
+    /// route on this without a full decode).
+    pub fn peek_dst(buf: &Bytes) -> PeId {
+        assert!(buf.len() >= HEADER_BYTES);
+        u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]])
+    }
+}
+
+/// Little-endian helpers for app payloads: the apps in this workspace pack
+/// small plain-old-data structs into payload bytes with these.
+pub mod wire {
+    use bytes::{BufMut, Bytes, BytesMut};
+
+    pub fn pack_u64s(vals: &[u64]) -> Bytes {
+        let mut b = BytesMut::with_capacity(vals.len() * 8);
+        for v in vals {
+            b.put_u64_le(*v);
+        }
+        b.freeze()
+    }
+
+    pub fn unpack_u64(buf: &[u8], idx: usize) -> u64 {
+        let o = idx * 8;
+        u64::from_le_bytes(buf[o..o + 8].try_into().expect("short payload"))
+    }
+
+    pub fn pack_f64s(vals: &[f64]) -> Bytes {
+        let mut b = BytesMut::with_capacity(vals.len() * 8);
+        for v in vals {
+            b.put_f64_le(*v);
+        }
+        b.freeze()
+    }
+
+    pub fn unpack_f64(buf: &[u8], idx: usize) -> f64 {
+        let o = idx * 8;
+        f64::from_le_bytes(buf[o..o + 8].try_into().expect("short payload"))
+    }
+
+    pub fn f64_count(buf: &[u8]) -> usize {
+        buf.len() / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let e = Envelope::new(3, 17, HandlerId(9), Bytes::from_static(b"payload!"));
+        let wire = e.encode();
+        assert_eq!(wire.len(), e.wire_size());
+        let d = Envelope::decode(&wire);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let e = Envelope::new(0, 0, HandlerId(0), Bytes::new());
+        let d = Envelope::decode(&e.encode());
+        assert_eq!(d, e);
+        assert_eq!(e.wire_size(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn priority_survives_the_wire() {
+        let e = Envelope::new(1, 2, HandlerId(3), Bytes::from_static(b"p"))
+            .with_priority(7);
+        let d = Envelope::decode(&e.encode());
+        assert_eq!(d.priority, 7);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn peek_dst_matches_decode() {
+        let e = Envelope::new(1, 42, HandlerId(2), Bytes::from_static(b"x"));
+        assert_eq!(Envelope::peek_dst(&e.encode()), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt envelope magic")]
+    fn corrupt_magic_panics() {
+        let e = Envelope::new(0, 0, HandlerId(0), Bytes::new());
+        let mut wire = e.encode().to_vec();
+        wire[0] = 0;
+        Envelope::decode(&Bytes::from(wire));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn truncated_payload_panics() {
+        let e = Envelope::new(0, 0, HandlerId(0), Bytes::from_static(b"abcdef"));
+        let wire = e.encode();
+        let cut = wire.slice(..wire.len() - 2);
+        Envelope::decode(&cut);
+    }
+
+    #[test]
+    fn wire_helpers_round_trip() {
+        let b = wire::pack_u64s(&[5, 10, u64::MAX]);
+        assert_eq!(wire::unpack_u64(&b, 0), 5);
+        assert_eq!(wire::unpack_u64(&b, 2), u64::MAX);
+        let f = wire::pack_f64s(&[1.5, -2.25]);
+        assert_eq!(wire::unpack_f64(&f, 1), -2.25);
+        assert_eq!(wire::f64_count(&f), 2);
+    }
+}

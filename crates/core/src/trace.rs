@@ -1,0 +1,299 @@
+//! Projections-like utilization accounting (paper Fig. 12).
+//!
+//! The paper's time profiles show, per time interval, how much of the
+//! machine was doing useful computation (yellow), sitting idle (white), or
+//! burning runtime overhead (black). We accumulate exactly those three
+//! quantities: handler compute time is *busy*, scheduler + machine-layer
+//! time is *overhead*, and idle is whatever remains of `num_pes × span`.
+
+use crate::msg::PeId;
+use sim_core::{time, Time};
+
+/// What a recorded time segment was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Useful application computation (handler `charge`d work).
+    Busy,
+    /// Runtime overhead: scheduling, protocol processing, copies.
+    Overhead,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Acc {
+    busy: Time,
+    ovh: Time,
+}
+
+/// One row of a rendered time profile.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileRow {
+    /// Bucket start, ns.
+    pub t: Time,
+    pub busy_frac: f64,
+    pub overhead_frac: f64,
+    pub idle_frac: f64,
+}
+
+/// Utilization accumulator for a whole job.
+#[derive(Debug)]
+pub struct Trace {
+    per_pe: Vec<Acc>,
+    msgs: Vec<u64>,
+    /// Aggregated timeline buckets across all PEs (None = totals only).
+    bucket_ns: Option<Time>,
+    buckets: Vec<Acc>,
+    /// Optional full event log: (pe, start, dur, kind) — the
+    /// Projections-style export. Off by default (memory).
+    log: Option<Vec<(PeId, Time, Time, Kind)>>,
+    end: Time,
+}
+
+impl Trace {
+    /// `bucket_ns = None` records only totals (cheap); `Some(w)` also keeps
+    /// an aggregated timeline with bucket width `w`.
+    pub fn new(num_pes: u32, bucket_ns: Option<Time>) -> Self {
+        Trace {
+            per_pe: vec![Acc::default(); num_pes as usize],
+            msgs: vec![0; num_pes as usize],
+            bucket_ns,
+            buckets: Vec::new(),
+            log: None,
+            end: 0,
+        }
+    }
+
+    /// Record every segment for a Projections-style per-PE export
+    /// ([`Trace::export_log`]). Costs memory proportional to segment count.
+    pub fn enable_log(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// Record `dur` ns of `kind` work on `pe` starting at `start`.
+    pub fn record(&mut self, pe: PeId, start: Time, dur: Time, kind: Kind) {
+        if dur == 0 {
+            return;
+        }
+        if let Some(log) = &mut self.log {
+            log.push((pe, start, dur, kind));
+        }
+        let acc = &mut self.per_pe[pe as usize];
+        match kind {
+            Kind::Busy => acc.busy += dur,
+            Kind::Overhead => acc.ovh += dur,
+        }
+        self.end = self.end.max(start + dur);
+        if let Some(w) = self.bucket_ns {
+            let mut t = start;
+            let end = start + dur;
+            while t < end {
+                let b = (t / w) as usize;
+                if b >= self.buckets.len() {
+                    self.buckets.resize(b + 1, Acc::default());
+                }
+                let seg_end = ((b as Time + 1) * w).min(end);
+                let d = seg_end - t;
+                match kind {
+                    Kind::Busy => self.buckets[b].busy += d,
+                    Kind::Overhead => self.buckets[b].ovh += d,
+                }
+                t = seg_end;
+            }
+        }
+    }
+
+    pub fn count_msg(&mut self, pe: PeId) {
+        self.msgs[pe as usize] += 1;
+    }
+
+    pub fn num_pes(&self) -> u32 {
+        self.per_pe.len() as u32
+    }
+
+    /// Latest recorded activity.
+    pub fn end_time(&self) -> Time {
+        self.end
+    }
+
+    pub fn total_busy(&self) -> Time {
+        self.per_pe.iter().map(|a| a.busy).sum()
+    }
+
+    pub fn total_overhead(&self) -> Time {
+        self.per_pe.iter().map(|a| a.ovh).sum()
+    }
+
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    pub fn pe_busy(&self, pe: PeId) -> Time {
+        self.per_pe[pe as usize].busy
+    }
+
+    pub fn pe_overhead(&self, pe: PeId) -> Time {
+        self.per_pe[pe as usize].ovh
+    }
+
+    /// Whole-run utilization fractions `(busy, overhead, idle)` over
+    /// `span` (defaults to the recorded end time).
+    pub fn utilization(&self, span: Option<Time>) -> (f64, f64, f64) {
+        let span = span.unwrap_or(self.end).max(1);
+        let cap = (span as f64) * self.per_pe.len() as f64;
+        let busy = self.total_busy() as f64 / cap;
+        let ovh = self.total_overhead() as f64 / cap;
+        (busy, ovh, (1.0 - busy - ovh).max(0.0))
+    }
+
+    /// Render the Fig.-12-style time profile (requires timeline mode).
+    pub fn profile(&self) -> Vec<ProfileRow> {
+        let w = self.bucket_ns.expect("trace built without timeline buckets");
+        let cap = (w as f64) * self.per_pe.len() as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let busy = a.busy as f64 / cap;
+                let ovh = a.ovh as f64 / cap;
+                ProfileRow {
+                    t: i as Time * w,
+                    busy_frac: busy,
+                    overhead_frac: ovh,
+                    idle_frac: (1.0 - busy - ovh).max(0.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Export the per-PE segment log in a Projections-like text format:
+    /// one line per segment, `pe start_ns dur_ns busy|ovhd`, sorted by
+    /// (pe, start). Requires [`Trace::enable_log`].
+    pub fn export_log(&self) -> String {
+        let log = self.log.as_ref().expect("trace log not enabled");
+        let mut rows: Vec<&(PeId, Time, Time, Kind)> = log.iter().collect();
+        rows.sort_by_key(|(pe, start, _, _)| (*pe, *start));
+        let mut out = String::with_capacity(rows.len() * 24);
+        out.push_str("# pe start_ns dur_ns kind\n");
+        for (pe, start, dur, kind) in rows {
+            let k = match kind {
+                Kind::Busy => "busy",
+                Kind::Overhead => "ovhd",
+            };
+            out.push_str(&format!("{pe} {start} {dur} {k}\n"));
+        }
+        out
+    }
+
+    /// ASCII rendering of the profile, one row per bucket.
+    pub fn render_profile(&self) -> String {
+        let mut out = String::new();
+        out.push_str("      t        busy%   ovhd%   idle%\n");
+        for r in self.profile() {
+            out.push_str(&format!(
+                "{:>10}  {:>6.1}  {:>6.1}  {:>6.1}\n",
+                time::fmt(r.t),
+                r.busy_frac * 100.0,
+                r.overhead_frac * 100.0,
+                r.idle_frac * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_per_kind() {
+        let mut t = Trace::new(2, None);
+        t.record(0, 0, 100, Kind::Busy);
+        t.record(0, 100, 50, Kind::Overhead);
+        t.record(1, 0, 25, Kind::Busy);
+        assert_eq!(t.total_busy(), 125);
+        assert_eq!(t.total_overhead(), 50);
+        assert_eq!(t.pe_busy(0), 100);
+        assert_eq!(t.pe_overhead(1), 0);
+        assert_eq!(t.end_time(), 150);
+    }
+
+    #[test]
+    fn zero_duration_is_ignored() {
+        let mut t = Trace::new(1, Some(10));
+        t.record(0, 5, 0, Kind::Busy);
+        assert_eq!(t.total_busy(), 0);
+        assert_eq!(t.end_time(), 0);
+    }
+
+    #[test]
+    fn utilization_fractions_sum_to_one() {
+        let mut t = Trace::new(2, None);
+        t.record(0, 0, 600, Kind::Busy);
+        t.record(1, 0, 200, Kind::Overhead);
+        let (b, o, i) = t.utilization(Some(1000));
+        assert!((b - 0.3).abs() < 1e-9);
+        assert!((o - 0.1).abs() < 1e-9);
+        assert!((b + o + i - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segments_split_across_buckets() {
+        let mut t = Trace::new(1, Some(100));
+        // 250..450 busy: buckets 2 (50ns), 3 (100ns), 4 (50ns)
+        t.record(0, 250, 200, Kind::Busy);
+        let p = t.profile();
+        assert_eq!(p.len(), 5);
+        assert!((p[2].busy_frac - 0.5).abs() < 1e-9);
+        assert!((p[3].busy_frac - 1.0).abs() < 1e-9);
+        assert!((p[4].busy_frac - 0.5).abs() < 1e-9);
+        assert_eq!(p[0].busy_frac, 0.0);
+    }
+
+    #[test]
+    fn profile_normalizes_by_pe_count() {
+        let mut t = Trace::new(4, Some(100));
+        t.record(0, 0, 100, Kind::Busy);
+        let p = t.profile();
+        assert!((p[0].busy_frac - 0.25).abs() < 1e-9, "1 of 4 PEs busy");
+        assert!((p[0].idle_frac - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_counts() {
+        let mut t = Trace::new(2, None);
+        t.count_msg(0);
+        t.count_msg(0);
+        t.count_msg(1);
+        assert_eq!(t.total_msgs(), 3);
+    }
+
+    #[test]
+    fn export_log_round_trips_segments() {
+        let mut t = Trace::new(2, None);
+        t.enable_log();
+        t.record(1, 100, 50, Kind::Busy);
+        t.record(0, 30, 20, Kind::Overhead);
+        t.record(0, 10, 5, Kind::Busy);
+        let log = t.export_log();
+        let lines: Vec<&str> = log.lines().skip(1).collect();
+        assert_eq!(lines, vec!["0 10 5 busy", "0 30 20 ovhd", "1 100 50 busy"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace log not enabled")]
+    fn export_without_log_panics() {
+        let t = Trace::new(1, None);
+        t.export_log();
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut t = Trace::new(1, Some(1000));
+        t.record(0, 0, 500, Kind::Busy);
+        t.record(0, 500, 250, Kind::Overhead);
+        let s = t.render_profile();
+        assert!(s.contains("busy%"));
+        assert!(s.contains("50.0"));
+        assert!(s.contains("25.0"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Memory registration model (paper §II-B, §IV).
+//!
+//! Gemini requires memory to be registered with the NIC before any RDMA can
+//! touch it, and the paper's central optimization (the memory pool) exists
+//! precisely because `GNI_MemRegister` is expensive. This module models the
+//! per-node registration table plus a uDREG-style registration *cache* used
+//! by the MPI baseline (paper §IV-B cites MPI's uDREG cache [17]).
+
+use crate::params::GeminiParams;
+use serde::{Deserialize, Serialize};
+use sim_core::Time;
+use std::collections::HashMap;
+
+/// Opaque simulated memory address: identifies a buffer for registration
+/// caching. Buffers allocated at different times get distinct addresses
+/// unless the allocator deliberately reuses one (as the memory pool does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+/// Handle returned by a successful registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemHandle(pub u64);
+
+/// A node's registration table.
+#[derive(Debug, Default)]
+pub struct RegTable {
+    next: u64,
+    regions: HashMap<MemHandle, (Addr, u64)>,
+    registered_bytes: u64,
+    /// Lifetime counters for diagnostics / assertions in tests.
+    pub total_registrations: u64,
+    pub total_deregistrations: u64,
+}
+
+impl RegTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `bytes` at `addr`; returns the handle and the CPU cost.
+    pub fn register(&mut self, p: &GeminiParams, addr: Addr, bytes: u64) -> (MemHandle, Time) {
+        let h = MemHandle(self.next);
+        self.next += 1;
+        self.regions.insert(h, (addr, bytes));
+        self.registered_bytes += bytes;
+        self.total_registrations += 1;
+        (h, p.register_cost(bytes))
+    }
+
+    /// Deregister; returns the CPU cost. Panics on unknown handle — that is
+    /// always a protocol bug.
+    pub fn deregister(&mut self, p: &GeminiParams, h: MemHandle) -> Time {
+        let (_, bytes) = self
+            .regions
+            .remove(&h)
+            .expect("deregistering unknown memory handle");
+        self.registered_bytes -= bytes;
+        self.total_deregistrations += 1;
+        p.deregister_cost(bytes)
+    }
+
+    /// Is this handle currently registered? RDMA against an unregistered
+    /// handle is a protocol error the fabric checks.
+    pub fn is_registered(&self, h: MemHandle) -> bool {
+        self.regions.contains_key(&h)
+    }
+
+    /// Bytes currently pinned.
+    pub fn registered_bytes(&self) -> u64 {
+        self.registered_bytes
+    }
+
+    pub fn lookup(&self, h: MemHandle) -> Option<(Addr, u64)> {
+        self.regions.get(&h).copied()
+    }
+}
+
+/// uDREG-style registration cache: keyed by `(addr, len)`. A hit costs a
+/// small lookup; a miss pays full registration and may evict (paying
+/// deregistration) when over capacity. This is what makes the MPI
+/// rendezvous fast when the application reuses the *same* buffer and slow
+/// when every send uses a fresh one — the effect behind the two MPI curves
+/// in the paper's Fig. 9(a).
+#[derive(Debug)]
+pub struct RegCache {
+    entries: HashMap<(Addr, u64), MemHandle>,
+    lru: Vec<(Addr, u64)>,
+    capacity: usize,
+    pub lookup_cost: Time,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl RegCache {
+    pub fn new(capacity: usize, lookup_cost: Time) -> Self {
+        RegCache {
+            entries: HashMap::new(),
+            lru: Vec::new(),
+            capacity: capacity.max(1),
+            lookup_cost,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Get a registration for `(addr, bytes)`, registering through `table`
+    /// on miss. Returns `(handle, cpu_cost)`.
+    pub fn acquire(
+        &mut self,
+        p: &GeminiParams,
+        table: &mut RegTable,
+        addr: Addr,
+        bytes: u64,
+    ) -> (MemHandle, Time) {
+        let key = (addr, bytes);
+        if let Some(&h) = self.entries.get(&key) {
+            self.hits += 1;
+            // refresh LRU position
+            if let Some(pos) = self.lru.iter().position(|k| *k == key) {
+                self.lru.remove(pos);
+            }
+            self.lru.push(key);
+            return (h, self.lookup_cost);
+        }
+        self.misses += 1;
+        let mut cost = self.lookup_cost;
+        if self.entries.len() >= self.capacity {
+            let victim = self.lru.remove(0);
+            let vh = self.entries.remove(&victim).expect("lru desync");
+            cost += table.deregister(p, vh);
+        }
+        let (h, reg_cost) = table.register(p, addr, bytes);
+        cost += reg_cost;
+        self.entries.insert(key, h);
+        self.lru.push(key);
+        (h, cost)
+    }
+
+    /// Invalidate a buffer (e.g. freed memory), paying deregistration if
+    /// cached. Returns the cost.
+    pub fn invalidate(&mut self, p: &GeminiParams, table: &mut RegTable, addr: Addr) -> Time {
+        let keys: Vec<(Addr, u64)> = self
+            .entries
+            .keys()
+            .filter(|(a, _)| *a == addr)
+            .copied()
+            .collect();
+        let mut cost = 0;
+        for key in keys {
+            let h = self.entries.remove(&key).unwrap();
+            if let Some(pos) = self.lru.iter().position(|k| *k == key) {
+                self.lru.remove(pos);
+            }
+            cost += table.deregister(p, h);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> GeminiParams {
+        GeminiParams::hopper()
+    }
+
+    #[test]
+    fn register_then_deregister_balances() {
+        let p = p();
+        let mut t = RegTable::new();
+        let (h, c1) = t.register(&p, Addr(1), 8192);
+        assert!(t.is_registered(h));
+        assert_eq!(t.registered_bytes(), 8192);
+        assert_eq!(c1, p.register_cost(8192));
+        let c2 = t.deregister(&p, h);
+        assert_eq!(c2, p.deregister_cost(8192));
+        assert!(!t.is_registered(h));
+        assert_eq!(t.registered_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown memory handle")]
+    fn double_deregister_panics() {
+        let p = p();
+        let mut t = RegTable::new();
+        let (h, _) = t.register(&p, Addr(1), 100);
+        t.deregister(&p, h);
+        t.deregister(&p, h);
+    }
+
+    #[test]
+    fn cache_hit_is_cheap() {
+        let p = p();
+        let mut t = RegTable::new();
+        let mut c = RegCache::new(16, 50);
+        let (h1, cost1) = c.acquire(&p, &mut t, Addr(7), 65536);
+        assert!(cost1 > p.register_cost(65536) / 2, "miss pays registration");
+        let (h2, cost2) = c.acquire(&p, &mut t, Addr(7), 65536);
+        assert_eq!(h1, h2);
+        assert_eq!(cost2, 50, "hit pays only the lookup");
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(t.total_registrations, 1);
+    }
+
+    #[test]
+    fn distinct_buffers_miss() {
+        let p = p();
+        let mut t = RegTable::new();
+        let mut c = RegCache::new(16, 50);
+        for i in 0..10 {
+            c.acquire(&p, &mut t, Addr(i), 4096);
+        }
+        assert_eq!(c.misses, 10);
+        assert_eq!(c.hits, 0);
+    }
+
+    #[test]
+    fn eviction_deregisters_lru_victim() {
+        let p = p();
+        let mut t = RegTable::new();
+        let mut c = RegCache::new(2, 0);
+        c.acquire(&p, &mut t, Addr(1), 4096);
+        c.acquire(&p, &mut t, Addr(2), 4096);
+        // Touch 1 so 2 becomes LRU.
+        c.acquire(&p, &mut t, Addr(1), 4096);
+        c.acquire(&p, &mut t, Addr(3), 4096);
+        assert_eq!(t.total_deregistrations, 1);
+        // Addr(2) was evicted: re-acquiring misses.
+        let before = c.misses;
+        c.acquire(&p, &mut t, Addr(2), 4096);
+        assert_eq!(c.misses, before + 1);
+    }
+
+    #[test]
+    fn invalidate_removes_all_lengths() {
+        let p = p();
+        let mut t = RegTable::new();
+        let mut c = RegCache::new(8, 0);
+        c.acquire(&p, &mut t, Addr(5), 4096);
+        c.acquire(&p, &mut t, Addr(5), 8192);
+        let cost = c.invalidate(&p, &mut t, Addr(5));
+        assert!(cost > 0);
+        assert_eq!(t.registered_bytes(), 0);
+        let before = c.misses;
+        c.acquire(&p, &mut t, Addr(5), 4096);
+        assert_eq!(c.misses, before + 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! 3D torus topology and dimension-ordered routing.
+//!
+//! Gemini builds "a three-dimensional torus of connected nodes" (paper
+//! §II-A). We model one router per node (the real ASIC serves two nodes;
+//! that factor is folded into link bandwidth) and route packets
+//! dimension-ordered (x, then y, then z), taking the shorter way around
+//! each ring. Real Gemini routes packet-by-packet adaptively; deterministic
+//! DOR keeps the simulation reproducible while preserving hop counts and
+//! locality, which is what latency depends on.
+
+use serde::{Deserialize, Serialize};
+
+/// Node index in `0..num_nodes`.
+pub type NodeId = u32;
+
+/// A directed link: from node `from`, along `dim` (0=x,1=y,2=z), in `dir`
+/// (+1 or -1 step around the ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId {
+    pub from: NodeId,
+    pub dim: u8,
+    pub plus: bool,
+}
+
+/// The torus: dimensions and coordinate conversion.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Torus {
+    pub dims: (u32, u32, u32),
+}
+
+impl Torus {
+    pub fn new(dims: (u32, u32, u32)) -> Self {
+        assert!(dims.0 > 0 && dims.1 > 0 && dims.2 > 0, "empty torus");
+        Torus { dims }
+    }
+
+    pub fn num_nodes(&self) -> u32 {
+        self.dims.0 * self.dims.1 * self.dims.2
+    }
+
+    /// Node id -> (x, y, z) coordinates.
+    pub fn coords(&self, n: NodeId) -> (u32, u32, u32) {
+        debug_assert!(n < self.num_nodes());
+        let x = n % self.dims.0;
+        let y = (n / self.dims.0) % self.dims.1;
+        let z = n / (self.dims.0 * self.dims.1);
+        (x, y, z)
+    }
+
+    /// (x, y, z) -> node id.
+    pub fn node_at(&self, c: (u32, u32, u32)) -> NodeId {
+        debug_assert!(c.0 < self.dims.0 && c.1 < self.dims.1 && c.2 < self.dims.2);
+        c.0 + c.1 * self.dims.0 + c.2 * self.dims.0 * self.dims.1
+    }
+
+    /// Signed shortest step count along one ring of size `k` from `a` to
+    /// `b`: positive means stepping in + direction.
+    fn ring_delta(k: u32, a: u32, b: u32) -> i64 {
+        let fwd = ((b + k - a) % k) as i64; // steps in + direction
+        let bwd = fwd - k as i64; // negative: steps in - direction
+        if fwd <= -bwd {
+            fwd
+        } else {
+            bwd
+        }
+    }
+
+    /// Minimal hop count between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        (Self::ring_delta(self.dims.0, ca.0, cb.0).unsigned_abs()
+            + Self::ring_delta(self.dims.1, ca.1, cb.1).unsigned_abs()
+            + Self::ring_delta(self.dims.2, ca.2, cb.2).unsigned_abs()) as u32
+    }
+
+    /// The dimension-ordered route from `a` to `b` as a list of directed
+    /// links. Empty when `a == b`.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        self.route_ordered(a, b, [0, 1, 2])
+    }
+
+    /// Route correcting dimensions in the given order — the building block
+    /// for adaptive routing (real Gemini routes "on a packet-by-packet
+    /// basis to fully utilize the links"; we pick per-message among the
+    /// minimal-length dimension orders).
+    pub fn route_ordered(&self, a: NodeId, b: NodeId, order: [u8; 3]) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        let mut cur = self.coords(a);
+        let dst = self.coords(b);
+        let dims = [self.dims.0, self.dims.1, self.dims.2];
+        for dim in order {
+            let k = dims[dim as usize];
+            let (c, d) = match dim {
+                0 => (cur.0, dst.0),
+                1 => (cur.1, dst.1),
+                _ => (cur.2, dst.2),
+            };
+            let mut delta = Self::ring_delta(k, c, d);
+            while delta != 0 {
+                let plus = delta > 0;
+                let from = self.node_at(cur);
+                links.push(LinkId { from, dim, plus });
+                let step = |v: u32| -> u32 {
+                    if plus {
+                        (v + 1) % k
+                    } else {
+                        (v + k - 1) % k
+                    }
+                };
+                match dim {
+                    0 => cur.0 = step(cur.0),
+                    1 => cur.1 = step(cur.1),
+                    _ => cur.2 = step(cur.2),
+                }
+                delta += if plus { -1 } else { 1 };
+            }
+        }
+        debug_assert_eq!(self.node_at(cur), b);
+        links
+    }
+
+    /// Map a PE (core) id to its node, given cores per node.
+    pub fn node_of_pe(&self, pe: u32, cores_per_node: u32) -> NodeId {
+        pe / cores_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let t = Torus::new((4, 3, 5));
+        for n in 0..t.num_nodes() {
+            assert_eq!(t.node_at(t.coords(n)), n);
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Torus::new((4, 4, 4));
+        assert!(t.route(13, 13).is_empty());
+        assert_eq!(t.hops(13, 13), 0);
+    }
+
+    #[test]
+    fn neighbor_is_one_hop() {
+        let t = Torus::new((4, 4, 4));
+        let a = t.node_at((0, 0, 0));
+        let b = t.node_at((1, 0, 0));
+        assert_eq!(t.hops(a, b), 1);
+        assert_eq!(t.route(a, b).len(), 1);
+    }
+
+    #[test]
+    fn wraparound_takes_short_way() {
+        let t = Torus::new((8, 1, 1));
+        let a = t.node_at((0, 0, 0));
+        let b = t.node_at((7, 0, 0));
+        // 7 forward or 1 backward: must take 1 hop.
+        assert_eq!(t.hops(a, b), 1);
+        let r = t.route(a, b);
+        assert_eq!(r.len(), 1);
+        assert!(!r[0].plus, "should step in the - direction");
+    }
+
+    #[test]
+    fn route_length_equals_hops() {
+        let t = Torus::new((5, 4, 3));
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                assert_eq!(t.route(a, b).len() as u32, t.hops(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let t = Torus::new((5, 4, 3));
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn max_hops_bounded_by_half_dims() {
+        let t = Torus::new((6, 4, 2));
+        let bound = 6 / 2 + 4 / 2 + 2 / 2;
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                assert!(t.hops(a, b) <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_routes_are_minimal_and_distinct() {
+        let t = Torus::new((4, 4, 4));
+        let a = t.node_at((0, 0, 0));
+        let b = t.node_at((2, 2, 0));
+        let r_xy = t.route_ordered(a, b, [0, 1, 2]);
+        let r_yx = t.route_ordered(a, b, [1, 0, 2]);
+        assert_eq!(r_xy.len(), r_yx.len(), "both minimal");
+        assert_ne!(r_xy, r_yx, "different intermediate links");
+        assert_eq!(r_xy.len() as u32, t.hops(a, b));
+    }
+
+    #[test]
+    fn pe_to_node_mapping() {
+        let t = Torus::new((2, 2, 2));
+        assert_eq!(t.node_of_pe(0, 24), 0);
+        assert_eq!(t.node_of_pe(23, 24), 0);
+        assert_eq!(t.node_of_pe(24, 24), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn torus_strategy() -> impl Strategy<Value = Torus> {
+        (1u32..6, 1u32..6, 1u32..6).prop_map(Torus::new)
+    }
+
+    proptest! {
+        /// Routes are valid walks: consecutive links chain, and the walk
+        /// ends at the destination.
+        #[test]
+        fn routes_are_connected_walks(t in torus_strategy(), seed in 0u64..1000) {
+            let n = t.num_nodes() as u64;
+            let a = (seed % n) as NodeId;
+            let b = ((seed / n) % n) as NodeId;
+            let route = t.route(a, b);
+            let mut cur = a;
+            for l in &route {
+                prop_assert_eq!(l.from, cur);
+                let c = t.coords(cur);
+                let dims = [t.dims.0, t.dims.1, t.dims.2];
+                let k = dims[l.dim as usize];
+                let step = |v: u32| if l.plus { (v + 1) % k } else { (v + k - 1) % k };
+                cur = match l.dim {
+                    0 => t.node_at((step(c.0), c.1, c.2)),
+                    1 => t.node_at((c.0, step(c.1), c.2)),
+                    _ => t.node_at((c.0, c.1, step(c.2))),
+                };
+            }
+            prop_assert_eq!(cur, b);
+        }
+
+        /// Triangle inequality on hop distance.
+        #[test]
+        fn hops_triangle_inequality(t in torus_strategy(), seed in 0u64..100_000) {
+            let n = t.num_nodes() as u64;
+            let a = (seed % n) as NodeId;
+            let b = ((seed / n) % n) as NodeId;
+            let c = ((seed / (n * n)) % n) as NodeId;
+            prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        }
+    }
+}

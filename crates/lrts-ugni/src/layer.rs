@@ -1,0 +1,822 @@
+//! The uGNI machine layer (paper §III-C and §IV).
+//!
+//! Protocols implemented here, mapped to the paper:
+//!
+//! * **Small messages** (≤ SMSG limit): `GNI_SmsgSendWTag` with per-
+//!   connection credits; the receiver drains its mailbox from the progress
+//!   engine and hands copies to Converse (§III-C).
+//! * **Large messages**: the GET-based rendezvous of Fig. 5 — the sender
+//!   registers its buffer and ships a small `INIT_TAG` control message with
+//!   the memory handle; the receiver allocates + registers a landing
+//!   buffer, posts an FMA or BTE **GET** (by size), and on completion sends
+//!   `ACK_TAG` back so the sender can free. Cost without the pool is
+//!   exactly the paper's Equation 1.
+//! * **Memory pool** (§IV-B): message buffers come from a pre-registered
+//!   pool, removing `T_malloc + T_register` from both sides.
+//! * **Persistent messages** (§IV-A, Fig. 7a): a pre-registered receive
+//!   buffer lets the sender **PUT** directly and follow with one
+//!   `PERSISTENT_TAG` notification — `T_cost = T_rdma + T_smsg`.
+//! * **Intra-node pxshm** (§IV-C): double- or single-copy shared-memory
+//!   delivery that bypasses the NIC entirely.
+
+use crate::config::{IntraNode, SmallPath, UgniConfig};
+use bytes::{BufMut, Bytes, BytesMut};
+use charm_rt::cluster::MachineCtx;
+use charm_rt::lrts::{MachineLayer, PersistentHandle};
+use charm_rt::msg::PeId;
+use gemini_net::{Addr, MemHandle, RdmaOp};
+use mempool::{Block, MemPool};
+use sim_core::Time;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use ugni::{CqEvent, CqHandle, EpHandle, Gni, GniError, PostDescriptor};
+
+const TAG_SMALL: u8 = 0;
+const TAG_INIT: u8 = 1;
+const TAG_ACK: u8 = 2;
+const TAG_PERSIST: u8 = 3;
+
+/// Machine-layer event payloads (driven through `MachineCtx::schedule`).
+enum Ev {
+    /// Drain this PE's SMSG mailbox.
+    PollSmsg,
+    /// Drain this node's shared MSGQ (the event's PE does the software
+    /// demultiplexing for its node).
+    PollMsgq,
+    /// Drain this PE's transaction CQ.
+    PollCq,
+    /// Credits may have freed on the connection to `peer`: retry queued
+    /// sends.
+    Retry { peer: PeId },
+    /// Sender-side buffer prepared; ship the rendezvous INIT control
+    /// message (fires after T_malloc+T_register / pool alloc).
+    StartRendezvous { xid: u64 },
+    /// Receiver-side landing buffer ready; post the GET.
+    PostGet { xid: u64 },
+    /// A persistent PUT completed locally; notify the receiver.
+    PersistPutDone { xid: u64 },
+    /// A pxshm message becomes visible to the receiver.
+    ShmArrive { data: Bytes, copy_out: bool },
+}
+
+/// A buffer obtained either from the pool or via malloc+register.
+enum Buf {
+    Pooled(Block),
+    Direct { addr: Addr, handle: MemHandle },
+}
+
+impl Buf {
+    fn addr(&self) -> Addr {
+        match self {
+            Buf::Pooled(b) => b.addr,
+            Buf::Direct { addr, .. } => *addr,
+        }
+    }
+
+    fn handle(&self) -> MemHandle {
+        match self {
+            Buf::Pooled(b) => b.handle,
+            Buf::Direct { handle, .. } => *handle,
+        }
+    }
+}
+
+struct PendingSend {
+    src_pe: PeId,
+    dst_pe: PeId,
+    buf: Buf,
+    bytes: u64,
+}
+
+struct PendingRecv {
+    dst_pe: PeId,
+    src_pe: PeId,
+    buf: Buf,
+    bytes: u64,
+    remote_handle: MemHandle,
+    remote_addr: Addr,
+}
+
+struct PersistChan {
+    src_pe: PeId,
+    dst_pe: PeId,
+    max_bytes: u64,
+    /// Pre-registered receive buffer on the destination (paper Fig. 7a).
+    remote: Buf,
+    /// Pre-registered send buffer on the source.
+    local: Buf,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct UgniStats {
+    pub small_msgs: u64,
+    pub rendezvous_msgs: u64,
+    pub persistent_msgs: u64,
+    pub shm_msgs: u64,
+    pub credit_retries: u64,
+    pub bytes: u64,
+    /// SMP mode: protocol CPU time absorbed by the per-node comm threads
+    /// instead of worker PEs.
+    pub comm_thread_ns: Time,
+}
+
+/// The machine layer object.
+pub struct UgniLayer {
+    cfg: UgniConfig,
+    gni: Option<Gni>,
+    /// One transaction CQ per PE.
+    cqs: Vec<CqHandle>,
+    /// Lazily created endpoints per (src_pe, dst_pe).
+    eps: HashMap<(PeId, PeId), EpHandle>,
+    /// One message pool per PE (per process, as in non-SMP Charm++).
+    pools: Vec<MemPool>,
+    /// Small/control messages queued behind exhausted credits, per
+    /// connection, with a flag for an armed retry timer.
+    backlog: HashMap<(PeId, PeId), (VecDeque<(u8, Bytes)>, bool)>,
+    sends: HashMap<u64, PendingSend>,
+    recvs: HashMap<u64, PendingRecv>,
+    persists: HashMap<PersistentHandle, PersistChan>,
+    /// In-flight persistent payloads keyed by xid.
+    persist_data: HashMap<u64, (Bytes, PeId)>,
+    /// SMP mode: per-node comm-thread availability.
+    comm_busy: Vec<Time>,
+    /// Earliest armed poll event per PE (coalescing: one in-flight
+    /// PollSmsg/PollMsgq/PollCq each; u64::MAX = none armed).
+    poll_armed: Vec<[Time; 3]>,
+    next_xid: u64,
+    pub stats: UgniStats,
+}
+
+impl UgniLayer {
+    pub fn new(cfg: UgniConfig) -> Self {
+        UgniLayer {
+            cfg,
+            gni: None,
+            cqs: Vec::new(),
+            eps: HashMap::new(),
+            pools: Vec::new(),
+            backlog: HashMap::new(),
+            sends: HashMap::new(),
+            recvs: HashMap::new(),
+            persists: HashMap::new(),
+            persist_data: HashMap::new(),
+            comm_busy: Vec::new(),
+            poll_armed: Vec::new(),
+            next_xid: 0,
+            stats: UgniStats::default(),
+        }
+    }
+
+    /// Charge `ns` of protocol processing for `pe`'s traffic. In non-SMP
+    /// mode this is worker-PE overhead (the progress engine runs inside
+    /// the process); in SMP mode the per-node comm thread absorbs it.
+    /// Returns the time at which the processing completes.
+    fn charge_comm(&mut self, ctx: &mut MachineCtx, pe: PeId, ns: Time) -> Time {
+        if !self.cfg.smp {
+            ctx.charge_overhead(pe, ns);
+            return ctx.pe_free_at(pe).max(ctx.now());
+        }
+        let node = ctx.node_of(pe) as usize;
+        let start = self.comm_busy[node].max(ctx.now());
+        self.comm_busy[node] = start + ns;
+        self.stats.comm_thread_ns += ns;
+        start + ns
+    }
+
+    /// Schedule a progress poll for `pe`'s traffic, coalescing with any
+    /// already-armed poll of the same kind (the drain loops process every
+    /// ready message, so one in-flight poll per PE suffices — without
+    /// this, deferred duplicate polls pile up quadratically on busy PEs).
+    /// In SMP mode the comm thread polls regardless of worker business.
+    fn schedule_poll(&mut self, ctx: &mut MachineCtx, at: Time, pe: PeId, ev: Ev) {
+        let at = at.max(ctx.now());
+        let kind = match ev {
+            Ev::PollSmsg => 0,
+            Ev::PollMsgq => 1,
+            Ev::PollCq => 2,
+            _ => unreachable!("schedule_poll on a non-poll event"),
+        };
+        let armed = &mut self.poll_armed[pe as usize][kind];
+        if at >= *armed {
+            return; // the armed poll will see this message too
+        }
+        *armed = at;
+        if self.cfg.smp {
+            ctx.schedule_nodefer(at, pe, Box::new(ev));
+        } else {
+            ctx.schedule(at, pe, Box::new(ev));
+        }
+    }
+
+    /// Mark a poll kind as disarmed (called on drain entry).
+    fn disarm(&mut self, pe: PeId, kind: usize) {
+        self.poll_armed[pe as usize][kind] = Time::MAX;
+    }
+
+    pub fn gni(&self) -> &Gni {
+        self.gni.as_ref().expect("layer not initialized")
+    }
+
+    fn gni_mut(&mut self) -> &mut Gni {
+        self.gni.as_mut().expect("layer not initialized")
+    }
+
+    fn ep(&mut self, ctx: &MachineCtx, src_pe: PeId, dst_pe: PeId) -> EpHandle {
+        if let Some(&ep) = self.eps.get(&(src_pe, dst_pe)) {
+            return ep;
+        }
+        let cq = self.cqs[src_pe as usize];
+        let (sn, dn) = (ctx.node_of(src_pe), ctx.node_of(dst_pe));
+        let ep = self.gni_mut().ep_create_inst(sn, src_pe, dn, dst_pe, cq);
+        self.eps.insert((src_pe, dst_pe), ep);
+        ep
+    }
+
+    /// Allocate a message buffer on `pe`'s node: pool or malloc+register.
+    /// Returns the buffer and the CPU cost.
+    fn alloc_buf(&mut self, ctx: &MachineCtx, pe: PeId, bytes: u64) -> (Buf, Time) {
+        let node = ctx.node_of(pe);
+        let params = self.cfg.params.clone();
+        if self.cfg.use_mempool {
+            let gni = self.gni.as_mut().expect("init");
+            let reg = gni.fabric_mut().reg_table(node);
+            let (block, cost) = self.pools[pe as usize].alloc(&params, reg, bytes);
+            (Buf::Pooled(block), cost)
+        } else {
+            let gni = self.gni.as_mut().expect("init");
+            let addr = gni.alloc_addr(node);
+            let malloc = params.malloc_cost(bytes);
+            let (handle, reg_cost) = gni.mem_register(node, addr, bytes);
+            (Buf::Direct { addr, handle }, malloc + reg_cost)
+        }
+    }
+
+    /// Free a message buffer; returns the CPU cost (deregister+free for the
+    /// direct path, a pool push for the pooled path).
+    fn free_buf(&mut self, ctx: &MachineCtx, pe: PeId, buf: Buf) -> Time {
+        let node = ctx.node_of(pe);
+        let params = self.cfg.params.clone();
+        match buf {
+            Buf::Pooled(block) => {
+                let gni = self.gni.as_mut().expect("init");
+                gni.mem_clear(node, block.addr);
+                let reg = gni.fabric_mut().reg_table(node);
+                self.pools[pe as usize].free(&params, reg, block)
+            }
+            Buf::Direct { addr, handle } => {
+                let gni = self.gni.as_mut().expect("init");
+                gni.mem_clear(node, addr);
+                gni.mem_deregister(node, handle) + params.malloc_base
+            }
+        }
+    }
+
+    /// Queue-or-send a tagged SMSG on a connection, preserving FIFO order
+    /// behind any credit backlog. `earliest` is when this message's own
+    /// preparation is done (a burst of rendezvous preps must not make each
+    /// control message wait for the *sum* of all preps).
+    fn smsg(
+        &mut self,
+        ctx: &mut MachineCtx,
+        src_pe: PeId,
+        dst_pe: PeId,
+        tag: u8,
+        data: Bytes,
+        earliest: Time,
+    ) {
+        let key = (src_pe, dst_pe);
+        if self.backlog.get(&key).is_some_and(|(q, _)| !q.is_empty()) {
+            self.backlog.get_mut(&key).unwrap().0.push_back((tag, data));
+            return;
+        }
+        self.try_smsg(ctx, src_pe, dst_pe, tag, data, earliest);
+    }
+
+    /// Attempt one SMSG (or MSGQ message, by configuration); on credit
+    /// exhaustion, push to the backlog and arm a retry timer.
+    fn try_smsg(
+        &mut self,
+        ctx: &mut MachineCtx,
+        src_pe: PeId,
+        dst_pe: PeId,
+        tag: u8,
+        data: Bytes,
+        earliest: Time,
+    ) {
+        let ep = self.ep(ctx, src_pe, dst_pe);
+        let now = earliest.max(ctx.now());
+        if self.cfg.small_path == SmallPath::Msgq {
+            match self.gni_mut().msgq_send_w_tag(now, ep, tag, data.clone()) {
+                Ok(ok) => {
+                    self.charge_comm(ctx, src_pe, ok.cpu);
+                    self.schedule_poll(ctx, ok.deliver_at, dst_pe, Ev::PollMsgq);
+                }
+                Err(GniError::NoCredits { retry_at }) => {
+                    self.stats.credit_retries += 1;
+                    let e = self.backlog.entry((src_pe, dst_pe)).or_default();
+                    e.0.push_back((tag, data));
+                    if !e.1 {
+                        e.1 = true;
+                        let at = retry_at.max(now + 1);
+                        ctx.schedule_nodefer(at, src_pe, Box::new(Ev::Retry { peer: dst_pe }));
+                    }
+                }
+                Err(e) => panic!("msgq send failed: {e:?}"),
+            }
+            return;
+        }
+        match self.gni_mut().smsg_send_w_tag(now, ep, tag, data.clone()) {
+            Ok(ok) => {
+                self.charge_comm(ctx, src_pe, ok.cpu);
+                self.schedule_poll(ctx, ok.deliver_at, dst_pe, Ev::PollSmsg);
+            }
+            Err(GniError::NoCredits { retry_at }) => {
+                self.stats.credit_retries += 1;
+                let e = self.backlog.entry((src_pe, dst_pe)).or_default();
+                e.0.push_back((tag, data));
+                if !e.1 {
+                    e.1 = true;
+                    let at = retry_at.max(now + 1);
+                    // Retries interleave with other machine-layer work (the
+                    // progress engine runs between protocol steps), so they
+                    // must not defer behind long overhead windows.
+                    ctx.schedule_nodefer(at, src_pe, Box::new(Ev::Retry { peer: dst_pe }));
+                }
+            }
+            Err(e) => panic!("smsg failed: {e:?}"),
+        }
+    }
+
+    fn conn_retry(&mut self, ctx: &mut MachineCtx, src_pe: PeId, peer: PeId) {
+        if let Some((_, armed)) = self.backlog.get_mut(&(src_pe, peer)) {
+            *armed = false;
+        }
+        loop {
+            let Some((q, _)) = self.backlog.get_mut(&(src_pe, peer)) else {
+                return;
+            };
+            let Some((tag, data)) = q.pop_front() else {
+                return;
+            };
+            let ep = self.ep(ctx, src_pe, peer);
+            let now = ctx.pe_free_at(src_pe).max(ctx.now());
+            let use_msgq = self.cfg.small_path == SmallPath::Msgq;
+            let res = if use_msgq {
+                self.gni_mut().msgq_send_w_tag(now, ep, tag, data.clone())
+            } else {
+                self.gni_mut().smsg_send_w_tag(now, ep, tag, data.clone())
+            };
+            match res {
+                Ok(ok) => {
+                    self.charge_comm(ctx, src_pe, ok.cpu);
+                    let ev: Ev = if use_msgq { Ev::PollMsgq } else { Ev::PollSmsg };
+                    self.schedule_poll(ctx, ok.deliver_at, peer, ev);
+                }
+                Err(GniError::NoCredits { retry_at }) => {
+                    let (q, armed) = self.backlog.get_mut(&(src_pe, peer)).unwrap();
+                    q.push_front((tag, data));
+                    *armed = true;
+                    self.stats.credit_retries += 1;
+                    let at = retry_at.max(now + 1);
+                    ctx.schedule_nodefer(at, src_pe, Box::new(Ev::Retry { peer }));
+                    return;
+                }
+                Err(e) => panic!("small-message retry failed: {e:?}"),
+            }
+        }
+    }
+
+    fn rendezvous_start(&mut self, ctx: &mut MachineCtx, xid: u64) {
+        let (src_pe, dst_pe, bytes, addr, handle) = {
+            let p = self.sends.get(&xid).expect("unknown rendezvous xid");
+            (p.src_pe, p.dst_pe, p.bytes, p.buf.addr(), p.buf.handle())
+        };
+        // INIT_TAG control message: xid, size, memory handle + address of
+        // the sender buffer (paper Fig. 5).
+        let mut b = BytesMut::with_capacity(33);
+        b.put_u8(TAG_INIT);
+        b.put_u64(xid);
+        b.put_u64(bytes);
+        b.put_u64(handle.0);
+        b.put_u64(addr.0);
+        // The SR event fires exactly when this message's buffer prep is
+        // done, so the control message departs now.
+        let at = ctx.now();
+        self.smsg(ctx, src_pe, dst_pe, TAG_INIT, b.freeze(), at);
+    }
+
+    fn handle_init(&mut self, ctx: &mut MachineCtx, dst_pe: PeId, src_pe: PeId, ctrl: &Bytes) {
+        let xid = u64::from_be_bytes(ctrl[1..9].try_into().unwrap());
+        let bytes = u64::from_be_bytes(ctrl[9..17].try_into().unwrap());
+        let handle = MemHandle(u64::from_be_bytes(ctrl[17..25].try_into().unwrap()));
+        let addr = Addr(u64::from_be_bytes(ctrl[25..33].try_into().unwrap()));
+        // Allocate the landing buffer (T_malloc + T_register, or the pool).
+        let (buf, cost) = self.alloc_buf(ctx, dst_pe, bytes);
+        let ready = self.charge_comm(ctx, dst_pe, cost);
+        self.recvs.insert(
+            xid,
+            PendingRecv {
+                dst_pe,
+                src_pe,
+                buf,
+                bytes,
+                remote_handle: handle,
+                remote_addr: addr,
+            },
+        );
+        // Post the GET once the buffer is ready (after the charge).
+        let at = if self.cfg.smp {
+            ready.max(ctx.now())
+        } else {
+            ctx.pe_free_at(dst_pe).max(ctx.now())
+        };
+        ctx.schedule_nodefer(at, dst_pe, Box::new(Ev::PostGet { xid }));
+    }
+
+    fn post_get(&mut self, ctx: &mut MachineCtx, xid: u64) {
+        let (dst_pe, src_pe, bytes, local_mem, local_addr, remote_mem, remote_addr) = {
+            let r = self.recvs.get(&xid).expect("unknown recv xid");
+            (
+                r.dst_pe,
+                r.src_pe,
+                r.bytes,
+                r.buf.handle(),
+                r.buf.addr(),
+                r.remote_handle,
+                r.remote_addr,
+            )
+        };
+        let ep = self.ep(ctx, dst_pe, src_pe);
+        let now = ctx.pe_free_at(dst_pe).max(ctx.now());
+        let desc = PostDescriptor {
+            op: RdmaOp::Get,
+            local_mem,
+            local_addr,
+            remote_mem,
+            remote_addr,
+            bytes,
+            data: None,
+            user_id: xid,
+        };
+        let use_fma = bytes <= self.cfg.fma_bte_threshold
+            && bytes <= self.cfg.params.fma_max_bytes;
+        let ok = if use_fma {
+            self.gni_mut().post_fma(now, ep, desc)
+        } else {
+            self.gni_mut().post_rdma(now, ep, desc)
+        }
+        .expect("rendezvous GET rejected");
+        self.charge_comm(ctx, dst_pe, ok.cpu);
+        self.schedule_poll(ctx, ok.local_cq_at, dst_pe, Ev::PollCq);
+    }
+
+    fn drain_cq(&mut self, ctx: &mut MachineCtx, pe: PeId) {
+        self.disarm(pe, 2);
+        let cq = self.cqs[pe as usize];
+        loop {
+            let now = ctx.now();
+            let poll_cost = self.gni().cq_poll_cost();
+            match self.gni_mut().cq_get_event(cq, now) {
+                Ok(CqEvent::PostDone { user_id, op, data }) => {
+                    self.charge_comm(ctx, pe, poll_cost);
+                    match op {
+                        RdmaOp::Get => self.get_done(ctx, user_id, data),
+                        // Persistent PUT completions are handled by the
+                        // PersistPutDone event; seeing one here just drains
+                        // the CQ entry.
+                        RdmaOp::Put => {}
+                    }
+                }
+                Ok(CqEvent::SmsgRx { .. }) => {
+                    // SMSG arrivals are drained via PollSmsg.
+                }
+                Err(GniError::NotDone) => {
+                    self.charge_comm(ctx, pe, poll_cost);
+                    if let Some(t) = self.gni().cq_next_ready(cq) {
+                        self.schedule_poll(ctx, t, pe, Ev::PollCq);
+                    }
+                    return;
+                }
+                Err(e) => panic!("cq poll failed: {e:?}"),
+            }
+        }
+    }
+
+    fn get_done(&mut self, ctx: &mut MachineCtx, xid: u64, data: Option<Bytes>) {
+        let r = self.recvs.remove(&xid).expect("GET done for unknown xid");
+        let data = data.expect("GET completed without data — sender buffer missing");
+        debug_assert_eq!(data.len() as u64, r.bytes);
+        // ACK so the sender can free (paper Fig. 5).
+        let mut b = BytesMut::with_capacity(9);
+        b.put_u8(TAG_ACK);
+        b.put_u64(xid);
+        let at = ctx.pe_free_at(r.dst_pe).max(ctx.now());
+        self.smsg(ctx, r.dst_pe, r.src_pe, TAG_ACK, b.freeze(), at);
+        // Hand the buffer to Converse (no copy — the runtime owns it).
+        ctx.deliver_now(r.dst_pe, data);
+        // The app consumes the message; return the landing buffer.
+        let cost = self.free_buf(ctx, r.dst_pe, r.buf);
+        self.charge_comm(ctx, r.dst_pe, cost);
+    }
+
+    fn handle_ack(&mut self, ctx: &mut MachineCtx, ctrl: &Bytes) {
+        let xid = u64::from_be_bytes(ctrl[1..9].try_into().unwrap());
+        let p = self.sends.remove(&xid).expect("ACK for unknown xid");
+        let cost = self.free_buf(ctx, p.src_pe, p.buf);
+        self.charge_comm(ctx, p.src_pe, cost);
+    }
+
+    fn drain_msgq(&mut self, ctx: &mut MachineCtx, pe: PeId) {
+        self.disarm(pe, 1);
+        let node = ctx.node_of(pe);
+        loop {
+            let now = ctx.now();
+            match self.gni_mut().msgq_get_next_w_tag(node, now) {
+                Ok((rx, dst_inst)) => {
+                    // The drainer (worker or comm thread) pays the
+                    // demultiplex cost; the message belongs to `dst_inst`.
+                    self.charge_comm(ctx, pe, rx.cpu);
+                    self.process_small(ctx, dst_inst, rx);
+                }
+                Err(GniError::NotDone) => {
+                    // Coalescing: suppressed polls mean pending future
+                    // arrivals need a fresh wake-up.
+                    if let Some(t) = self.gni().msgq_next_arrival(node) {
+                        self.schedule_poll(ctx, t, pe, Ev::PollMsgq);
+                    }
+                    return;
+                }
+                Err(e) => panic!("msgq drain failed: {e:?}"),
+            }
+        }
+    }
+
+    fn drain_smsg(&mut self, ctx: &mut MachineCtx, pe: PeId) {
+        self.disarm(pe, 0);
+        let node = ctx.node_of(pe);
+        loop {
+            let now = ctx.now();
+            match self.gni_mut().smsg_get_next_w_tag(node, pe, now) {
+                Ok(rx) => {
+                    self.charge_comm(ctx, pe, rx.cpu);
+                    self.process_small(ctx, pe, rx);
+                }
+                Err(GniError::NotDone) => {
+                    if let Some(t) = self.gni().smsg_next_arrival(node, pe) {
+                        self.schedule_poll(ctx, t, pe, Ev::PollSmsg);
+                    }
+                    return;
+                }
+                Err(e) => panic!("smsg drain failed: {e:?}"),
+            }
+        }
+    }
+
+    /// Handle one received small-path message addressed to `pe`.
+    fn process_small(&mut self, ctx: &mut MachineCtx, pe: PeId, rx: ugni::SmsgRecv) {
+        match rx.tag {
+            TAG_SMALL => {
+                // Copy out of the mailbox into a runtime buffer. Small
+                // buffers are never registered: the pool path pays a
+                // free-list hit, the direct path a plain malloc.
+                let len = rx.data.len() as u64;
+                let cost = if self.cfg.use_mempool {
+                    let params = self.cfg.params.clone();
+                    let node = ctx.node_of(pe);
+                    let gni = self.gni.as_mut().expect("init");
+                    let reg = gni.fabric_mut().reg_table(node);
+                    let pool = &mut self.pools[pe as usize];
+                    let (b, c1) = pool.alloc(&params, reg, len);
+                    let c2 = pool.free(&params, reg, b);
+                    c1 + c2
+                } else {
+                    self.cfg.params.malloc_cost(len) + self.cfg.params.malloc_base
+                };
+                let done = self.charge_comm(ctx, pe, cost);
+                ctx.deliver_at(done.max(ctx.now()), pe, rx.data);
+            }
+            TAG_INIT => {
+                let from = rx.from;
+                self.handle_init(ctx, pe, from, &rx.data);
+            }
+            TAG_ACK => self.handle_ack(ctx, &rx.data),
+            TAG_PERSIST => {
+                let xid = u64::from_be_bytes(rx.data[1..9].try_into().unwrap());
+                let (data, dst_pe) = self
+                    .persist_data
+                    .remove(&xid)
+                    .expect("persistent notify without data");
+                debug_assert_eq!(dst_pe, pe);
+                ctx.deliver_at(ctx.now(), pe, data);
+            }
+            t => panic!("unknown small-path tag {t}"),
+        }
+    }
+
+    fn send_shm(&mut self, ctx: &mut MachineCtx, src_pe: PeId, dst_pe: PeId, msg: Bytes) {
+        self.stats.shm_msgs += 1;
+        let params = &self.cfg.params;
+        let copy = params.memcpy_cost(msg.len() as u64);
+        // Sender: lock/allocate a region in the shared segment + copy in.
+        ctx.charge_overhead(src_pe, self.cfg.shm_overhead + copy);
+        let copy_out = self.cfg.intranode == IntraNode::PxshmDoubleCopy;
+        let at = ctx.now() + self.cfg.shm_overhead + copy + self.cfg.shm_notice;
+        ctx.schedule(at, dst_pe, Box::new(Ev::ShmArrive { data: msg, copy_out }));
+    }
+}
+
+impl MachineLayer for UgniLayer {
+    fn name(&self) -> &'static str {
+        "uGNI"
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn init(&mut self, ctx: &mut MachineCtx) {
+        let mut gni = Gni::new(self.cfg.params.clone(), ctx.num_nodes());
+        for _pe in 0..ctx.num_pes() {
+            self.cqs.push(gni.cq_create());
+        }
+        for pe in 0..ctx.num_pes() {
+            self.pools
+                .push(MemPool::new((1u64 << 60) + ((pe as u64) << 45)));
+        }
+        self.comm_busy = vec![0; ctx.num_nodes() as usize];
+        self.poll_armed = vec![[Time::MAX; 3]; ctx.num_pes() as usize];
+        self.gni = Some(gni);
+    }
+
+    fn sync_send(&mut self, ctx: &mut MachineCtx, src_pe: PeId, dst_pe: PeId, msg: Bytes) {
+        debug_assert_ne!(src_pe, dst_pe, "self-sends bypass the machine layer");
+        self.stats.bytes += msg.len() as u64;
+        ctx.count_send(msg.len() as u64);
+
+        let same_node = ctx.node_of(src_pe) == ctx.node_of(dst_pe);
+        if same_node && self.cfg.smp {
+            // SMP: workers share the address space — pass the pointer.
+            self.stats.shm_msgs += 1;
+            ctx.charge_overhead(src_pe, self.cfg.smp_handoff);
+            ctx.deliver_at(ctx.now() + self.cfg.smp_handoff, dst_pe, msg);
+            return;
+        }
+        if same_node && self.cfg.intranode != IntraNode::NetworkLoopback {
+            self.send_shm(ctx, src_pe, dst_pe, msg);
+            return;
+        }
+        if self.cfg.smp {
+            // Worker hands the message to the node's comm thread.
+            ctx.charge_overhead(src_pe, self.cfg.smp_handoff);
+        }
+
+        let limit = self.gni().smsg_limit() as usize;
+        if msg.len() <= limit {
+            self.stats.small_msgs += 1;
+            let at = ctx.pe_free_at(src_pe).max(ctx.now());
+            self.smsg(ctx, src_pe, dst_pe, TAG_SMALL, msg, at);
+            return;
+        }
+
+        // Large path: GET-based rendezvous (paper Fig. 5).
+        self.stats.rendezvous_msgs += 1;
+        let bytes = msg.len() as u64;
+        let (buf, cost) = self.alloc_buf(ctx, src_pe, bytes);
+        // The message content moves into the registered send buffer.
+        let node = ctx.node_of(src_pe);
+        self.gni_mut().mem_write(node, buf.addr(), msg);
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        self.sends.insert(
+            xid,
+            PendingSend {
+                src_pe,
+                dst_pe,
+                buf,
+                bytes,
+            },
+        );
+        let ready = self.charge_comm(ctx, src_pe, cost);
+        // Control message departs once the buffer is prepared (exactly
+        // then: the preparation cost was just charged).
+        let at = if self.cfg.smp {
+            ready.max(ctx.now())
+        } else {
+            ctx.pe_free_at(src_pe).max(ctx.now())
+        };
+        ctx.schedule_nodefer(at, src_pe, Box::new(Ev::StartRendezvous { xid }));
+    }
+
+    fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any>) {
+        let ev = *ev.downcast::<Ev>().expect("foreign machine event");
+        match ev {
+            Ev::PollSmsg => self.drain_smsg(ctx, pe),
+            Ev::PollMsgq => self.drain_msgq(ctx, pe),
+            Ev::PollCq => self.drain_cq(ctx, pe),
+            Ev::Retry { peer } => self.conn_retry(ctx, pe, peer),
+            Ev::StartRendezvous { xid } => self.rendezvous_start(ctx, xid),
+            Ev::PostGet { xid } => self.post_get(ctx, xid),
+            Ev::PersistPutDone { xid } => {
+                let dst_pe = self
+                    .persist_data
+                    .get(&xid)
+                    .expect("persist PUT done without data")
+                    .1;
+                let mut b = BytesMut::with_capacity(9);
+                b.put_u8(TAG_PERSIST);
+                b.put_u64(xid);
+                let at = ctx.now();
+                self.smsg(ctx, pe, dst_pe, TAG_PERSIST, b.freeze(), at);
+            }
+            Ev::ShmArrive { data, copy_out } => {
+                let mut cost = self.cfg.shm_overhead;
+                if copy_out {
+                    cost += self.cfg.params.memcpy_cost(data.len() as u64);
+                }
+                ctx.charge_overhead(pe, cost);
+                ctx.deliver_now(pe, data);
+            }
+        }
+    }
+
+    fn create_persistent(
+        &mut self,
+        ctx: &mut MachineCtx,
+        src_pe: PeId,
+        dst_pe: PeId,
+        max_bytes: u64,
+        handle: PersistentHandle,
+    ) {
+        // Both sides' persistent buffers, registered once. (The set-up
+        // handshake cost is charged here; steady-state sends never pay it.)
+        let (remote, rcost) = self.alloc_buf(ctx, dst_pe, max_bytes);
+        ctx.charge_overhead(dst_pe, rcost);
+        let (local, lcost) = self.alloc_buf(ctx, src_pe, max_bytes);
+        ctx.charge_overhead(src_pe, lcost + self.cfg.params.smsg_send_cpu);
+        self.persists.insert(
+            handle,
+            PersistChan {
+                src_pe,
+                dst_pe,
+                max_bytes,
+                remote,
+                local,
+            },
+        );
+    }
+
+    fn send_persistent(
+        &mut self,
+        ctx: &mut MachineCtx,
+        handle: PersistentHandle,
+        src_pe: PeId,
+        dst_pe: PeId,
+        msg: Bytes,
+    ) {
+        let Some(chan) = self.persists.get(&handle) else {
+            // No channel: fall back to the ordinary path.
+            self.sync_send(ctx, src_pe, dst_pe, msg);
+            return;
+        };
+        assert!(msg.len() as u64 <= chan.max_bytes, "persistent overflow");
+        assert_eq!((chan.src_pe, chan.dst_pe), (src_pe, dst_pe));
+        let bytes = msg.len() as u64;
+        let local_mem = chan.local.handle();
+        let local_addr = chan.local.addr();
+        let remote_mem = chan.remote.handle();
+        let remote_addr = chan.remote.addr();
+        self.stats.persistent_msgs += 1;
+        self.stats.bytes += bytes;
+        ctx.count_send(bytes);
+
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        self.persist_data.insert(xid, (msg.clone(), dst_pe));
+
+        // "the sender can directly put its message data into the
+        // persistent buffer" — no malloc, no registration, no control
+        // message (paper §IV-A).
+        let ep = self.ep(ctx, src_pe, dst_pe);
+        let desc = PostDescriptor {
+            op: RdmaOp::Put,
+            local_mem,
+            local_addr,
+            remote_mem,
+            remote_addr,
+            bytes,
+            data: Some(msg),
+            user_id: xid,
+        };
+        let now = ctx.now();
+        let use_fma =
+            bytes <= self.cfg.fma_bte_threshold && bytes <= self.cfg.params.fma_max_bytes;
+        let ok = if use_fma {
+            self.gni_mut().post_fma(now, ep, desc)
+        } else {
+            self.gni_mut().post_rdma(now, ep, desc)
+        }
+        .expect("persistent PUT rejected");
+        self.charge_comm(ctx, src_pe, ok.cpu);
+        ctx.schedule_nodefer(ok.local_cq_at, src_pe, Box::new(Ev::PersistPutDone { xid }));
+    }
+}

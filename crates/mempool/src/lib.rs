@@ -1,0 +1,407 @@
+//! The pre-registered memory pool of paper §IV-B.
+//!
+//! > "we can exploit the use of a memory pool aggressively by
+//! > pre-allocating and registering a relatively large amount of memory,
+//! > and explicitly managing it for CHARM++ messages. [...] Since the
+//! > entire memory pool is pre-registered, there is no additional
+//! > registration cost for each message. In the case when the memory pool
+//! > overflows, it can be dynamically expanded."
+//!
+//! The pool is a power-of-two size-class allocator over registered slabs.
+//! An allocation that hits a non-empty free list costs a few tens of
+//! nanoseconds of virtual time; a miss expands the pool by one slab,
+//! paying `T_malloc + T_register` once for many future messages. Blocks
+//! returned by [`MemPool::alloc`] carry the slab's [`MemHandle`], so RDMA
+//! can start immediately — this is exactly what removes `T_malloc` and
+//! `T_register` from the paper's Equation 1.
+
+use gemini_net::{Addr, GeminiParams, MemHandle, RegTable};
+use sim_core::Time;
+
+/// Smallest block the pool hands out.
+pub const MIN_CLASS_SHIFT: u32 = 6; // 64 B
+/// Largest pooled block; bigger requests fall back to direct registration.
+pub const MAX_CLASS_SHIFT: u32 = 23; // 8 MiB
+
+const NUM_CLASSES: usize = (MAX_CLASS_SHIFT - MIN_CLASS_SHIFT + 1) as usize;
+
+/// A block handed out by the pool (or by the direct-registration fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    pub addr: Addr,
+    pub handle: MemHandle,
+    /// Usable size of the block (the full size class).
+    pub size: u64,
+    /// Index of the size class, or `DIRECT` for fallback blocks.
+    class: u32,
+}
+
+const DIRECT: u32 = u32::MAX;
+
+impl Block {
+    /// True when this block bypassed the pool (oversize request).
+    pub fn is_direct(&self) -> bool {
+        self.class == DIRECT
+    }
+}
+
+/// Cost knobs of the pool itself (virtual ns).
+#[derive(Debug, Clone)]
+pub struct PoolCosts {
+    /// Free-list hit: pop + header fixup.
+    pub alloc_hit: Time,
+    /// Returning a block to its free list.
+    pub free: Time,
+}
+
+impl Default for PoolCosts {
+    fn default() -> Self {
+        PoolCosts {
+            alloc_hit: 80,
+            free: 60,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct PoolStats {
+    pub allocs: u64,
+    pub frees: u64,
+    pub expansions: u64,
+    pub direct_allocs: u64,
+    pub slab_bytes: u64,
+}
+
+/// The per-node message memory pool.
+#[derive(Debug)]
+pub struct MemPool {
+    free: [Vec<Addr>; NUM_CLASSES],
+    /// Registered slabs: (base, len, handle). Blocks carved from one slab
+    /// share its handle.
+    handles: Vec<(Addr, u64, MemHandle)>,
+    next_addr: u64,
+    slab_min_bytes: u64,
+    costs: PoolCosts,
+    pub stats: PoolStats,
+    #[cfg(debug_assertions)]
+    outstanding: std::collections::HashSet<u64>,
+}
+
+impl MemPool {
+    /// `addr_base` carves a private simulated address range for this pool;
+    /// distinct pools on one node must use distinct bases.
+    pub fn new(addr_base: u64) -> Self {
+        Self::with_costs(addr_base, PoolCosts::default())
+    }
+
+    pub fn with_costs(addr_base: u64, costs: PoolCosts) -> Self {
+        MemPool {
+            free: std::array::from_fn(|_| Vec::new()),
+            handles: Vec::new(),
+            next_addr: addr_base,
+            slab_min_bytes: 256 * 1024,
+            costs,
+            stats: PoolStats::default(),
+            #[cfg(debug_assertions)]
+            outstanding: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Size class index for a request, or `None` when oversize.
+    fn class_of(bytes: u64) -> Option<usize> {
+        if bytes <= (1 << MIN_CLASS_SHIFT) {
+            return Some(0);
+        }
+        let shift = 64 - (bytes - 1).leading_zeros();
+        if shift > MAX_CLASS_SHIFT {
+            None
+        } else {
+            Some((shift - MIN_CLASS_SHIFT) as usize)
+        }
+    }
+
+    /// Rounded block size of a class.
+    fn class_size(class: usize) -> u64 {
+        1u64 << (class as u32 + MIN_CLASS_SHIFT)
+    }
+
+    /// Allocate a block of at least `bytes`. Returns the block and the
+    /// virtual-time cost. Oversize requests fall back to direct
+    /// malloc+register (and pay for it, like the unoptimized path).
+    pub fn alloc(&mut self, p: &GeminiParams, reg: &mut RegTable, bytes: u64) -> (Block, Time) {
+        self.stats.allocs += 1;
+        let Some(class) = Self::class_of(bytes) else {
+            // Oversize: direct registration, like the pre-pool design.
+            self.stats.direct_allocs += 1;
+            let addr = Addr(self.bump(bytes));
+            let (handle, reg_cost) = reg.register(p, addr, bytes);
+            let cost = p.malloc_cost(bytes) + reg_cost;
+            return (
+                Block {
+                    addr,
+                    handle,
+                    size: bytes,
+                    class: DIRECT,
+                },
+                cost,
+            );
+        };
+
+        let mut cost = self.costs.alloc_hit;
+        if self.free[class].is_empty() {
+            cost += self.expand(p, reg, class);
+        }
+        let addr = self.free[class].pop().expect("expand filled the list");
+        #[cfg(debug_assertions)]
+        {
+            assert!(self.outstanding.insert(addr.0), "double allocation");
+        }
+        let handle = self.handle_for(addr);
+        (
+            Block {
+                addr,
+                handle,
+                size: Self::class_size(class),
+                class: class as u32,
+            },
+            cost,
+        )
+    }
+
+    /// Return a block. Direct blocks pay deregistration; pooled blocks are
+    /// pushed back on their free list (no deregistration — the pool keeps
+    /// memory pinned, which is the entire point).
+    pub fn free(&mut self, p: &GeminiParams, reg: &mut RegTable, block: Block) -> Time {
+        self.stats.frees += 1;
+        if block.is_direct() {
+            return reg.deregister(p, block.handle) + p.malloc_base;
+        }
+        #[cfg(debug_assertions)]
+        {
+            assert!(self.outstanding.remove(&block.addr.0), "double free");
+        }
+        self.free[block.class as usize].push(block.addr);
+        self.costs.free
+    }
+
+    /// Grow one size class by a slab; returns the cost.
+    fn expand(&mut self, p: &GeminiParams, reg: &mut RegTable, class: usize) -> Time {
+        let block = Self::class_size(class);
+        let slab = block.max(self.slab_min_bytes);
+        let count = slab / block;
+        let base = self.bump(slab);
+        let (handle, reg_cost) = reg.register(p, Addr(base), slab);
+        for i in 0..count {
+            self.free[class].push(Addr(base + i * block));
+        }
+        self.handles.push((Addr(base), slab, handle));
+        self.stats.expansions += 1;
+        self.stats.slab_bytes += slab;
+        p.malloc_cost(slab) + reg_cost
+    }
+
+    fn bump(&mut self, bytes: u64) -> u64 {
+        let a = self.next_addr;
+        // Keep every slab page-aligned so slabs never share pages.
+        let aligned = bytes.div_ceil(gemini_net::PAGE) * gemini_net::PAGE;
+        self.next_addr += aligned.max(gemini_net::PAGE);
+        a
+    }
+
+    fn handle_for(&self, addr: Addr) -> MemHandle {
+        self.handles
+            .iter()
+            .find(|(base, len, _)| addr.0 >= base.0 && addr.0 < base.0 + len)
+            .map(|&(_, _, h)| h)
+            .expect("block not within any slab")
+    }
+
+    /// Bytes currently pinned by the pool.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.stats.slab_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GeminiParams, RegTable, MemPool) {
+        (GeminiParams::hopper(), RegTable::new(), MemPool::new(1 << 40))
+    }
+
+    #[test]
+    fn first_alloc_pays_expansion_second_is_cheap() {
+        let (p, mut reg, mut pool) = setup();
+        let (a, cost_a) = pool.alloc(&p, &mut reg, 4096);
+        assert!(cost_a > p.register_cost(4096), "first alloc expands");
+        pool.free(&p, &mut reg, a);
+        let (_b, cost_b) = pool.alloc(&p, &mut reg, 4096);
+        assert_eq!(cost_b, PoolCosts::default().alloc_hit);
+        assert_eq!(pool.stats.expansions, 1);
+    }
+
+    #[test]
+    fn block_is_large_enough_and_power_of_two() {
+        let (p, mut reg, mut pool) = setup();
+        for req in [1u64, 63, 64, 65, 1000, 4096, 100_000] {
+            let (b, _) = pool.alloc(&p, &mut reg, req);
+            assert!(b.size >= req, "req {req} got {}", b.size);
+            assert!(b.size.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn pool_memory_stays_registered_after_free() {
+        let (p, mut reg, mut pool) = setup();
+        let (b, _) = pool.alloc(&p, &mut reg, 8192);
+        let pinned = reg.registered_bytes();
+        pool.free(&p, &mut reg, b);
+        assert_eq!(reg.registered_bytes(), pinned, "free must not deregister");
+        assert_eq!(reg.total_deregistrations, 0);
+    }
+
+    #[test]
+    fn freed_block_is_reused() {
+        let (p, mut reg, mut pool) = setup();
+        let (a, _) = pool.alloc(&p, &mut reg, 1024);
+        let addr = a.addr;
+        pool.free(&p, &mut reg, a);
+        let (b, _) = pool.alloc(&p, &mut reg, 1024);
+        assert_eq!(b.addr, addr, "LIFO reuse of the freed block");
+    }
+
+    #[test]
+    fn oversize_falls_back_to_direct_registration() {
+        let (p, mut reg, mut pool) = setup();
+        let big = (1u64 << MAX_CLASS_SHIFT) + 1;
+        let (b, cost) = pool.alloc(&p, &mut reg, big);
+        assert!(b.is_direct());
+        assert!(cost >= p.register_cost(big));
+        let regs = reg.total_registrations;
+        let fcost = pool.free(&p, &mut reg, b);
+        assert!(fcost >= p.deregister_cost(big));
+        assert_eq!(reg.total_registrations, regs);
+        assert_eq!(reg.total_deregistrations, 1);
+        assert_eq!(pool.stats.direct_allocs, 1);
+    }
+
+    #[test]
+    fn blocks_in_one_slab_share_a_handle() {
+        let (p, mut reg, mut pool) = setup();
+        let (a, _) = pool.alloc(&p, &mut reg, 1024);
+        let (b, _) = pool.alloc(&p, &mut reg, 1024);
+        assert_eq!(a.handle, b.handle);
+        assert_ne!(a.addr, b.addr);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let (p, mut reg, mut pool) = setup();
+        let (a, _) = pool.alloc(&p, &mut reg, 256);
+        pool.free(&p, &mut reg, a);
+        pool.free(&p, &mut reg, a);
+    }
+
+    #[test]
+    fn many_allocations_amortize_registration() {
+        // The paper's claim, in miniature: 1000 message allocations through
+        // the pool must be far cheaper than 1000 malloc+register pairs.
+        let (p, mut reg, mut pool) = setup();
+        let bytes = 16 * 1024;
+        let mut pool_cost: Time = 0;
+        for _ in 0..1000 {
+            let (b, c) = pool.alloc(&p, &mut reg, bytes);
+            pool_cost += c;
+            pool_cost += pool.free(&p, &mut reg, b);
+        }
+        let naive: Time = 1000 * (p.malloc_cost(bytes) + p.register_cost(bytes));
+        assert!(
+            pool_cost * 10 < naive,
+            "pool {pool_cost}ns vs naive {naive}ns: amortization too weak"
+        );
+    }
+
+    #[test]
+    fn zero_byte_alloc_works() {
+        let (p, mut reg, mut pool) = setup();
+        let (b, _) = pool.alloc(&p, &mut reg, 0);
+        assert_eq!(b.size, 64);
+        pool.free(&p, &mut reg, b);
+    }
+
+    #[test]
+    fn distinct_classes_expand_separately() {
+        let (p, mut reg, mut pool) = setup();
+        pool.alloc(&p, &mut reg, 100);
+        pool.alloc(&p, &mut reg, 100_000);
+        assert_eq!(pool.stats.expansions, 2);
+        assert!(pool.pinned_bytes() >= 2 * 256 * 1024 - 256 * 1024 / 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Live blocks never overlap, regardless of alloc/free interleaving.
+        #[test]
+        fn live_blocks_never_overlap(
+            ops in proptest::collection::vec((1u64..300_000, any::<bool>()), 1..200)
+        ) {
+            let p = GeminiParams::hopper();
+            let mut reg = RegTable::new();
+            let mut pool = MemPool::new(1 << 40);
+            let mut live: Vec<Block> = Vec::new();
+            for (bytes, do_free) in ops {
+                if do_free && !live.is_empty() {
+                    let b = live.swap_remove((bytes % live.len() as u64) as usize);
+                    pool.free(&p, &mut reg, b);
+                } else {
+                    let (b, _) = pool.alloc(&p, &mut reg, bytes);
+                    live.push(b);
+                }
+                let mut spans: Vec<(u64, u64)> =
+                    live.iter().map(|b| (b.addr.0, b.addr.0 + b.size)).collect();
+                spans.sort_unstable();
+                for w in spans.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+                }
+            }
+        }
+
+        /// Every pooled block's handle is registered and covers the block.
+        #[test]
+        fn handles_cover_blocks(sizes in proptest::collection::vec(1u64..3_000_000, 1..60)) {
+            let p = GeminiParams::hopper();
+            let mut reg = RegTable::new();
+            let mut pool = MemPool::new(1 << 40);
+            for s in sizes {
+                let (b, _) = pool.alloc(&p, &mut reg, s);
+                prop_assert!(reg.is_registered(b.handle));
+                let (base, len) = reg.lookup(b.handle).unwrap();
+                prop_assert!(b.addr.0 >= base.0);
+                prop_assert!(b.addr.0 + b.size <= base.0 + len);
+            }
+        }
+
+        /// alloc/free cycles leave counters balanced and expansion bounded.
+        #[test]
+        fn stats_balance(n in 1usize..100, bytes in 1u64..100_000) {
+            let p = GeminiParams::hopper();
+            let mut reg = RegTable::new();
+            let mut pool = MemPool::new(1 << 40);
+            for _ in 0..n {
+                let (b, _) = pool.alloc(&p, &mut reg, bytes);
+                pool.free(&p, &mut reg, b);
+            }
+            prop_assert_eq!(pool.stats.allocs, n as u64);
+            prop_assert_eq!(pool.stats.frees, n as u64);
+            prop_assert_eq!(pool.stats.expansions, 1);
+        }
+    }
+}

@@ -1,0 +1,813 @@
+//! `mpi-sim`: an MPI point-to-point subset implemented **on the simulated
+//! uGNI**, standing in for Cray MPI (MPICH2 Nemesis over uGNI [17]) as the
+//! paper's baseline.
+//!
+//! The structural behaviors the paper attributes to MPI are all here:
+//!
+//! * **Eager protocol** for small/medium messages: the sender copies into
+//!   MPI-internal pre-registered buffers (one memcpy), ships via SMSG or an
+//!   RDMA PUT into the receiver's eager slots, and the receiver copies out
+//!   into the user buffer at match time (second memcpy).
+//! * **Rendezvous protocol** (>= [`MpiConfig::rndv_threshold`]): RTS / GET /
+//!   zero copy, with a **uDREG registration cache** — reusing the *same*
+//!   user buffer hits the cache, fresh buffers pay `GNI_MemRegister` every
+//!   time. This is the difference between the two "pure MPI" curves in the
+//!   paper's Fig. 9(a).
+//! * **In-order matching** with an unexpected-message queue, tag and
+//!   source matching, and `MPI_Iprobe` semantics: probing costs CPU, and a
+//!   matched large message must be drained with a **blocking receive** that
+//!   occupies the core until the data lands (the effect behind Fig. 10).
+//! * **Intra-node**: double-copy shared memory for small messages, an
+//!   XPMEM-style single-copy path (with extra synchronization cost) for
+//!   large ones.
+//!
+//! The type is driven in virtual time: every operation takes `now` and
+//! returns CPU cost plus wake hints; there are no threads.
+
+use bytes::Bytes;
+use gemini_net::{Addr, GeminiParams, NodeId, RdmaOp, RegCache};
+use sim_core::Time;
+use std::collections::{HashMap, VecDeque};
+use ugni::{CqHandle, EpHandle, Gni, GniError, PostDescriptor};
+
+pub type Rank = u32;
+pub type Tag = i32;
+
+const TAG_EAGER: u8 = 10;
+const TAG_PUT_NOTIFY: u8 = 11;
+const TAG_RTS: u8 = 12;
+const TAG_DONE: u8 = 13;
+
+/// Configuration of the MPI model.
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    pub params: GeminiParams,
+    /// Eager/rendezvous switch (Cray MPI default order of magnitude: 8 KiB).
+    pub rndv_threshold: u64,
+    /// Per-call library overhead (argument checking, request bookkeeping).
+    pub call_overhead: Time,
+    /// uDREG cache capacity (registrations kept per rank).
+    pub udreg_capacity: usize,
+    /// uDREG lookup cost per rendezvous operation.
+    pub udreg_lookup: Time,
+    /// Intra-node: below this, double-copy shm; at/above, XPMEM single copy.
+    pub xpmem_threshold: u64,
+    /// Extra synchronization cost of an XPMEM single-copy transfer.
+    pub xpmem_sync: Time,
+    /// Shared-memory notice latency (receiver polling period).
+    pub shm_notice: Time,
+    /// Per-entry cost of scanning the unexpected-message queue (MPICH
+    /// keeps it as a linear list; under fine-grain message storms this is
+    /// the paper's "prolonged MPI_Iprobe").
+    pub match_scan_per_entry: Time,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            params: GeminiParams::hopper(),
+            rndv_threshold: 8192,
+            call_overhead: 120,
+            udreg_capacity: 64,
+            udreg_lookup: 60,
+            xpmem_threshold: 16 * 1024,
+            xpmem_sync: 3_000,
+            shm_notice: 400,
+            match_scan_per_entry: 90,
+        }
+    }
+}
+
+/// An unexpected (or arrived-but-unmatched) message header.
+#[derive(Debug, Clone)]
+enum Unexp {
+    /// Fully arrived eager data; receive = copy out.
+    Eager { src: Rank, tag: Tag, data: Bytes },
+    /// Intra-node message (double-copy shm or XPMEM single copy — the
+    /// sender-side cost difference was charged at send time; the receiver
+    /// pays exactly one copy either way).
+    Shm { src: Rank, tag: Tag, data: Bytes },
+    /// Rendezvous ready-to-send: data still on the sender.
+    Rts {
+        src: Rank,
+        tag: Tag,
+        bytes: u64,
+        xid: u64,
+        handle: gemini_net::MemHandle,
+        addr: Addr,
+    },
+}
+
+impl Unexp {
+    fn src_tag(&self) -> (Rank, Tag) {
+        match self {
+            Unexp::Eager { src, tag, .. }
+            | Unexp::Shm { src, tag, .. }
+            | Unexp::Rts { src, tag, .. } => (*src, *tag),
+        }
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            Unexp::Eager { data, .. } | Unexp::Shm { data, .. } => data.len() as u64,
+            Unexp::Rts { bytes, .. } => *bytes,
+        }
+    }
+}
+
+/// Result of a probe: message metadata without consuming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeHit {
+    pub src: Rank,
+    pub tag: Tag,
+    pub bytes: u64,
+    /// True when receiving this message will block the core for a
+    /// rendezvous transfer (the paper's Fig. 10 mechanism).
+    pub is_rendezvous: bool,
+}
+
+/// Result of a receive.
+#[derive(Debug, Clone)]
+pub struct RecvOutcome {
+    pub data: Bytes,
+    /// When the receive completes; the calling core is busy from the call
+    /// until then (for eager this is just the copy; for rendezvous it spans
+    /// the whole GET).
+    pub done_at: Time,
+    pub src: Rank,
+    pub tag: Tag,
+}
+
+/// CPU + wake side effects of an operation, for the embedding layer to
+/// turn into events.
+#[derive(Debug, Clone, Default)]
+pub struct Effects {
+    /// CPU the calling rank burned.
+    pub cpu: Time,
+    /// (rank, time): schedule a progress poll there.
+    pub wakes: Vec<(Rank, Time)>,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct MpiStats {
+    pub eager_msgs: u64,
+    pub rndv_msgs: u64,
+    pub shm_msgs: u64,
+    pub udreg_hits: u64,
+    pub udreg_misses: u64,
+    pub blocking_recv_ns: Time,
+}
+
+/// The per-job MPI instance.
+pub struct MpiSim {
+    cfg: MpiConfig,
+    gni: Gni,
+    cores_per_node: u32,
+    cqs: Vec<CqHandle>,
+    eps: HashMap<(Rank, Rank), EpHandle>,
+    /// uDREG per rank.
+    udreg: Vec<RegCache>,
+    /// Matched-order delivery queue per rank, with the time each entry
+    /// becomes visible (messages must not be matchable before arrival).
+    unexpected: Vec<VecDeque<(Time, Unexp)>>,
+    /// Pre-registered internal eager buffers (one per rank).
+    eager_addr: Vec<Addr>,
+    eager_handle: Vec<gemini_net::MemHandle>,
+    /// In-flight eager-PUT payloads keyed by xid.
+    put_data: HashMap<u64, (Rank, Tag, Bytes)>,
+    next_xid: u64,
+    pub stats: MpiStats,
+}
+
+impl MpiSim {
+    /// Bring up MPI across `ranks` ranks, `cores_per_node` per node.
+    pub fn new(cfg: MpiConfig, ranks: u32, cores_per_node: u32) -> Self {
+        let nodes = ranks.div_ceil(cores_per_node);
+        let mut gni = Gni::new(cfg.params.clone(), nodes);
+        let mut cqs = Vec::new();
+        let mut eager_addr = Vec::new();
+        let mut eager_handle = Vec::new();
+        for r in 0..ranks {
+            cqs.push(gni.cq_create());
+            let node = r / cores_per_node;
+            let a = gni.alloc_addr(node);
+            // 8 MiB of internal pre-registered buffering per rank.
+            let (h, _) = gni.mem_register(node, a, 8 << 20);
+            eager_addr.push(a);
+            eager_handle.push(h);
+        }
+        MpiSim {
+            udreg: (0..ranks)
+                .map(|_| RegCache::new(cfg.udreg_capacity, cfg.udreg_lookup))
+                .collect(),
+            unexpected: (0..ranks).map(|_| VecDeque::new()).collect(),
+            eps: HashMap::new(),
+            put_data: HashMap::new(),
+            next_xid: 0,
+            stats: MpiStats::default(),
+            cfg,
+            gni,
+            cores_per_node,
+            cqs,
+            eager_addr,
+            eager_handle,
+        }
+    }
+
+    pub fn gni(&self) -> &Gni {
+        &self.gni
+    }
+
+    pub fn config(&self) -> &MpiConfig {
+        &self.cfg
+    }
+
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        rank / self.cores_per_node
+    }
+
+    fn ep(&mut self, src: Rank, dst: Rank) -> EpHandle {
+        if let Some(&ep) = self.eps.get(&(src, dst)) {
+            return ep;
+        }
+        let cq = self.cqs[src as usize];
+        let (sn, dn) = (self.node_of(src), self.node_of(dst));
+        let ep = self.gni.ep_create_inst(sn, src, dn, dst, cq);
+        self.eps.insert((src, dst), ep);
+        ep
+    }
+
+    /// `MPI_Isend` (the send-side request always completes locally in this
+    /// model; rendezvous data is held until the receiver pulls it).
+    /// `buf` identifies the application buffer for uDREG purposes — pass
+    /// the same `Addr` to model a reused buffer, a fresh one otherwise.
+    pub fn isend(
+        &mut self,
+        now: Time,
+        src: Rank,
+        dst: Rank,
+        tag: Tag,
+        data: Bytes,
+        buf: Addr,
+    ) -> Effects {
+        let mut fx = Effects {
+            cpu: self.cfg.call_overhead,
+            wakes: Vec::new(),
+        };
+        let bytes = data.len() as u64;
+        let p = self.cfg.params.clone();
+
+        // Intra-node path.
+        if self.node_of(src) == self.node_of(dst) && src != dst {
+            self.stats.shm_msgs += 1;
+            let single = bytes >= self.cfg.xpmem_threshold;
+            let (send_cost, visible) = if single {
+                // XPMEM: map + hand off, no sender copy, extra sync.
+                (
+                    self.cfg.xpmem_sync,
+                    now + self.cfg.xpmem_sync + self.cfg.shm_notice,
+                )
+            } else {
+                let c = p.memcpy_cost(bytes);
+                (c, now + c + self.cfg.shm_notice)
+            };
+            fx.cpu += send_cost;
+            self.unexpected[dst as usize].push_back((visible, Unexp::Shm { src, tag, data }));
+            fx.wakes.push((dst, visible));
+            return fx;
+        }
+
+        let smsg_limit = self.gni.smsg_limit() as u64;
+        if bytes + 16 <= smsg_limit {
+            // Small eager: copy into the internal buffer, one SMSG.
+            self.stats.eager_msgs += 1;
+            fx.cpu += p.memcpy_cost(bytes);
+            let ep = self.ep(src, dst);
+            match self.gni.smsg_send_w_tag(now + fx.cpu, ep, TAG_EAGER, data.clone()) {
+                Ok(ok) => {
+                    fx.cpu += ok.cpu;
+                    self.unexpected[dst as usize]
+                        .push_back((ok.deliver_at, Unexp::Eager { src, tag, data }));
+                    fx.wakes.push((dst, ok.deliver_at));
+                }
+                Err(GniError::NoCredits { retry_at }) => {
+                    // Cray MPI spins until credits return.
+                    let wait = retry_at.saturating_sub(now + fx.cpu);
+                    fx.cpu += wait;
+                    let ok = self
+                        .gni
+                        .smsg_send_w_tag(now + fx.cpu, ep, TAG_EAGER, data.clone())
+                        .expect("credits after wait");
+                    fx.cpu += ok.cpu;
+                    self.unexpected[dst as usize]
+                        .push_back((ok.deliver_at, Unexp::Eager { src, tag, data }));
+                    fx.wakes.push((dst, ok.deliver_at));
+                }
+                Err(e) => panic!("eager send failed: {e:?}"),
+            }
+            return fx;
+        }
+
+        if bytes < self.cfg.rndv_threshold {
+            // Medium eager: copy into internal registered buffer, PUT into
+            // the receiver's eager slots, tiny notify SMSG.
+            self.stats.eager_msgs += 1;
+            fx.cpu += p.memcpy_cost(bytes);
+            let xid = self.next_xid;
+            self.next_xid += 1;
+            let src_node = self.node_of(src);
+            self.gni
+                .mem_write(src_node, self.eager_addr[src as usize], data.clone());
+            let ep = self.ep(src, dst);
+            let desc = PostDescriptor {
+                op: RdmaOp::Put,
+                local_mem: self.eager_handle[src as usize],
+                local_addr: self.eager_addr[src as usize],
+                remote_mem: self.eager_handle[dst as usize],
+                remote_addr: self.eager_addr[dst as usize],
+                bytes,
+                data: Some(data.clone()),
+                user_id: xid,
+            };
+            let ok = if bytes <= 4096 {
+                self.gni.post_fma(now + fx.cpu, ep, desc)
+            } else {
+                self.gni.post_rdma(now + fx.cpu, ep, desc)
+            }
+            .expect("eager PUT failed");
+            fx.cpu += ok.cpu;
+            // Drain our own CQ entry eagerly (send request completion).
+            let _ = self.gni.cq_get_event(self.cqs[src as usize], ok.local_cq_at);
+            self.put_data.insert(xid, (src, tag, data.clone()));
+            let visible_guess = ok.data_at.max(now + fx.cpu);
+            self.unexpected[dst as usize]
+                .push_back((visible_guess, Unexp::Eager { src, tag, data }));
+            // Notify once the data is visible.
+            let mut hdr = Vec::with_capacity(9);
+            hdr.push(TAG_PUT_NOTIFY);
+            hdr.extend_from_slice(&xid.to_be_bytes());
+            let notify_at = ok.data_at.max(now + fx.cpu);
+            match self
+                .gni
+                .smsg_send_w_tag(notify_at, ep, TAG_PUT_NOTIFY, Bytes::from(hdr))
+            {
+                Ok(n) => {
+                    // The receiver learns of the message via the notify.
+                    if let Some(back) = self.unexpected[dst as usize].back_mut() {
+                        back.0 = back.0.max(n.deliver_at);
+                    }
+                    fx.wakes.push((dst, n.deliver_at));
+                }
+                Err(e) => panic!("eager notify failed: {e:?}"),
+            }
+            return fx;
+        }
+
+        // Rendezvous: register the user buffer (uDREG) and send RTS.
+        self.stats.rndv_msgs += 1;
+        let src_node = self.node_of(src);
+        let (handle, reg_cost) = {
+            let cache = &mut self.udreg[src as usize];
+            let table = self.gni.fabric_mut().reg_table(src_node);
+            let before = cache.hits;
+            let r = cache.acquire(&p, table, buf, bytes);
+            if cache.hits > before {
+                self.stats.udreg_hits += 1;
+            } else {
+                self.stats.udreg_misses += 1;
+            }
+            r
+        };
+        fx.cpu += reg_cost;
+        self.gni.mem_write(src_node, buf, data);
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        let mut hdr = Vec::with_capacity(33);
+        hdr.push(TAG_RTS);
+        hdr.extend_from_slice(&xid.to_be_bytes());
+        hdr.extend_from_slice(&bytes.to_be_bytes());
+        hdr.extend_from_slice(&handle.0.to_be_bytes());
+        hdr.extend_from_slice(&buf.0.to_be_bytes());
+        let ep = self.ep(src, dst);
+        match self.gni.smsg_send_w_tag(now + fx.cpu, ep, TAG_RTS, Bytes::from(hdr)) {
+            Ok(ok) => {
+                fx.cpu += ok.cpu;
+                self.unexpected[dst as usize].push_back((
+                    ok.deliver_at,
+                    Unexp::Rts {
+                        src,
+                        tag,
+                        bytes,
+                        xid,
+                        handle,
+                        addr: buf,
+                    },
+                ));
+                fx.wakes.push((dst, ok.deliver_at));
+            }
+            Err(e) => panic!("RTS failed: {e:?}"),
+        }
+        fx
+    }
+
+    /// Drain NIC-level arrivals for `rank`. Headers were enqueued at send
+    /// time (callers must only probe at/after the corresponding wake), so
+    /// this consumes mailbox entries and returns the CPU spent.
+    pub fn progress(&mut self, now: Time, rank: Rank) -> Time {
+        let node = self.node_of(rank);
+        let mut cpu = 0;
+        loop {
+            match self.gni.smsg_get_next_w_tag(node, rank, now + cpu) {
+                Ok(rx) => cpu += rx.cpu,
+                Err(GniError::NotDone) => break,
+                Err(e) => panic!("progress drain failed: {e:?}"),
+            }
+        }
+        cpu
+    }
+
+    /// Is a message from `src`/`tag` (wildcards allowed) matchable at
+    /// `now`? Models `MPI_Iprobe`: costs CPU whether or not it hits.
+    pub fn iprobe(
+        &mut self,
+        now: Time,
+        rank: Rank,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> (Option<ProbeHit>, Time) {
+        let mut cpu = self.cfg.call_overhead + self.progress(now, rank);
+        let hit = self.match_unexpected(now, rank, src, tag).map(|i| {
+            let u = &self.unexpected[rank as usize][i].1;
+            let (s, t) = u.src_tag();
+            ProbeHit {
+                src: s,
+                tag: t,
+                bytes: u.len(),
+                is_rendezvous: matches!(u, Unexp::Rts { .. }),
+            }
+        });
+        // Linear scan of the unexpected queue, up to the match (or its
+        // full length on a miss).
+        let scanned = match hit {
+            Some(_) => self
+                .match_unexpected(now, rank, src, tag)
+                .map(|i| i + 1)
+                .unwrap_or(0),
+            None => self.unexpected[rank as usize].len(),
+        };
+        cpu += 40 + scanned as Time * self.cfg.match_scan_per_entry;
+        (hit, cpu)
+    }
+
+    fn match_unexpected(
+        &self,
+        now: Time,
+        rank: Rank,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Option<usize> {
+        self.unexpected[rank as usize].iter().position(|(vis, u)| {
+            if *vis > now {
+                return false;
+            }
+            let (s, t) = u.src_tag();
+            src.is_none_or(|x| x == s) && tag.is_none_or(|x| x == t)
+        })
+    }
+
+    /// Earliest not-yet-visible message for `rank` (for re-arming polls).
+    pub fn next_visible(&self, now: Time, rank: Rank) -> Option<Time> {
+        self.unexpected[rank as usize]
+            .iter()
+            .map(|(vis, _)| *vis)
+            .filter(|&v| v > now)
+            .min()
+    }
+
+    /// Blocking `MPI_Recv` of a message already visible to `iprobe`.
+    /// `recv_buf` identifies the destination application buffer (uDREG).
+    /// The calling core is busy from `now` to `done_at`.
+    pub fn recv(
+        &mut self,
+        now: Time,
+        rank: Rank,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        recv_buf: Addr,
+    ) -> Option<RecvOutcome> {
+        let idx = self.match_unexpected(now, rank, src, tag)?;
+        let (_, u) = self.unexpected[rank as usize].remove(idx).unwrap();
+        let p = self.cfg.params.clone();
+        // Matching re-scans the unexpected list up to the hit.
+        let base = now
+            + self.cfg.call_overhead
+            + (idx as Time + 1) * self.cfg.match_scan_per_entry;
+        match u {
+            Unexp::Eager { src, tag, data } | Unexp::Shm { src, tag, data } => {
+                // Copy out of MPI internal (or shared) memory into the user
+                // buffer.
+                let done = base + p.memcpy_cost(data.len() as u64);
+                Some(RecvOutcome {
+                    data,
+                    done_at: done,
+                    src,
+                    tag,
+                })
+            }
+            Unexp::Rts {
+                src,
+                tag,
+                bytes,
+                xid,
+                handle,
+                addr,
+            } => {
+                // Register the landing buffer, post the GET, block to done.
+                let node = self.node_of(rank);
+                let (rh, reg_cost) = {
+                    let cache = &mut self.udreg[rank as usize];
+                    let table = self.gni.fabric_mut().reg_table(node);
+                    let before = cache.hits;
+                    let r = cache.acquire(&p, table, recv_buf, bytes);
+                    if cache.hits > before {
+                        self.stats.udreg_hits += 1;
+                    } else {
+                        self.stats.udreg_misses += 1;
+                    }
+                    r
+                };
+                let t0 = base + reg_cost;
+                let ep = self.ep(rank, src);
+                let desc = PostDescriptor {
+                    op: RdmaOp::Get,
+                    local_mem: rh,
+                    local_addr: recv_buf,
+                    remote_mem: handle,
+                    remote_addr: addr,
+                    bytes,
+                    data: None,
+                    user_id: xid,
+                };
+                let ok = self.gni.post_rdma(t0, ep, desc).expect("rendezvous GET");
+                // Blocking: spin on the CQ until done.
+                let ev = self
+                    .gni
+                    .cq_get_event(self.cqs[rank as usize], ok.local_cq_at)
+                    .expect("GET completion");
+                let data = match ev {
+                    ugni::CqEvent::PostDone { data, .. } => {
+                        data.expect("rendezvous GET without data")
+                    }
+                    e => panic!("unexpected CQ event {e:?}"),
+                };
+                // DONE message lets the sender's request complete.
+                let mut hdr = Vec::with_capacity(9);
+                hdr.push(TAG_DONE);
+                hdr.extend_from_slice(&xid.to_be_bytes());
+                let ep_back = self.ep(rank, src);
+                let _ = self
+                    .gni
+                    .smsg_send_w_tag(ok.local_cq_at, ep_back, TAG_DONE, Bytes::from(hdr));
+                let done = ok.local_cq_at + self.cfg.call_overhead;
+                self.stats.blocking_recv_ns += done.saturating_sub(now);
+                Some(RecvOutcome {
+                    data,
+                    done_at: done,
+                    src,
+                    tag,
+                })
+            }
+        }
+    }
+
+    /// Pending unmatched messages for `rank` (diagnostics).
+    pub fn unexpected_len(&self, rank: Rank) -> usize {
+        self.unexpected[rank as usize].len()
+    }
+
+    /// A fresh application-buffer identity on `rank`'s node.
+    pub fn fresh_buf(&mut self, rank: Rank) -> Addr {
+        let node = self.node_of(rank);
+        self.gni.alloc_addr(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mpi(ranks: u32, cores: u32) -> MpiSim {
+        MpiSim::new(MpiConfig::default(), ranks, cores)
+    }
+
+    #[test]
+    fn small_eager_round_trip() {
+        let mut m = mpi(2, 1);
+        let buf = m.fresh_buf(0);
+        let fx = m.isend(0, 0, 1, 7, Bytes::from_static(b"hello"), buf);
+        assert!(fx.cpu > 0);
+        let (_, arrive) = fx.wakes[0];
+        let (hit, _) = m.iprobe(arrive, 1, None, None);
+        let hit = hit.expect("message not probed");
+        assert_eq!(hit.src, 0);
+        assert_eq!(hit.tag, 7);
+        assert!(!hit.is_rendezvous);
+        let rbuf = m.fresh_buf(1);
+        let out = m.recv(arrive, 1, Some(0), Some(7), rbuf).unwrap();
+        assert_eq!(&out.data[..], b"hello");
+        assert!(out.done_at > arrive);
+        assert_eq!(m.stats.eager_msgs, 1);
+    }
+
+    #[test]
+    fn medium_eager_uses_put() {
+        let mut m = mpi(2, 1);
+        let buf = m.fresh_buf(0);
+        let data = Bytes::from(vec![3u8; 4000]);
+        let fx = m.isend(0, 0, 1, 1, data.clone(), buf);
+        let (_, arrive) = fx.wakes[0];
+        let rbuf = m.fresh_buf(1);
+        let out = m.recv(arrive, 1, None, None, rbuf).unwrap();
+        assert_eq!(out.data, data);
+        assert_eq!(m.stats.eager_msgs, 1);
+        assert_eq!(m.stats.rndv_msgs, 0);
+        assert!(m.gni().fabric().stats.rdma_bytes >= 4000);
+    }
+
+    #[test]
+    fn large_uses_rendezvous_and_blocks() {
+        let mut m = mpi(2, 1);
+        let buf = m.fresh_buf(0);
+        let data = Bytes::from(vec![9u8; 65536]);
+        let fx = m.isend(0, 0, 1, 5, data.clone(), buf);
+        let (_, arrive) = fx.wakes[0];
+        let (hit, _) = m.iprobe(arrive, 1, None, None);
+        assert!(hit.unwrap().is_rendezvous);
+        let rbuf = m.fresh_buf(1);
+        let out = m.recv(arrive, 1, Some(0), Some(5), rbuf).unwrap();
+        assert_eq!(out.data, data);
+        assert!(
+            out.done_at > arrive + 10_000,
+            "recv window {}",
+            out.done_at - arrive
+        );
+        assert_eq!(m.stats.rndv_msgs, 1);
+        assert!(m.stats.blocking_recv_ns > 0);
+    }
+
+    #[test]
+    fn same_buffer_hits_udreg_cache() {
+        let mut m = mpi(2, 1);
+        let sbuf = m.fresh_buf(0);
+        let rbuf = m.fresh_buf(1);
+        let data = Bytes::from(vec![1u8; 32768]);
+        let mut t = 0;
+        let mut first_cpu = 0;
+        let mut later_cpu = 0;
+        for i in 0..5 {
+            let fx = m.isend(t, 0, 1, 0, data.clone(), sbuf);
+            if i == 0 {
+                first_cpu = fx.cpu;
+            } else {
+                later_cpu = fx.cpu;
+            }
+            let (_, arrive) = fx.wakes[0];
+            let out = m.recv(arrive, 1, None, None, rbuf).unwrap();
+            t = out.done_at + 1000;
+        }
+        assert!(m.stats.udreg_hits >= 8, "hits {}", m.stats.udreg_hits);
+        assert!(
+            later_cpu + 1000 < first_cpu,
+            "cached send {later_cpu} not cheaper than first {first_cpu}"
+        );
+    }
+
+    #[test]
+    fn fresh_buffers_miss_udreg_cache() {
+        let mut m = mpi(2, 1);
+        let data = Bytes::from(vec![1u8; 32768]);
+        let mut t = 0;
+        for _ in 0..5 {
+            let sbuf = m.fresh_buf(0);
+            let rbuf = m.fresh_buf(1);
+            let fx = m.isend(t, 0, 1, 0, data.clone(), sbuf);
+            let (_, arrive) = fx.wakes[0];
+            let out = m.recv(arrive, 1, None, None, rbuf).unwrap();
+            t = out.done_at + 1000;
+        }
+        assert_eq!(m.stats.udreg_hits, 0);
+        assert_eq!(m.stats.udreg_misses, 10);
+    }
+
+    #[test]
+    fn tag_and_source_matching() {
+        let mut m = mpi(3, 1);
+        let b0 = m.fresh_buf(0);
+        let b2 = m.fresh_buf(2);
+        let f1 = m.isend(0, 0, 1, 100, Bytes::from_static(b"a"), b0);
+        let f2 = m.isend(0, 2, 1, 200, Bytes::from_static(b"b"), b2);
+        let t = f1.wakes[0].1.max(f2.wakes[0].1);
+        let rbuf = m.fresh_buf(1);
+        let out = m.recv(t, 1, None, Some(200), rbuf).unwrap();
+        assert_eq!(&out.data[..], b"b");
+        assert_eq!(out.src, 2);
+        let out = m.recv(t, 1, Some(0), None, rbuf).unwrap();
+        assert_eq!(&out.data[..], b"a");
+        assert!(m.recv(t, 1, None, None, rbuf).is_none());
+    }
+
+    #[test]
+    fn in_order_delivery_per_pair() {
+        let mut m = mpi(2, 1);
+        let mut last = 0;
+        for i in 0..5u8 {
+            let b = m.fresh_buf(0);
+            let fx = m.isend(i as Time * 10, 0, 1, 0, Bytes::from(vec![i]), b);
+            last = last.max(fx.wakes[0].1);
+        }
+        let rbuf = m.fresh_buf(1);
+        for i in 0..5u8 {
+            let out = m.recv(last, 1, None, None, rbuf).unwrap();
+            assert_eq!(out.data[0], i, "order violated");
+        }
+    }
+
+    #[test]
+    fn messages_match_in_arrival_order() {
+        // MPICH fills its unexpected queue at *arrival*: a later-sent
+        // message that lands earlier (different protocol class) may match
+        // first, but same-class messages never overtake each other.
+        let mut m = mpi(2, 1);
+        let b1 = m.fresh_buf(0);
+        let fx1 = m.isend(0, 0, 1, 0, Bytes::from(vec![1u8; 16]), b1);
+        let b2 = m.fresh_buf(0);
+        let fx2 = m.isend(100, 0, 1, 0, Bytes::from(vec![2u8; 16]), b2);
+        let t = fx1.wakes[0].1.max(fx2.wakes[0].1);
+        let rb = m.fresh_buf(1);
+        let a = m.recv(t, 1, None, None, rb).unwrap();
+        let b = m.recv(t, 1, None, None, rb).unwrap();
+        assert_eq!(a.data[0], 1, "same-class messages must not overtake");
+        assert_eq!(b.data[0], 2);
+    }
+
+    #[test]
+    fn invisible_messages_do_not_match_early() {
+        let mut m = mpi(2, 1);
+        let b1 = m.fresh_buf(0);
+        let fx = m.isend(0, 0, 1, 0, Bytes::from_static(b"later"), b1);
+        let arrive = fx.wakes[0].1;
+        let rb = m.fresh_buf(1);
+        // Before arrival: nothing matchable.
+        assert!(m.recv(arrive - 1, 1, None, None, rb).is_none());
+        let (hit, _) = m.iprobe(arrive - 1, 1, None, None);
+        assert!(hit.is_none(), "probe must not see in-flight data");
+        assert!(m.recv(arrive, 1, None, None, rb).is_some());
+    }
+
+    #[test]
+    fn intranode_small_is_fast_double_copy() {
+        let mut m = mpi(2, 2); // same node
+        let b = m.fresh_buf(0);
+        let fx = m.isend(0, 0, 1, 0, Bytes::from(vec![0u8; 1024]), b);
+        let (_, visible) = fx.wakes[0];
+        assert!(visible < 5_000, "shm visibility {visible}ns too slow");
+        let rbuf = m.fresh_buf(1);
+        let out = m.recv(visible, 1, None, None, rbuf).unwrap();
+        assert_eq!(out.data.len(), 1024);
+        assert_eq!(m.stats.shm_msgs, 1);
+        // Never touched the NIC.
+        assert_eq!(m.gni().fabric().stats.smsg_sends, 0);
+    }
+
+    #[test]
+    fn intranode_large_pays_xpmem_sync() {
+        let mut m = mpi(2, 2);
+        let b = m.fresh_buf(0);
+        let fx = m.isend(0, 0, 1, 0, Bytes::from(vec![0u8; 262_144]), b);
+        // Single copy: sender pays sync, not a 256K memcpy.
+        assert!(fx.cpu < MpiConfig::default().params.memcpy_cost(262_144));
+        assert!(fx.cpu >= MpiConfig::default().xpmem_sync);
+    }
+
+    #[test]
+    fn probe_miss_costs_cpu() {
+        let mut m = mpi(2, 1);
+        let (hit, cpu) = m.iprobe(100, 1, None, None);
+        assert!(hit.is_none());
+        assert!(cpu > 0, "Iprobe must cost CPU even on a miss");
+    }
+
+    #[test]
+    fn self_send_not_supported_via_shm_branch() {
+        // rank -> same rank goes through the network path (callers are
+        // expected to loop back above MPI); just ensure no panic and
+        // delivery works.
+        let mut m = mpi(2, 2);
+        let b = m.fresh_buf(0);
+        let fx = m.isend(0, 0, 0, 0, Bytes::from_static(b"z"), b);
+        let rbuf = m.fresh_buf(0);
+        let t = fx.wakes.first().map(|w| w.1).unwrap_or(10_000);
+        let out = m.recv(t.max(10_000), 0, None, None, rbuf);
+        assert!(out.is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! The central event queue of the discrete-event simulation.
+//!
+//! Events are totally ordered by `(time, sequence)`: two events scheduled
+//! for the same instant pop in the order they were pushed. That stability is
+//! what makes every simulation in this workspace deterministic and therefore
+//! testable — identical inputs produce identical virtual-time results.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of timestamped events with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    /// High-water mark of queue length, useful for harness diagnostics.
+    peak_len: usize,
+    pushed: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            peak_len: 0,
+            pushed: 0,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            peak_len: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    #[inline]
+    pub fn push(&mut self, time: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.peak_len = self.peak_len.max(self.heap.len());
+    }
+
+    /// Remove and return the earliest event, or `None` when empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest number of simultaneously pending events seen so far.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn bookkeeping_counters() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.pop();
+        q.push(3, ());
+        assert_eq!(q.total_pushed(), 3);
+        assert_eq!(q.peak_len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        // peak and pushed survive clear
+        assert_eq!(q.peak_len(), 2);
+        assert_eq!(q.total_pushed(), 3);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(100, 100u64);
+        q.push(50, 50);
+        assert_eq!(q.pop(), Some((50, 50)));
+        q.push(75, 75);
+        q.push(25, 25);
+        assert_eq!(q.pop(), Some((25, 25)));
+        assert_eq!(q.pop(), Some((75, 75)));
+        assert_eq!(q.pop(), Some((100, 100)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever we push, pops come out sorted by time, and same-time
+        /// events preserve push order.
+        #[test]
+        fn pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i);
+            }
+            let mut out = Vec::new();
+            while let Some(x) = q.pop() {
+                out.push(x);
+            }
+            prop_assert_eq!(out.len(), times.len());
+            for w in out.windows(2) {
+                let (t0, i0) = w[0];
+                let (t1, i1) = w[1];
+                prop_assert!(t0 <= t1);
+                if t0 == t1 {
+                    prop_assert!(i0 < i1, "FIFO violated for equal times");
+                }
+            }
+        }
+
+        /// len() always equals pushes minus pops.
+        #[test]
+        fn len_is_consistent(ops in proptest::collection::vec(proptest::option::of(0u64..100), 0..300)) {
+            let mut q = EventQueue::new();
+            let mut expect = 0usize;
+            for op in ops {
+                match op {
+                    Some(t) => { q.push(t, ()); expect += 1; }
+                    None => {
+                        let popped = q.pop().is_some();
+                        prop_assert_eq!(popped, expect > 0);
+                        if popped { expect -= 1; }
+                    }
+                }
+                prop_assert_eq!(q.len(), expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Statistics and reporting helpers for the benchmark harness.
+//!
+//! The paper reports latency curves (figures) and small tables; the harness
+//! binaries in `charm-bench` build [`Series`] objects and print them in a
+//! uniform aligned-column format so `EXPERIMENTS.md` can quote them directly.
+
+use crate::time::{to_us, Time};
+
+/// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n-1 denominator).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel-friendly).
+    pub fn merge(&mut self, o: &OnlineStats) {
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = o.clone();
+            return;
+        }
+        let n = self.n + o.n;
+        let d = o.mean - self.mean;
+        let mean = self.mean + d * o.n as f64 / n as f64;
+        let m2 = self.m2 + o.m2 + d * d * (self.n as f64 * o.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+}
+
+/// One named curve for a figure: x values with one y per x.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Convenience for latency curves: x = message bytes, y = µs.
+    pub fn push_latency(&mut self, bytes: u64, t: Time) {
+        self.points.push((bytes as f64, to_us(t)));
+    }
+}
+
+/// A figure: several series over a common x-axis, rendered as a text table.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    pub fn add(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Render as an aligned markdown-ish table, one row per distinct x.
+    pub fn render(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        out.push_str(&format!(
+            "{} vs {} ({} series)\n",
+            self.y_label,
+            self.x_label,
+            self.series.len()
+        ));
+        let mut header = format!("{:>12}", self.x_label);
+        for s in &self.series {
+            header.push_str(&format!("  {:>18}", s.name));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        for &x in &xs {
+            let mut row = format!("{:>12}", fmt_x(x));
+            for s in &self.series {
+                let y = s
+                    .points
+                    .iter()
+                    .find(|p| p.0 == x)
+                    .map(|p| p.1);
+                match y {
+                    Some(v) => row.push_str(&format!("  {:>18.3}", v)),
+                    None => row.push_str(&format!("  {:>18}", "-")),
+                }
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn fmt_x(x: f64) -> String {
+    if x >= 1024.0 * 1024.0 && (x as u64) % (1024 * 1024) == 0 {
+        format!("{}M", x as u64 / (1024 * 1024))
+    } else if x >= 1024.0 && (x as u64) % 1024 == 0 {
+        format!("{}K", x as u64 / 1024)
+    } else {
+        format!("{}", x)
+    }
+}
+
+/// Geometric sweep of message sizes `lo..=hi`, doubling each step —
+/// the x-axes the paper uses.
+pub fn pow2_sizes(lo: u64, hi: u64) -> Vec<u64> {
+    assert!(lo > 0 && lo <= hi);
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x <= hi {
+        v.push(x);
+        if x > hi / 2 {
+            break;
+        }
+        x *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.stddev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 7 % 13) as f64).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn pow2_sweep() {
+        assert_eq!(pow2_sizes(8, 64), vec![8, 16, 32, 64]);
+        assert_eq!(pow2_sizes(8, 100), vec![8, 16, 32, 64]);
+        assert_eq!(pow2_sizes(1, 1), vec![1]);
+    }
+
+    #[test]
+    fn figure_renders_all_series() {
+        let mut f = Figure::new("Test", "bytes", "us");
+        let mut s1 = Series::new("a");
+        s1.push(8.0, 1.5);
+        s1.push(16.0, 2.0);
+        let mut s2 = Series::new("b");
+        s2.push(8.0, 3.0);
+        f.add(s1);
+        f.add(s2);
+        let r = f.render();
+        assert!(r.contains("Test"));
+        assert!(r.contains('a') && r.contains('b'));
+        assert!(r.contains("1.500"));
+        assert!(r.contains('-'), "missing point shown as dash");
+    }
+}

@@ -1,0 +1,105 @@
+//! uGNI-style handle types, return codes, descriptors and CQ events.
+//!
+//! Names deliberately mirror the Cray uGNI API (paper §II-B) so the machine
+//! layer reads like the real one: `GNI_CqCreate` → [`crate::Gni::cq_create`],
+//! `GNI_SmsgSendWTag` → [`crate::Gni::smsg_send_w_tag`], `GNI_PostRdma` →
+//! [`crate::Gni::post_rdma`], and so on.
+
+use bytes::Bytes;
+use gemini_net::{Addr, MemHandle, NodeId, RdmaOp};
+use sim_core::Time;
+
+/// Completion queue handle (`gni_cq_handle_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CqHandle(pub(crate) u32);
+
+/// Endpoint handle (`gni_ep_handle_t`): a bound (local node, remote node)
+/// pair with a CQ for local completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpHandle(pub(crate) u32);
+
+/// Return codes, mirroring `gni_return_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GniError {
+    /// `GNI_RC_NOT_DONE`: nothing ready yet.
+    NotDone,
+    /// SMSG mailbox credits exhausted for this connection; retry at the
+    /// embedded time (`GNI_RC_NOT_DONE` on the real NIC; we carry the
+    /// earliest useful retry time to keep the simulation event-efficient).
+    NoCredits { retry_at: Time },
+    /// Payload exceeds the SMSG limit (`GNI_RC_INVALID_PARAM`).
+    TooLarge { limit: u32 },
+    /// Unknown or stale handle (`GNI_RC_INVALID_PARAM`).
+    InvalidHandle,
+    /// RDMA against unregistered memory (`GNI_RC_PERMISSION_ERROR`).
+    NotRegistered,
+}
+
+pub type GniResult<T> = Result<T, GniError>;
+
+/// Transaction descriptor for `post_fma` / `post_rdma`
+/// (`gni_post_descriptor_t`).
+#[derive(Debug, Clone)]
+pub struct PostDescriptor {
+    pub op: RdmaOp,
+    /// Registered memory on the initiating node.
+    pub local_mem: MemHandle,
+    /// Buffer address within the local registration (content key).
+    pub local_addr: Addr,
+    /// Registered memory on the remote node.
+    pub remote_mem: MemHandle,
+    /// Buffer address within the remote registration (content key).
+    pub remote_addr: Addr,
+    pub bytes: u64,
+    /// For PUT: the payload to deposit into remote memory.
+    pub data: Option<Bytes>,
+    /// Opaque id returned in the completion event (`post_id`).
+    pub user_id: u64,
+}
+
+/// An event delivered by a completion queue.
+#[derive(Debug, Clone)]
+pub enum CqEvent {
+    /// A posted FMA/BTE transaction completed locally.
+    PostDone {
+        user_id: u64,
+        op: RdmaOp,
+        /// For GET: the bytes read out of remote memory.
+        data: Option<Bytes>,
+    },
+    /// An SMSG landed in this node's mailbox (drain it with
+    /// `smsg_get_next_w_tag`).
+    SmsgRx { from: NodeId },
+}
+
+/// Result of a successful SMSG send.
+#[derive(Debug, Clone, Copy)]
+pub struct SmsgSendOk {
+    /// CPU time the sender burned (charge as overhead).
+    pub cpu: Time,
+    /// When the message is pollable at the destination. The caller is
+    /// responsible for arranging a progress wake-up at the remote node —
+    /// the simulation has no daemon threads.
+    pub deliver_at: Time,
+}
+
+/// Result of a successful post (FMA or RDMA).
+#[derive(Debug, Clone, Copy)]
+pub struct PostOk {
+    /// CPU time the initiator burned.
+    pub cpu: Time,
+    /// When the local CQ will report `PostDone`.
+    pub local_cq_at: Time,
+    /// When the data is fully visible at its destination.
+    pub data_at: Time,
+}
+
+/// A received SMSG.
+#[derive(Debug, Clone)]
+pub struct SmsgRecv {
+    pub tag: u8,
+    pub from: NodeId,
+    pub data: Bytes,
+    /// CPU cost of the dequeue + copy out of the mailbox.
+    pub cpu: Time,
+}

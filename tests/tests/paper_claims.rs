@@ -1,0 +1,120 @@
+//! Paper-claim regression tests: the quantitative statements from the
+//! abstract and §V, checked end to end against the simulated machine at
+//! reduced (CI-friendly) scale. These are the "shape" assertions of
+//! DESIGN.md §4.
+
+use charm_apps::kneighbor::kneighbor_iteration_time;
+use charm_apps::one_to_all::one_to_all_latency;
+use charm_apps::pingpong::{charm_one_way, raw_mpi_one_way, raw_ugni_one_way};
+use charm_apps::LayerKind;
+use gemini_net::GeminiParams;
+use mpi_sim::MpiConfig;
+
+/// Abstract: "the uGNI-based runtime system outperforms the MPI-based
+/// implementation by up to 50% in terms of message latency."
+#[test]
+fn up_to_fifty_percent_latency_win() {
+    let mut best = 0.0f64;
+    for bytes in [2_048usize, 8_192, 65_536, 262_144] {
+        let u = charm_one_way(&LayerKind::ugni(), 1, bytes, 30, false);
+        let m = charm_one_way(&LayerKind::mpi(), 1, bytes, 30, false);
+        best = best.max(1.0 - u / m);
+    }
+    assert!(
+        best >= 0.30,
+        "expected a large latency win somewhere; best was {:.0}%",
+        best * 100.0
+    );
+}
+
+/// §V-A: "a latency as low as 1.6us for an 8-byte message, which is close
+/// to the case with the pure uGNI (1.2us)".
+#[test]
+fn small_message_absolute_latencies() {
+    let pure = raw_ugni_one_way(&GeminiParams::hopper(), 8) as f64 / 1000.0;
+    let charm = charm_one_way(&LayerKind::ugni(), 1, 8, 100, false) / 1000.0;
+    assert!((0.9..1.6).contains(&pure), "pure uGNI 8B {pure:.2}us");
+    assert!((1.2..2.4).contains(&charm), "charm uGNI 8B {charm:.2}us");
+    assert!(charm > pure, "runtime overhead must be visible");
+}
+
+/// §V-A: between 512B and 1024B there is a jump in uGNI-based CHARM++
+/// (switch to the rendezvous protocol) while pure uGNI grows slowly.
+#[test]
+fn smsg_to_rendezvous_jump() {
+    let at_512 = charm_one_way(&LayerKind::ugni(), 1, 512, 40, false);
+    let at_2048 = charm_one_way(&LayerKind::ugni(), 1, 2048, 40, false);
+    assert!(
+        at_2048 > at_512 * 1.5,
+        "expected a protocol-switch jump: {at_512:.0}ns -> {at_2048:.0}ns"
+    );
+}
+
+/// §V-A: "if a same user buffer is used in both sending and receiving,
+/// the MPI performance is much better than the case of using different
+/// buffers" (large messages only).
+#[test]
+fn mpi_buffer_reuse_effect() {
+    let cfg = MpiConfig::default();
+    let same = raw_mpi_one_way(&cfg, 262_144, 12, true);
+    let diff = raw_mpi_one_way(&cfg, 262_144, 12, false);
+    assert!(
+        same * 1.15 < diff,
+        "same-buffer rendezvous should win clearly: {same:.0} vs {diff:.0}"
+    );
+}
+
+/// §V-B: kNeighbor — "The latency on uGNI-based CHARM++ is only half of
+/// that on the MPI-based CHARM++" despite similar ping-pong latency.
+#[test]
+fn kneighbor_concurrency_gap_exceeds_pingpong_gap() {
+    let bytes = 262_144;
+    let pp_u = charm_one_way(&LayerKind::ugni(), 1, bytes, 20, false);
+    let pp_m = charm_one_way(&LayerKind::mpi(), 1, bytes, 20, false);
+    let kn_u = kneighbor_iteration_time(&LayerKind::ugni(), 3, 1, 1, bytes, 8);
+    let kn_m = kneighbor_iteration_time(&LayerKind::mpi(), 3, 1, 1, bytes, 8);
+    let pp_ratio = pp_m / pp_u;
+    let kn_ratio = kn_m / kn_u;
+    assert!(
+        kn_ratio > pp_ratio,
+        "concurrency must widen the gap: pingpong x{pp_ratio:.2}, kNeighbor x{kn_ratio:.2}"
+    );
+    assert!(kn_ratio >= 1.8, "paper reports ~2x; got x{kn_ratio:.2}");
+}
+
+/// §V-A Fig. 9c: one-to-all, small messages — "uGNI-based CHARM++
+/// outperforms MPI-based CHARM++ by a large margin ... the gap closes as
+/// message sizes increase".
+#[test]
+fn one_to_all_margin_and_closing_gap() {
+    let small_u = one_to_all_latency(&LayerKind::ugni(), 16, 1, 64, 5);
+    let small_m = one_to_all_latency(&LayerKind::mpi(), 16, 1, 64, 5);
+    let large_u = one_to_all_latency(&LayerKind::ugni(), 16, 1, 1 << 20, 3);
+    let large_m = one_to_all_latency(&LayerKind::mpi(), 16, 1, 1 << 20, 3);
+    assert!(small_u * 1.3 < small_m, "{small_u:.0} vs {small_m:.0}");
+    assert!(large_m / large_u < small_m / small_u, "gap should close");
+}
+
+/// §II-A: "The crossover point between FMA and BTE for most application
+/// is between 2048 and 8192 bytes".
+#[test]
+fn fma_bte_crossover_band() {
+    use charm_apps::pingpong::raw_transaction_latency;
+    use gemini_net::{Mechanism, RdmaOp};
+    let p = GeminiParams::hopper();
+    let mut crossover = None;
+    for exp in 6..22 {
+        let b = 1u64 << exp;
+        let fma = raw_transaction_latency(&p, b, Mechanism::Fma, RdmaOp::Put);
+        let bte = raw_transaction_latency(&p, b, Mechanism::Bte, RdmaOp::Put);
+        if bte <= fma {
+            crossover = Some(b);
+            break;
+        }
+    }
+    let c = crossover.expect("no crossover");
+    assert!(
+        (2048..=8192).contains(&c),
+        "crossover {c} outside the paper's band"
+    );
+}
