@@ -1,7 +1,7 @@
 //! Shared harness plumbing: layer selection and cluster construction.
 
 use charm_rt::prelude::*;
-use gemini_net::GeminiParams;
+use gemini_net::{FaultPlan, GeminiParams};
 use lrts_mpi::MpiLayer;
 use lrts_ugni::{UgniConfig, UgniLayer};
 use mpi_sim::MpiConfig;
@@ -35,6 +35,26 @@ impl LayerKind {
         }
     }
 
+    /// Chaos knob: run this layer's fabric under `plan`. The ideal layer
+    /// has no fabric to break, so the plan is ignored there.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        match &mut self {
+            LayerKind::Ugni(cfg) => cfg.params.fault = plan,
+            LayerKind::Mpi(cfg) => cfg.params.fault = plan,
+            LayerKind::Ideal(_) => {}
+        }
+        self
+    }
+
+    /// The fault plan this layer will run under.
+    pub fn fault(&self) -> FaultPlan {
+        match self {
+            LayerKind::Ugni(cfg) => cfg.params.fault.clone(),
+            LayerKind::Mpi(cfg) => cfg.params.fault.clone(),
+            LayerKind::Ideal(_) => FaultPlan::default(),
+        }
+    }
+
     pub fn make_layer(&self) -> Box<dyn MachineLayer> {
         match self {
             LayerKind::Ugni(cfg) => Box::new(UgniLayer::new(cfg.clone())),
@@ -54,19 +74,16 @@ impl LayerKind {
 
     /// Build a cluster of `num_pes` PEs with `cores_per_node` per node.
     pub fn cluster(&self, num_pes: u32, cores_per_node: u32) -> Cluster {
-        let cfg = ClusterCfg::new(num_pes, cores_per_node);
+        let mut cfg = ClusterCfg::new(num_pes, cores_per_node);
+        cfg.fault = self.fault();
         Cluster::new(cfg, self.make_layer())
     }
 
     /// Like [`LayerKind::cluster`] with a Fig.-12-style timeline trace.
-    pub fn cluster_traced(
-        &self,
-        num_pes: u32,
-        cores_per_node: u32,
-        bucket: Time,
-    ) -> Cluster {
+    pub fn cluster_traced(&self, num_pes: u32, cores_per_node: u32, bucket: Time) -> Cluster {
         let mut cfg = ClusterCfg::new(num_pes, cores_per_node);
         cfg.trace_bucket = Some(bucket);
+        cfg.fault = self.fault();
         Cluster::new(cfg, self.make_layer())
     }
 }

@@ -166,8 +166,8 @@ pub fn jacobi_sequential(n: u32, iters: u32) -> (Vec<f64>, f64) {
     let w = n + 2;
     let mut cells = vec![0.0f64; w * w];
     let mut next = cells.clone();
-    for x in 0..w {
-        cells[x] = 1.0; // top boundary
+    for c in cells.iter_mut().take(w) {
+        *c = 1.0; // top boundary
     }
     let mut res = 0.0;
     for _ in 0..iters {
@@ -197,7 +197,12 @@ pub fn jacobi_sequential(n: u32, iters: u32) -> (Vec<f64>, f64) {
 }
 
 /// Run the parallel solver.
-pub fn run_jacobi(layer: &LayerKind, num_pes: u32, cores_per_node: u32, cfg: &JacobiConfig) -> JacobiResult {
+pub fn run_jacobi(
+    layer: &LayerKind,
+    num_pes: u32,
+    cores_per_node: u32,
+    cfg: &JacobiConfig,
+) -> JacobiResult {
     assert_eq!(cfg.n % cfg.blocks, 0, "blocks must divide n");
     let bs = (cfg.n / cfg.blocks) as usize;
     let nb = cfg.blocks;
@@ -273,10 +278,10 @@ pub fn run_jacobi(layer: &LayerKind, num_pes: u32, cores_per_node: u32, cfg: &Ja
         // ghost (dir 0), etc.
         let (bx, by, nb) = (st.bx, st.by, st.nb);
         let sends: [(bool, i32, i32, u8, u8); 4] = [
-            (by > 0, 0, -1, 0, 1),        // to the block above: its bottom ghost
-            (by < nb - 1, 0, 1, 1, 0),    // below: its top ghost
-            (bx > 0, -1, 0, 2, 3),        // left: its right ghost
-            (bx < nb - 1, 1, 0, 3, 2),    // right: its left ghost
+            (by > 0, 0, -1, 0, 1),     // to the block above: its bottom ghost
+            (by < nb - 1, 0, 1, 1, 0), // below: its top ghost
+            (bx > 0, -1, 0, 2, 3),     // left: its right ghost
+            (bx < nb - 1, 1, 0, 3, 2), // right: its left ghost
         ];
         for (exists, dx, dy, my_edge, their_ghost) in sends {
             if !exists {
@@ -446,6 +451,9 @@ mod tests {
         let top_avg: f64 = r.grid[..n].iter().sum::<f64>() / n as f64;
         let bottom_avg: f64 = r.grid[(n - 1) * n..].iter().sum::<f64>() / n as f64;
         assert!(top_avg > 0.3, "top {top_avg}");
-        assert!(bottom_avg < top_avg / 2.0, "bottom {bottom_avg} vs top {top_avg}");
+        assert!(
+            bottom_avg < top_avg / 2.0,
+            "bottom {bottom_avg} vs top {top_avg}"
+        );
     }
 }

@@ -271,7 +271,8 @@ fn run_on_cluster(c: &mut Cluster, cfg: &NqConfig) -> NqResult {
 fn bounded_pareto_mean(lo: f64, hi: f64, alpha: f64) -> f64 {
     let la = lo.powf(alpha);
     let ha = hi.powf(alpha);
-    (la / (1.0 - la / ha)) * (alpha / (alpha - 1.0))
+    (la / (1.0 - la / ha))
+        * (alpha / (alpha - 1.0))
         * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
 }
 

@@ -52,9 +52,9 @@ pub fn raw_transaction_latency(
     };
     let ep = g.ep_create(init, remote, cq);
     let la = g.alloc_addr(init);
-    let (lh, _) = g.mem_register(init, la, bytes.max(1));
+    let (lh, _) = g.mem_register(init, la, bytes.max(1)).expect("register");
     let ra = g.alloc_addr(remote);
-    let (rh, _) = g.mem_register(remote, ra, bytes.max(1));
+    let (rh, _) = g.mem_register(remote, ra, bytes.max(1)).expect("register");
     let data = Bytes::from(vec![0u8; bytes as usize]);
     g.mem_write(remote, ra, data.clone());
     g.mem_write(init, la, data.clone());
@@ -129,6 +129,20 @@ pub fn charm_one_way(
     iters: u64,
     persistent: bool,
 ) -> f64 {
+    charm_one_way_with_recovery(layer, cores_per_node, bytes, iters, persistent).0
+}
+
+/// Like [`charm_one_way`], but also reports the fraction of the run's
+/// *work* time (busy + overhead + recovery — idle excluded, since
+/// ping-pong is latency-bound) spent on fault recovery, 0.0 on
+/// fault-free runs: `(one_way_ns, recovery_fraction)`.
+pub fn charm_one_way_with_recovery(
+    layer: &LayerKind,
+    cores_per_node: u32,
+    bytes: usize,
+    iters: u64,
+    persistent: bool,
+) -> (f64, f64) {
     let mut c = layer.cluster(2, cores_per_node);
     struct St {
         remaining: u64,
@@ -180,8 +194,11 @@ pub fn charm_one_way(
     });
     c.inject(0, 1, kick, Bytes::new());
     c.inject(50_000, 0, kick, Bytes::new());
-    c.run();
-    c.user::<St>(0).elapsed as f64 / (2.0 * iters as f64)
+    let report = c.run();
+    let lat = c.user::<St>(0).elapsed as f64 / (2.0 * iters as f64);
+    let (busy, ovh, rec, _) = c.trace().utilization_with_recovery(Some(report.end_time));
+    let work = busy + ovh + rec;
+    (lat, if work > 0.0 { rec / work } else { 0.0 })
 }
 
 /// Charm-level streaming bandwidth in MB/s: `window` messages of `bytes`

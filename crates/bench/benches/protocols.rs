@@ -38,7 +38,9 @@ fn bench_get_vs_put_rendezvous(c: &mut Criterion) {
             RdmaOp::Put => 2,
         };
         for _ in 0..ctrl_hops {
-            let ok = g.smsg_send_w_tag(t, ep01, 1, Bytes::from_static(b"ctl")).unwrap();
+            let ok = g
+                .smsg_send_w_tag(t, ep01, 1, Bytes::from_static(b"ctl"))
+                .unwrap();
             t = ok.deliver_at;
         }
         let (init, remote) = match op {
@@ -47,9 +49,9 @@ fn bench_get_vs_put_rendezvous(c: &mut Criterion) {
         };
         let ep = g.ep_create(init, remote, cq);
         let la = g.alloc_addr(init);
-        let (lh, _) = g.mem_register(init, la, bytes);
+        let (lh, _) = g.mem_register(init, la, bytes).expect("register");
         let ra = g.alloc_addr(remote);
-        let (rh, _) = g.mem_register(remote, ra, bytes);
+        let (rh, _) = g.mem_register(remote, ra, bytes).expect("register");
         g.mem_write(remote, ra, data.clone());
         g.mem_write(init, la, data.clone());
         let ok = g

@@ -47,8 +47,7 @@ fn main() {
         "bytes", "classic us/iter", "SMP us/iter"
     );
     for bytes in [4096usize, 65_536, 262_144] {
-        let classic =
-            kneighbor_iteration_time(&LayerKind::ugni(), 6, 2, 1, bytes, 8) / 1000.0;
+        let classic = kneighbor_iteration_time(&LayerKind::ugni(), 6, 2, 1, bytes, 8) / 1000.0;
         let smp = kneighbor_iteration_time(
             &LayerKind::Ugni(UgniConfig::optimized().with_smp(true)),
             6,

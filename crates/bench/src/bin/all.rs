@@ -8,7 +8,10 @@ fn main() {
     } else {
         charm_bench::Effort::default()
     };
-    println!("# Reproduction run ({})\n", if quick { "quick" } else { "full scale" });
+    println!(
+        "# Reproduction run ({})\n",
+        if quick { "quick" } else { "full scale" }
+    );
     println!("{}", charm_bench::fig01(&e).render());
     println!("{}", charm_bench::fig04(&e).render());
     println!("{}", charm_bench::fig06(&e).render());
@@ -24,4 +27,5 @@ fn main() {
     println!("{}", charm_bench::fig13(&e).render());
     println!("{}", charm_bench::render_table1(&charm_bench::table1(&e)));
     println!("{}", charm_bench::render_table2(&charm_bench::table2(&e)));
+    println!("{}", charm_bench::fault_sweep(&e).render());
 }

@@ -1,0 +1,6 @@
+//! Chaos sweep: pingpong completion latency and recovery-overhead share
+//! vs fabric drop probability. See DESIGN.md §7.
+fn main() {
+    let e = charm_bench::Effort::default();
+    println!("{}", charm_bench::fault_sweep(&e).render());
+}

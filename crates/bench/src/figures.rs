@@ -63,7 +63,10 @@ pub fn fig04(_e: &Effort) -> Figure {
     ] {
         let mut s = Series::new(name);
         for &b in &sizes {
-            s.push(b as f64, to_us(raw_transaction_latency(&params(), b, mech, op)));
+            s.push(
+                b as f64,
+                to_us(raw_transaction_latency(&params(), b, mech, op)),
+            );
         }
         f.add(s);
     }
@@ -167,8 +170,10 @@ pub fn fig08c(e: &Effort) -> Figure {
         "us",
     );
     let sizes = pow2_sizes(1024, 512 * 1024);
-    let double = LayerKind::Ugni(UgniConfig::optimized().with_intranode(IntraNode::PxshmDoubleCopy));
-    let single = LayerKind::Ugni(UgniConfig::optimized().with_intranode(IntraNode::PxshmSingleCopy));
+    let double =
+        LayerKind::Ugni(UgniConfig::optimized().with_intranode(IntraNode::PxshmDoubleCopy));
+    let single =
+        LayerKind::Ugni(UgniConfig::optimized().with_intranode(IntraNode::PxshmSingleCopy));
     let loopback =
         LayerKind::Ugni(UgniConfig::optimized().with_intranode(IntraNode::NetworkLoopback));
     let mut s_double = Series::new("pxshm double copy");
@@ -263,8 +268,14 @@ pub fn fig09b(_e: &Effort) -> Figure {
     let mut u = Series::new("uGNI-based CHARM++");
     let mut m = Series::new("MPI-based CHARM++");
     for &b in &sizes {
-        u.push(b as f64, charm_bandwidth(&LayerKind::ugni(), b as usize, 8, 5));
-        m.push(b as f64, charm_bandwidth(&LayerKind::mpi(), b as usize, 8, 5));
+        u.push(
+            b as f64,
+            charm_bandwidth(&LayerKind::ugni(), b as usize, 8, 5),
+        );
+        m.push(
+            b as f64,
+            charm_bandwidth(&LayerKind::mpi(), b as usize, 8, 5),
+        );
     }
     f.add(u);
     f.add(m);
@@ -432,6 +443,37 @@ pub fn fig13(e: &Effort) -> Figure {
     f
 }
 
+/// Chaos sweep (beyond the paper): 64 KiB ping-pong on the uGNI machine
+/// layer while the fabric drops/corrupts an increasing fraction of
+/// transactions. Reports the latency the application still observes (every
+/// ping-pong completes — recovery is exactly-once) and the share of total
+/// PE-time spent on recovery.
+pub fn fault_sweep(e: &Effort) -> Figure {
+    use charm_apps::pingpong::charm_one_way_with_recovery;
+    use gemini_net::FaultPlan;
+
+    let mut f = Figure::new(
+        "Fault sweep: 64 KiB pingpong vs transaction drop probability",
+        "drop probability",
+        "us / fraction",
+    );
+    let mut lat = Series::new("completed one-way latency (us)");
+    let mut rec = Series::new("recovery fraction of work time");
+    for &p in &[0.0, 1e-4, 1e-3, 1e-2] {
+        let mut plan = FaultPlan::uniform_drop(0xFA57, p);
+        plan.smsg_corrupt = p;
+        plan.fma_corrupt = p;
+        plan.bte_corrupt = p;
+        let layer = LayerKind::ugni().with_fault(plan);
+        let (ns, frac) = charm_one_way_with_recovery(&layer, 1, 64 * 1024, e.pingpong_iters, false);
+        lat.push(p, ns / 1000.0);
+        rec.push(p, frac);
+    }
+    f.add(lat);
+    f.add(rec);
+    f
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +500,19 @@ mod tests {
         // FMA wins at 8 bytes, BTE wins at 4 MB.
         assert!(fma_put.points.first().unwrap().1 < bte_put.points.first().unwrap().1);
         assert!(bte_put.points.last().unwrap().1 < fma_put.points.last().unwrap().1);
+    }
+
+    #[test]
+    fn fault_sweep_shapes_hold() {
+        let f = fault_sweep(&Effort::quick());
+        let lat = &f.series[0].points;
+        let rec = &f.series[1].points;
+        // Fault-free endpoint: zero recovery, and every run completes.
+        assert_eq!(rec[0].1, 0.0);
+        assert!(lat.iter().all(|&(_, us)| us > 0.0));
+        // 1% faults must both cost latency and show up as recovery time.
+        assert!(rec.last().unwrap().1 > 0.0);
+        assert!(lat.last().unwrap().1 > lat[0].1);
     }
 
     #[test]

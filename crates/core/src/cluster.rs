@@ -13,8 +13,8 @@
 
 use crate::charm::{CharmPe, CharmRegistry};
 use crate::lrts::{MachineLayer, PersistentHandle};
-use crate::qd::{QdPe, QdState};
 use crate::msg::{Envelope, HandlerId, PeId};
+use crate::qd::{QdPe, QdState};
 use crate::trace::{Kind, Trace};
 use bytes::Bytes;
 use gemini_net::NodeId;
@@ -39,6 +39,10 @@ pub struct ClusterCfg {
     pub max_events: u64,
     /// Seed for all per-PE deterministic RNGs.
     pub seed: u64,
+    /// Chaos knob: the fault plan active in the machine layer's fabric (the
+    /// inert default injects nothing). Kept here so drivers and reports can
+    /// see at the cluster level whether a run was a chaos run.
+    pub fault: gemini_net::FaultPlan,
 }
 
 impl ClusterCfg {
@@ -51,6 +55,7 @@ impl ClusterCfg {
             trace_bucket: None,
             max_events: 2_000_000_000,
             seed: 0xC0FFEE,
+            fault: gemini_net::FaultPlan::default(),
         }
     }
 
@@ -170,6 +175,7 @@ pub struct Cluster {
     events: EventQueue<Event>,
     pub(crate) pes: Vec<PeState>,
     layer: Option<Box<dyn MachineLayer>>,
+    #[allow(clippy::type_complexity)]
     handlers: Vec<Rc<dyn Fn(&mut PeCtx, Envelope)>>,
     pub(crate) charm: CharmRegistry,
     trace: Trace,
@@ -236,10 +242,7 @@ impl Cluster {
     }
 
     /// Register a Converse handler; returns its id.
-    pub fn register_handler(
-        &mut self,
-        f: impl Fn(&mut PeCtx, Envelope) + 'static,
-    ) -> HandlerId {
+    pub fn register_handler(&mut self, f: impl Fn(&mut PeCtx, Envelope) + 'static) -> HandlerId {
         self.handlers.push(Rc::new(f));
         HandlerId(self.handlers.len() as u16 - 1)
     }
@@ -590,6 +593,19 @@ impl MachineCtx<'_> {
         self.trace.record(pe, start, ns, Kind::Overhead);
     }
 
+    /// Charge `ns` of fault-recovery time to `pe` (retries, CQ resyncs,
+    /// registration fallbacks). Same busy-window semantics as
+    /// [`MachineCtx::charge_overhead`], accounted separately in the trace.
+    pub fn charge_recovery(&mut self, pe: PeId, ns: Time) {
+        if ns == 0 {
+            return;
+        }
+        let st = &mut self.pes[pe as usize];
+        let start = st.busy_until.max(self.now);
+        st.busy_until = start + ns;
+        self.trace.record(pe, start, ns, Kind::Recovery);
+    }
+
     /// Count a message the machine layer actually put on the wire.
     pub fn count_send(&mut self, bytes: u64) {
         self.stats.net_msgs += 1;
@@ -738,7 +754,13 @@ impl PeCtx<'_> {
     }
 
     /// `LrtsSendPersistentMsg`.
-    pub fn send_persistent(&mut self, handle: PersistentHandle, dst: PeId, h: HandlerId, payload: Bytes) {
+    pub fn send_persistent(
+        &mut self,
+        handle: PersistentHandle,
+        dst: PeId,
+        h: HandlerId,
+        payload: Bytes,
+    ) {
         self.charged_ovh += self.cfg.send_overhead;
         if !self.system_handlers.contains(&h.0) {
             self.qd_pe.sent += 1;
@@ -832,7 +854,7 @@ mod tests {
     fn charge_advances_virtual_time() {
         let mut c = cluster(1);
         let h = c.register_handler(|ctx, _| {
-            assert_eq!(ctx.now() - 0, 0);
+            assert_eq!(ctx.now(), 0);
             ctx.charge(5_000);
             assert_eq!(ctx.now(), 5_000);
         });
@@ -850,7 +872,11 @@ mod tests {
         c.inject(0, 1, h, Bytes::new());
         c.run();
         // Second handler cannot start before the first's 10us finishes.
-        assert!(c.trace().end_time() >= 20_000, "end {}", c.trace().end_time());
+        assert!(
+            c.trace().end_time() >= 20_000,
+            "end {}",
+            c.trace().end_time()
+        );
         assert_eq!(c.trace().total_busy(), 20_000);
     }
 

@@ -167,8 +167,7 @@ mod tests {
 
     #[test]
     fn priority_survives_the_wire() {
-        let e = Envelope::new(1, 2, HandlerId(3), Bytes::from_static(b"p"))
-            .with_priority(7);
+        let e = Envelope::new(1, 2, HandlerId(3), Bytes::from_static(b"p")).with_priority(7);
         let d = Envelope::decode(&e.encode());
         assert_eq!(d.priority, 7);
         assert_eq!(d, e);

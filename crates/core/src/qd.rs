@@ -208,7 +208,12 @@ mod tests {
             let hops = wire::unpack_u64(&env.payload, 0);
             if hops > 0 {
                 // Delay longer than the QD period.
-                ctx.send_after(30_000, (ctx.pe() + 1) % 4, env.handler, wire::pack_u64s(&[hops - 1]));
+                ctx.send_after(
+                    30_000,
+                    (ctx.pe() + 1) % 4,
+                    env.handler,
+                    wire::pack_u64s(&[hops - 1]),
+                );
             }
         });
         let done = c.register_handler(move |ctx, _| {

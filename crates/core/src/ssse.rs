@@ -72,10 +72,7 @@ impl Ssse {
 
 /// Sum a field of [`SsseStats`] over all PEs after a run, given the stats
 /// live in user state accessible by `get`.
-pub fn sum_stats<U: 'static>(
-    cluster: &Cluster,
-    get: impl Fn(&U) -> &SsseStats,
-) -> SsseStats {
+pub fn sum_stats<U: 'static>(cluster: &Cluster, get: impl Fn(&U) -> &SsseStats) -> SsseStats {
     let mut total = SsseStats::default();
     for pe in 0..cluster.cfg.num_pes {
         let s = get(cluster.user::<U>(pe));

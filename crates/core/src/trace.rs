@@ -16,12 +16,18 @@ pub enum Kind {
     Busy,
     /// Runtime overhead: scheduling, protocol processing, copies.
     Overhead,
+    /// Fault-recovery work: transaction retries, CQ overrun resyncs,
+    /// registration fallbacks. Zero in fault-free runs; splitting it from
+    /// ordinary overhead makes chaos-mode profiles show what robustness
+    /// costs.
+    Recovery,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
 struct Acc {
     busy: Time,
     ovh: Time,
+    rec: Time,
 }
 
 /// One row of a rendered time profile.
@@ -31,6 +37,7 @@ pub struct ProfileRow {
     pub t: Time,
     pub busy_frac: f64,
     pub overhead_frac: f64,
+    pub recovery_frac: f64,
     pub idle_frac: f64,
 }
 
@@ -80,6 +87,7 @@ impl Trace {
         match kind {
             Kind::Busy => acc.busy += dur,
             Kind::Overhead => acc.ovh += dur,
+            Kind::Recovery => acc.rec += dur,
         }
         self.end = self.end.max(start + dur);
         if let Some(w) = self.bucket_ns {
@@ -95,6 +103,7 @@ impl Trace {
                 match kind {
                     Kind::Busy => self.buckets[b].busy += d,
                     Kind::Overhead => self.buckets[b].ovh += d,
+                    Kind::Recovery => self.buckets[b].rec += d,
                 }
                 t = seg_end;
             }
@@ -122,6 +131,10 @@ impl Trace {
         self.per_pe.iter().map(|a| a.ovh).sum()
     }
 
+    pub fn total_recovery(&self) -> Time {
+        self.per_pe.iter().map(|a| a.rec).sum()
+    }
+
     pub fn total_msgs(&self) -> u64 {
         self.msgs.iter().sum()
     }
@@ -135,18 +148,29 @@ impl Trace {
     }
 
     /// Whole-run utilization fractions `(busy, overhead, idle)` over
-    /// `span` (defaults to the recorded end time).
+    /// `span` (defaults to the recorded end time). Recovery time is folded
+    /// into the overhead fraction here (it is runtime work, not idleness);
+    /// use [`Trace::utilization_with_recovery`] for the split.
     pub fn utilization(&self, span: Option<Time>) -> (f64, f64, f64) {
+        let (busy, ovh, rec, idle) = self.utilization_with_recovery(span);
+        (busy, ovh + rec, idle)
+    }
+
+    /// Whole-run utilization fractions `(busy, overhead, recovery, idle)`.
+    pub fn utilization_with_recovery(&self, span: Option<Time>) -> (f64, f64, f64, f64) {
         let span = span.unwrap_or(self.end).max(1);
         let cap = (span as f64) * self.per_pe.len() as f64;
         let busy = self.total_busy() as f64 / cap;
         let ovh = self.total_overhead() as f64 / cap;
-        (busy, ovh, (1.0 - busy - ovh).max(0.0))
+        let rec = self.total_recovery() as f64 / cap;
+        (busy, ovh, rec, (1.0 - busy - ovh - rec).max(0.0))
     }
 
     /// Render the Fig.-12-style time profile (requires timeline mode).
     pub fn profile(&self) -> Vec<ProfileRow> {
-        let w = self.bucket_ns.expect("trace built without timeline buckets");
+        let w = self
+            .bucket_ns
+            .expect("trace built without timeline buckets");
         let cap = (w as f64) * self.per_pe.len() as f64;
         self.buckets
             .iter()
@@ -154,11 +178,13 @@ impl Trace {
             .map(|(i, a)| {
                 let busy = a.busy as f64 / cap;
                 let ovh = a.ovh as f64 / cap;
+                let rec = a.rec as f64 / cap;
                 ProfileRow {
                     t: i as Time * w,
                     busy_frac: busy,
                     overhead_frac: ovh,
-                    idle_frac: (1.0 - busy - ovh).max(0.0),
+                    recovery_frac: rec,
+                    idle_frac: (1.0 - busy - ovh - rec).max(0.0),
                 }
             })
             .collect()
@@ -177,6 +203,7 @@ impl Trace {
             let k = match kind {
                 Kind::Busy => "busy",
                 Kind::Overhead => "ovhd",
+                Kind::Recovery => "rcvy",
             };
             out.push_str(&format!("{pe} {start} {dur} {k}\n"));
         }
@@ -186,13 +213,14 @@ impl Trace {
     /// ASCII rendering of the profile, one row per bucket.
     pub fn render_profile(&self) -> String {
         let mut out = String::new();
-        out.push_str("      t        busy%   ovhd%   idle%\n");
+        out.push_str("      t        busy%   ovhd%   rcvy%   idle%\n");
         for r in self.profile() {
             out.push_str(&format!(
-                "{:>10}  {:>6.1}  {:>6.1}  {:>6.1}\n",
+                "{:>10}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}\n",
                 time::fmt(r.t),
                 r.busy_frac * 100.0,
                 r.overhead_frac * 100.0,
+                r.recovery_frac * 100.0,
                 r.idle_frac * 100.0
             ));
         }
@@ -256,6 +284,36 @@ mod tests {
         let p = t.profile();
         assert!((p[0].busy_frac - 0.25).abs() < 1e-9, "1 of 4 PEs busy");
         assert!((p[0].idle_frac - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_is_tracked_separately_but_folds_into_overhead() {
+        let mut t = Trace::new(1, None);
+        t.record(0, 0, 300, Kind::Busy);
+        t.record(0, 300, 100, Kind::Overhead);
+        t.record(0, 400, 100, Kind::Recovery);
+        assert_eq!(t.total_recovery(), 100);
+        assert_eq!(t.total_overhead(), 100);
+        let (b, o, r, i) = t.utilization_with_recovery(Some(1000));
+        assert!((b - 0.3).abs() < 1e-9);
+        assert!((o - 0.1).abs() < 1e-9);
+        assert!((r - 0.1).abs() < 1e-9);
+        assert!((b + o + r + i - 1.0).abs() < 1e-9);
+        // Legacy 3-tuple folds recovery into overhead.
+        let (_, o3, _) = t.utilization(Some(1000));
+        assert!((o3 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_appears_in_log_and_profile() {
+        let mut t = Trace::new(1, Some(100));
+        t.enable_log();
+        t.record(0, 0, 50, Kind::Recovery);
+        assert!(t.export_log().contains("0 0 50 rcvy"));
+        let p = t.profile();
+        assert!((p[0].recovery_frac - 0.5).abs() < 1e-9);
+        assert!((p[0].idle_frac - 0.5).abs() < 1e-9);
+        assert!(t.render_profile().contains("rcvy%"));
     }
 
     #[test]

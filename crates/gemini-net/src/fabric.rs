@@ -4,11 +4,12 @@
 //! the initiating core burned, and the caller (the runtime driver) turns
 //! those into discrete events.
 
+use crate::fault::FaultKind;
 use crate::links::LinkTable;
 use crate::params::{GeminiParams, Mechanism, RdmaOp};
 use crate::reg::RegTable;
 use crate::topology::{LinkId, NodeId, Torus};
-use sim_core::Time;
+use sim_core::{DetRng, Time};
 use std::collections::{HashMap, VecDeque};
 
 /// Why an SMSG send could not be accepted right now.
@@ -19,6 +20,17 @@ pub enum SmsgError {
     NoCredits { retry_at: Time },
     /// Payload exceeds the job-size-dependent SMSG limit.
     TooLarge { limit: u32 },
+    /// An injected fault ate the transaction. `cpu` was still burned by the
+    /// sender, the failure is reported to the sender's NIC at `error_at`,
+    /// and when `delivered_at` is `Some` the payload *did* land at the
+    /// receiver (corrupted completion): resending will duplicate it, so
+    /// receivers need dedup.
+    TransactionError {
+        kind: FaultKind,
+        cpu: Time,
+        error_at: Time,
+        delivered_at: Option<Time>,
+    },
 }
 
 /// Result of an accepted SMSG send.
@@ -35,11 +47,16 @@ pub struct SmsgOutcome {
 pub struct RdmaOutcome {
     /// CPU time the initiating core spent.
     pub cpu: Time,
-    /// When the initiator's completion queue sees the transaction done.
+    /// When the initiator's completion queue sees the transaction done —
+    /// or, for a faulted transaction, sees the error event.
     pub local_cq_at: Time,
     /// When the data is fully visible at the data-destination node
     /// (== `local_cq_at` for GET, the remote landing time for PUT).
+    /// Meaningless unless the fault is `None` or `CorruptDelivered`.
     pub data_at: Time,
+    /// Injected failure, if any. `Dropped`/`LinkDown` moved no data;
+    /// `CorruptDelivered` moved the data but the completion is an error.
+    pub fault: Option<FaultKind>,
 }
 
 #[derive(Debug, Default)]
@@ -58,6 +75,15 @@ pub struct FabricStats {
     pub bte_transactions: u64,
     pub rdma_bytes: u64,
     pub credit_stalls: u64,
+    /// Injected SMSG/MSGQ transaction faults (drop + corrupt).
+    pub faults_smsg: u64,
+    /// Injected FMA/BTE transaction faults (drop + corrupt).
+    pub faults_rdma: u64,
+    /// Transactions refused because every minimal route crossed a downed
+    /// link.
+    pub faults_link_down: u64,
+    /// Injected `GNI_MemRegister` resource failures.
+    pub faults_reg: u64,
 }
 
 /// The simulated interconnect.
@@ -81,6 +107,10 @@ pub struct Fabric {
     reg: Vec<RegTable>,
     /// How many nodes this job actually spans (sets the SMSG size limit).
     job_nodes: u32,
+    /// Dedicated RNG stream for fault injection, derived from the plan's
+    /// own seed. Never consulted unless the relevant probability is
+    /// nonzero, so an inert plan leaves runs bit-identical.
+    fault_rng: DetRng,
     pub stats: FabricStats,
 }
 
@@ -106,6 +136,7 @@ impl Fabric {
             links,
             topo,
             job_nodes,
+            fault_rng: DetRng::derive(params.fault.seed, 0xFA17),
             params,
             stats: FabricStats::default(),
         }
@@ -138,20 +169,60 @@ impl Fabric {
     /// Choose a minimal route from `a` to `b`: dimension-ordered by
     /// default; with adaptive routing, the minimal dimension order whose
     /// links free up earliest (deterministic tie-break on canonical order).
-    fn pick_route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+    /// Routes crossing a downed link are avoided when any alternative
+    /// minimal route is up; the returned flag is true when every candidate
+    /// was down.
+    fn pick_route(&self, a: NodeId, b: NodeId, at: Time) -> (Vec<LinkId>, bool) {
+        let plan = &self.params.fault;
         if !self.params.adaptive_routing {
-            return self.topo.route(a, b);
+            let r = self.topo.route(a, b);
+            let down = plan.route_is_down(&r, at);
+            return (r, down);
         }
-        let mut best: Option<(Time, Vec<LinkId>)> = None;
+        // Ordering on (down, busy): an up route always beats a down one.
+        let mut best: Option<(bool, Time, Vec<LinkId>)> = None;
         for order in [[0u8, 1, 2], [1, 0, 2], [2, 1, 0]] {
             let r = self.topo.route_ordered(a, b, order);
+            let down = plan.route_is_down(&r, at);
             let busy = self.links.path_busy(&r);
             match &best {
-                Some((b_busy, _)) if *b_busy <= busy => {}
-                _ => best = Some((busy, r)),
+                Some((b_down, b_busy, _)) if (*b_down, *b_busy) <= (down, busy) => {}
+                _ => best = Some((down, busy, r)),
             }
         }
-        best.expect("at least one candidate route").1
+        let (down, _, r) = best.expect("at least one candidate route");
+        (r, down)
+    }
+
+    /// Roll the fault dice for one transaction. Draws from the fault RNG
+    /// only when a probability is actually nonzero.
+    fn fault_decide(&mut self, drop_p: f64, corrupt_p: f64) -> Option<FaultKind> {
+        if drop_p <= 0.0 && corrupt_p <= 0.0 {
+            return None;
+        }
+        let u = self.fault_rng.unit();
+        if u < drop_p {
+            Some(FaultKind::Dropped)
+        } else if u < drop_p + corrupt_p {
+            Some(FaultKind::CorruptDelivered)
+        } else {
+            None
+        }
+    }
+
+    /// Roll for a transient `GNI_MemRegister` resource failure (called by
+    /// the uGNI layer on every registration attempt).
+    pub fn reg_fault_roll(&mut self) -> bool {
+        let p = self.params.fault.reg_fail;
+        if p <= 0.0 {
+            return false;
+        }
+        if self.fault_rng.unit() < p {
+            self.stats.faults_reg += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Send one SMSG of `bytes` from `src` to `dst` node at time `now`,
@@ -185,13 +256,29 @@ impl Fabric {
             return Err(SmsgError::NoCredits { retry_at });
         }
 
+        let route = self.topo.route(src, dst);
+        let cpu = self.params.smsg_send_cpu;
+        // Link outage: nothing is transmitted; the sending NIC learns of
+        // the dead path after a control round-trip.
+        if self.params.fault.route_is_down(&route, now) {
+            self.stats.faults_link_down += 1;
+            let error_at =
+                now + cpu + self.params.injection_latency + self.links.control_latency(&route);
+            return Err(SmsgError::TransactionError {
+                kind: FaultKind::LinkDown,
+                cpu,
+                error_at,
+                delivered_at: None,
+            });
+        }
+        let (drop_p, corrupt_p) = (self.params.fault.smsg_drop, self.params.fault.smsg_corrupt);
+        let fault = self.fault_decide(drop_p, corrupt_p);
+
         let p = &self.params;
-        let cpu = p.smsg_send_cpu;
         // SMSG packets interleave with bulk FMA traffic (sub-chunk sized),
         // so they neither wait for nor occupy the engine window; they still
         // contend for link bandwidth.
         let inject = now + cpu + p.smsg_nic_latency + p.injection_latency;
-        let route = self.topo.route(src, dst);
         let (_depart, arrive) = self.links.reserve(inject, &route, bytes, p.fma_bw_gbs);
         let deliver_at = arrive + p.ejection_latency;
 
@@ -199,12 +286,29 @@ impl Fabric {
         // ack crosses back.
         let back = self.links.control_latency(&route);
         let release = deliver_at + p.smsg_recv_cpu + back + p.injection_latency;
-        let conn = self.conns.get_mut(&conn_key).unwrap();
-        conn.in_flight.push_back(release);
 
         self.stats.smsg_sends += 1;
         self.stats.smsg_bytes += bytes;
-        Ok(SmsgOutcome { cpu, deliver_at })
+        let conn = self.conns.get_mut(&conn_key).unwrap();
+        conn.in_flight.push_back(release);
+        match fault {
+            None => Ok(SmsgOutcome { cpu, deliver_at }),
+            Some(kind) => {
+                self.stats.faults_smsg += 1;
+                // The failure (lost data or corrupted completion) surfaces
+                // to the sender once the NIC-level nack/timeout crosses
+                // back; the mailbox slot is reclaimed as usual.
+                Err(SmsgError::TransactionError {
+                    kind,
+                    cpu,
+                    error_at: deliver_at + back,
+                    delivered_at: match kind {
+                        FaultKind::CorruptDelivered => Some(deliver_at),
+                        _ => None,
+                    },
+                })
+            }
+        }
     }
 
     /// CPU cost for the receiver to dequeue and copy out one SMSG of
@@ -240,12 +344,25 @@ impl Fabric {
             return Err(SmsgError::NoCredits { retry_at });
         }
 
-        let p = &self.params;
-        let cpu = p.smsg_send_cpu + p.msgq_extra_cpu;
-        let nic_ready = (now + cpu).max(self.fma_tx[src as usize]);
-        let inject =
-            nic_ready + p.smsg_nic_latency + p.msgq_extra_latency + p.injection_latency;
         let route = self.topo.route(src, dst);
+        let cpu = self.params.smsg_send_cpu + self.params.msgq_extra_cpu;
+        if self.params.fault.route_is_down(&route, now) {
+            self.stats.faults_link_down += 1;
+            let error_at =
+                now + cpu + self.params.injection_latency + self.links.control_latency(&route);
+            return Err(SmsgError::TransactionError {
+                kind: FaultKind::LinkDown,
+                cpu,
+                error_at,
+                delivered_at: None,
+            });
+        }
+        let (drop_p, corrupt_p) = (self.params.fault.smsg_drop, self.params.fault.smsg_corrupt);
+        let fault = self.fault_decide(drop_p, corrupt_p);
+
+        let p = &self.params;
+        let nic_ready = (now + cpu).max(self.fma_tx[src as usize]);
+        let inject = nic_ready + p.smsg_nic_latency + p.msgq_extra_latency + p.injection_latency;
         let (depart, arrive) = self.links.reserve(inject, &route, bytes, p.fma_bw_gbs);
         let ser = arrive - depart - p.hop_latency * route.len() as Time;
         self.fma_tx[src as usize] = depart + ser;
@@ -258,7 +375,21 @@ impl Fabric {
 
         self.stats.msgq_sends += 1;
         self.stats.smsg_bytes += bytes;
-        Ok(SmsgOutcome { cpu, deliver_at })
+        match fault {
+            None => Ok(SmsgOutcome { cpu, deliver_at }),
+            Some(kind) => {
+                self.stats.faults_smsg += 1;
+                Err(SmsgError::TransactionError {
+                    kind,
+                    cpu,
+                    error_at: deliver_at + back,
+                    delivered_at: match kind {
+                        FaultKind::CorruptDelivered => Some(deliver_at),
+                        _ => None,
+                    },
+                })
+            }
+        }
     }
 
     /// CPU cost for the receiver to dequeue one MSGQ message.
@@ -302,6 +433,31 @@ impl Fabric {
             RdmaOp::Get => (remote, initiator),
         };
 
+        // Route first: adaptive routing steers around downed links when any
+        // minimal route is still up. If every candidate is down, the
+        // transaction fails without touching the wire — the NIC raises an
+        // error CQ event after the dead path is discovered.
+        let (route, route_down) = self.pick_route(data_src, data_dst, now);
+        if route_down {
+            self.stats.faults_link_down += 1;
+            let error_at =
+                now + cpu + startup + p.injection_latency + self.links.control_latency(&route);
+            return RdmaOutcome {
+                cpu,
+                local_cq_at: error_at,
+                data_at: error_at,
+                fault: Some(FaultKind::LinkDown),
+            };
+        }
+        let (drop_p, corrupt_p) = match mech {
+            Mechanism::Fma => (p.fault.fma_drop, p.fault.fma_corrupt),
+            Mechanism::Bte => (p.fault.bte_drop, p.fault.bte_corrupt),
+        };
+        let fault = self.fault_decide(drop_p, corrupt_p);
+        if fault.is_some() {
+            self.stats.faults_rdma += 1;
+        }
+
         // The transfer needs the source node's outbound engine and the
         // destination node's inbound engine (the hardware is full duplex,
         // so opposite directions never contend). This shared-NIC occupancy
@@ -337,7 +493,6 @@ impl Fabric {
             }
         };
 
-        let route = self.pick_route(data_src, data_dst);
         let (depart, arrive) = self.links.reserve(start.max(gate), &route, bytes, bw_cap);
         let ser = arrive - depart - p.hop_latency * route.len() as Time;
 
@@ -359,12 +514,14 @@ impl Fabric {
                     cpu,
                     local_cq_at: landed + ack,
                     data_at: landed,
+                    fault,
                 }
             }
             RdmaOp::Get => RdmaOutcome {
                 cpu,
                 local_cq_at: landed,
                 data_at: landed,
+                fault,
             },
         }
     }
@@ -387,12 +544,12 @@ impl Fabric {
 /// Choose a near-cubic torus covering at least `n` nodes.
 pub fn near_cubic(n: u32) -> (u32, u32, u32) {
     let mut x = (n as f64).cbrt().floor().max(1.0) as u32;
-    while x > 1 && n % x != 0 {
+    while x > 1 && !n.is_multiple_of(x) {
         x -= 1;
     }
     let rest = n / x;
     let mut y = (rest as f64).sqrt().floor().max(1.0) as u32;
-    while y > 1 && rest % y != 0 {
+    while y > 1 && !rest.is_multiple_of(y) {
         y -= 1;
     }
     let z = rest / y;
@@ -650,6 +807,138 @@ mod tests {
             }
         }
         assert_eq!(sent, credits, "shared credit pool exhausted at node level");
+    }
+
+    #[test]
+    fn smsg_drop_reports_transaction_error() {
+        let mut p = GeminiParams::test_small();
+        p.fault = crate::fault::FaultPlan::uniform_drop(7, 1.0);
+        let mut f = Fabric::new(p, 8);
+        match f.smsg_send(0, 0, 1, (0, 1), 64) {
+            Err(SmsgError::TransactionError {
+                kind: crate::fault::FaultKind::Dropped,
+                cpu,
+                error_at,
+                delivered_at,
+            }) => {
+                assert!(cpu > 0, "sender still burned CPU");
+                assert!(error_at > cpu, "error surfaces after the wire trip");
+                assert!(delivered_at.is_none(), "dropped data never lands");
+            }
+            other => panic!("expected drop, got {other:?}"),
+        }
+        assert_eq!(f.stats.faults_smsg, 1);
+    }
+
+    #[test]
+    fn smsg_corrupt_still_delivers_payload() {
+        let mut p = GeminiParams::test_small();
+        p.fault.seed = 7;
+        p.fault.smsg_corrupt = 1.0;
+        let mut f = Fabric::new(p, 8);
+        match f.smsg_send(0, 0, 1, (0, 1), 64) {
+            Err(SmsgError::TransactionError {
+                kind: crate::fault::FaultKind::CorruptDelivered,
+                delivered_at,
+                error_at,
+                ..
+            }) => {
+                let d = delivered_at.expect("corrupt delivery lands the data");
+                assert!(error_at >= d, "sender learns after the landing");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_down_window_fails_then_recovers() {
+        let mut p = GeminiParams::test_small();
+        // Node 0 -> 1 differs in x: DOR uses node 0's x-link.
+        p.fault.link_down.push(crate::fault::LinkDownWindow {
+            node: 0,
+            dim: 0,
+            plus: true,
+            from_ns: 0,
+            until_ns: 50_000,
+        });
+        let mut f = Fabric::new(p, 8);
+        assert!(matches!(
+            f.smsg_send(10, 0, 1, (0, 1), 64),
+            Err(SmsgError::TransactionError {
+                kind: crate::fault::FaultKind::LinkDown,
+                ..
+            })
+        ));
+        assert_eq!(f.stats.faults_link_down, 1);
+        // After the window lifts the same send succeeds.
+        assert!(f.smsg_send(50_000, 0, 1, (0, 1), 64).is_ok());
+    }
+
+    #[test]
+    fn rdma_drop_flags_outcome() {
+        let mut p = GeminiParams::test_small();
+        p.fault = crate::fault::FaultPlan::uniform_drop(3, 1.0);
+        let mut f = Fabric::new(p, 8);
+        let out = f.rdma(0, 0, 1, 8192, Mechanism::Bte, RdmaOp::Put);
+        assert_eq!(out.fault, Some(crate::fault::FaultKind::Dropped));
+        assert!(out.local_cq_at > 0, "error event still has a CQ time");
+        assert_eq!(f.stats.faults_rdma, 1);
+    }
+
+    #[test]
+    fn adaptive_routing_steers_around_down_link() {
+        let mut p = GeminiParams::test_small();
+        p.torus_dims = (4, 4, 1);
+        p.adaptive_routing = true;
+        // Take down the x-first exit link of the source for the whole run.
+        p.fault.link_down.push(crate::fault::LinkDownWindow {
+            node: 0,
+            dim: 0,
+            plus: true,
+            from_ns: 0,
+            until_ns: Time::MAX,
+        });
+        let mut f = Fabric::new(p.clone(), 16);
+        let topo = Torus::new(p.torus_dims);
+        let a = topo.node_at((0, 0, 0));
+        let b = topo.node_at((2, 2, 0));
+        // A minimal y-first route exists and is up: no fault.
+        let out = f.rdma(0, a, b, 1 << 16, Mechanism::Bte, RdmaOp::Put);
+        assert_eq!(out.fault, None, "adaptive routing must avoid the outage");
+        // Same scenario without adaptivity fails on the DOR route.
+        let mut q = p.clone();
+        q.adaptive_routing = false;
+        let mut f2 = Fabric::new(q, 16);
+        let out2 = f2.rdma(0, a, b, 1 << 16, Mechanism::Bte, RdmaOp::Put);
+        assert_eq!(out2.fault, Some(crate::fault::FaultKind::LinkDown));
+    }
+
+    #[test]
+    fn fault_sequence_is_deterministic() {
+        let run = || {
+            let mut p = GeminiParams::test_small();
+            p.fault = crate::fault::FaultPlan::uniform_drop(42, 0.3);
+            let mut f = Fabric::new(p, 8);
+            (0..64)
+                .map(|i| f.smsg_send(i * 10_000, 0, 1, (0, 1), 64).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same plan + seed must fail identically");
+        assert!(a.iter().any(|ok| !ok), "p=0.3 over 64 sends should fault");
+        assert!(a.iter().any(|ok| *ok));
+    }
+
+    #[test]
+    fn reg_fault_roll_respects_probability() {
+        let mut p = GeminiParams::test_small();
+        p.fault.reg_fail = 1.0;
+        let mut f = Fabric::new(p, 8);
+        assert!(f.reg_fault_roll());
+        assert_eq!(f.stats.faults_reg, 1);
+        let mut f2 = fabric(); // inert plan
+        assert!(!f2.reg_fault_roll());
+        assert_eq!(f2.stats.faults_reg, 0);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Deterministic fault injection for the simulated Gemini fabric.
+//!
+//! A [`FaultPlan`] describes, in advance, every way a run is allowed to go
+//! wrong: per-link outage windows in virtual time, per-transaction drop and
+//! corruption probabilities for each transfer mechanism, transient
+//! registration-resource exhaustion, and completion-queue overruns. All
+//! randomness flows through a [`sim_core::DetRng`] stream derived from the
+//! plan's own seed, so the same seed and plan reproduce the exact same
+//! fault sequence — chaos runs are replayable bit for bit.
+//!
+//! The all-zeros plan ([`FaultPlan::none`]) is inert by construction: no
+//! RNG is ever consulted, so enabling the machinery does not perturb
+//! fault-free runs at all.
+
+use crate::topology::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+use sim_core::Time;
+
+/// A scheduled outage of one directed torus link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDownWindow {
+    /// Node owning the link (matches [`LinkId::from`]).
+    pub node: NodeId,
+    /// Torus dimension of the link (0 = x, 1 = y, 2 = z).
+    pub dim: u8,
+    /// Direction along the dimension.
+    pub plus: bool,
+    /// Outage start, inclusive (virtual ns).
+    pub from_ns: Time,
+    /// Outage end, exclusive (virtual ns).
+    pub until_ns: Time,
+}
+
+impl LinkDownWindow {
+    /// Does this window take `link` down at instant `at`?
+    pub fn covers(&self, link: &LinkId, at: Time) -> bool {
+        self.node == link.from
+            && self.dim == link.dim
+            && self.plus == link.plus
+            && at >= self.from_ns
+            && at < self.until_ns
+    }
+}
+
+/// How a transaction failed, as observed by the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Every minimal route crossed a link inside a down window; nothing was
+    /// transmitted.
+    LinkDown,
+    /// The transaction was lost in flight: no data reached the destination.
+    Dropped,
+    /// The data reached the destination but the completion/ack was
+    /// corrupted: the sender must assume failure and resend, so receivers
+    /// need duplicate suppression.
+    CorruptDelivered,
+}
+
+/// Complete fault-injection schedule for one run.
+///
+/// Probabilities are per transaction in `[0, 1]`; `drop` and `corrupt` for
+/// one mechanism must sum to at most 1. The plan travels on
+/// [`crate::GeminiParams`] so every experiment config captures its chaos
+/// settings alongside its timing calibration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the dedicated fault RNG stream (independent of all other
+    /// simulation randomness).
+    pub seed: u64,
+    /// SMSG/MSGQ per-message drop probability.
+    pub smsg_drop: f64,
+    /// SMSG/MSGQ per-message corrupt-delivery probability.
+    pub smsg_corrupt: f64,
+    /// FMA per-transaction drop probability.
+    pub fma_drop: f64,
+    /// FMA per-transaction corrupt-delivery probability.
+    pub fma_corrupt: f64,
+    /// BTE per-transaction drop probability.
+    pub bte_drop: f64,
+    /// BTE per-transaction corrupt-delivery probability.
+    pub bte_corrupt: f64,
+    /// Probability that one `GNI_MemRegister` call transiently fails with a
+    /// resource error (NIC MDD/TLB exhaustion).
+    pub reg_fail: f64,
+    /// Completion-queue capacity in events; 0 means unlimited. Events posted
+    /// beyond this depth overrun the CQ (GNI_CQ_OVERRUN semantics).
+    pub cq_depth: u32,
+    /// Force exactly one CQ overrun on the first event posted at/after this
+    /// instant, regardless of depth (deterministic overrun drills).
+    pub force_cq_overrun_at: Option<Time>,
+    /// Scheduled link outages.
+    pub link_down: Vec<LinkDownWindow>,
+}
+
+impl FaultPlan {
+    /// The inert plan: nothing ever fails, and no RNG is consulted.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A uniform plan: the same drop probability for every mechanism.
+    /// Convenient for sweeps.
+    pub fn uniform_drop(seed: u64, p: f64) -> Self {
+        FaultPlan {
+            seed,
+            smsg_drop: p,
+            fma_drop: p,
+            bte_drop: p,
+            ..Self::none()
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.smsg_drop > 0.0
+            || self.smsg_corrupt > 0.0
+            || self.fma_drop > 0.0
+            || self.fma_corrupt > 0.0
+            || self.bte_drop > 0.0
+            || self.bte_corrupt > 0.0
+            || self.reg_fail > 0.0
+            || self.cq_depth > 0
+            || self.force_cq_overrun_at.is_some()
+            || !self.link_down.is_empty()
+    }
+
+    /// Is `link` inside any down window at `at`?
+    pub fn link_is_down(&self, link: &LinkId, at: Time) -> bool {
+        self.link_down.iter().any(|w| w.covers(link, at))
+    }
+
+    /// Does any link of `route` cross a down window at `at`?
+    pub fn route_is_down(&self, route: &[LinkId], at: Time) -> bool {
+        if self.link_down.is_empty() {
+            return false;
+        }
+        route.iter().any(|l| self.link_is_down(l, at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(!FaultPlan::default().is_active());
+    }
+
+    #[test]
+    fn any_field_activates() {
+        let mut p = FaultPlan::none();
+        p.smsg_drop = 1e-3;
+        assert!(p.is_active());
+        let mut p = FaultPlan::none();
+        p.cq_depth = 4;
+        assert!(p.is_active());
+        let mut p = FaultPlan::none();
+        p.force_cq_overrun_at = Some(0);
+        assert!(p.is_active());
+        assert!(FaultPlan::uniform_drop(1, 0.5).is_active());
+    }
+
+    #[test]
+    fn window_covers_matching_link_in_interval() {
+        let w = LinkDownWindow {
+            node: 3,
+            dim: 1,
+            plus: false,
+            from_ns: 100,
+            until_ns: 200,
+        };
+        let link = LinkId {
+            from: 3,
+            dim: 1,
+            plus: false,
+        };
+        assert!(w.covers(&link, 100));
+        assert!(w.covers(&link, 199));
+        assert!(!w.covers(&link, 99));
+        assert!(!w.covers(&link, 200), "until is exclusive");
+        let other = LinkId {
+            from: 3,
+            dim: 1,
+            plus: true,
+        };
+        assert!(!w.covers(&other, 150), "direction must match");
+    }
+
+    #[test]
+    fn route_down_detection() {
+        let mut p = FaultPlan::none();
+        p.link_down.push(LinkDownWindow {
+            node: 0,
+            dim: 0,
+            plus: true,
+            from_ns: 0,
+            until_ns: 1000,
+        });
+        let hit = LinkId {
+            from: 0,
+            dim: 0,
+            plus: true,
+        };
+        let miss = LinkId {
+            from: 1,
+            dim: 0,
+            plus: true,
+        };
+        assert!(p.route_is_down(&[miss, hit], 500));
+        assert!(!p.route_is_down(&[miss], 500));
+        assert!(!p.route_is_down(&[hit], 1000));
+    }
+}

@@ -18,12 +18,14 @@
 //! No payload bytes move through this crate.
 
 pub mod fabric;
+pub mod fault;
 pub mod links;
 pub mod params;
 pub mod reg;
 pub mod topology;
 
 pub use fabric::{near_cubic, Fabric, FabricStats, RdmaOutcome, SmsgError, SmsgOutcome};
+pub use fault::{FaultKind, FaultPlan, LinkDownWindow};
 pub use params::{GeminiParams, Mechanism, RdmaOp, PAGE};
-pub use reg::{Addr, MemHandle, RegCache, RegTable};
+pub use reg::{Addr, DeregError, MemHandle, RegCache, RegTable};
 pub use topology::{LinkId, NodeId, Torus};

@@ -9,6 +9,7 @@
 //! 6 GB/s range, and memory registration expensive enough that the naive
 //! malloc+register rendezvous loses to Cray MPI (paper Fig. 6).
 
+use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 use sim_core::Time;
 
@@ -135,6 +136,11 @@ pub struct GeminiParams {
     // ---- CQ ----
     /// CPU cost of one GNI_CqGetEvent poll (ns), hit or miss.
     pub cq_poll_cpu: Time,
+
+    // ---- fault injection ----
+    /// Deterministic chaos schedule (inert by default; see
+    /// [`crate::fault::FaultPlan`]).
+    pub fault: FaultPlan,
 }
 
 pub const PAGE: u64 = 4096;
@@ -188,6 +194,8 @@ impl GeminiParams {
             msgq_credits: 64,
 
             cq_poll_cpu: 60,
+
+            fault: FaultPlan::none(),
         }
     }
 

@@ -21,6 +21,14 @@ pub struct Addr(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MemHandle(pub u64);
 
+/// Deregistration failure: the handle is not (or no longer) registered.
+/// Real `GNI_MemDeregister` returns `GNI_RC_INVALID_PARAM` here; callers
+/// decide whether that is a recoverable condition or a protocol bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeregError {
+    pub handle: MemHandle,
+}
+
 /// A node's registration table.
 #[derive(Debug, Default)]
 pub struct RegTable {
@@ -47,16 +55,14 @@ impl RegTable {
         (h, p.register_cost(bytes))
     }
 
-    /// Deregister; returns the CPU cost. Panics on unknown handle — that is
-    /// always a protocol bug.
-    pub fn deregister(&mut self, p: &GeminiParams, h: MemHandle) -> Time {
-        let (_, bytes) = self
-            .regions
-            .remove(&h)
-            .expect("deregistering unknown memory handle");
+    /// Deregister; returns the CPU cost. An unknown (e.g. already
+    /// deregistered) handle is reported as a typed error, mirroring
+    /// `GNI_RC_INVALID_PARAM` — not a process abort.
+    pub fn deregister(&mut self, p: &GeminiParams, h: MemHandle) -> Result<Time, DeregError> {
+        let (_, bytes) = self.regions.remove(&h).ok_or(DeregError { handle: h })?;
         self.registered_bytes -= bytes;
         self.total_deregistrations += 1;
-        p.deregister_cost(bytes)
+        Ok(p.deregister_cost(bytes))
     }
 
     /// Is this handle currently registered? RDMA against an unregistered
@@ -127,7 +133,9 @@ impl RegCache {
         if self.entries.len() >= self.capacity {
             let victim = self.lru.remove(0);
             let vh = self.entries.remove(&victim).expect("lru desync");
-            cost += table.deregister(p, vh);
+            // The cache owns its entries, so the victim is registered by
+            // construction; a stale handle just costs nothing extra.
+            cost += table.deregister(p, vh).unwrap_or(0);
         }
         let (h, reg_cost) = table.register(p, addr, bytes);
         cost += reg_cost;
@@ -151,7 +159,7 @@ impl RegCache {
             if let Some(pos) = self.lru.iter().position(|k| *k == key) {
                 self.lru.remove(pos);
             }
-            cost += table.deregister(p, h);
+            cost += table.deregister(p, h).unwrap_or(0);
         }
         cost
     }
@@ -173,20 +181,26 @@ mod tests {
         assert!(t.is_registered(h));
         assert_eq!(t.registered_bytes(), 8192);
         assert_eq!(c1, p.register_cost(8192));
-        let c2 = t.deregister(&p, h);
+        let c2 = t.deregister(&p, h).unwrap();
         assert_eq!(c2, p.deregister_cost(8192));
         assert!(!t.is_registered(h));
         assert_eq!(t.registered_bytes(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "unknown memory handle")]
-    fn double_deregister_panics() {
+    fn double_deregister_is_reported_not_fatal() {
         let p = p();
         let mut t = RegTable::new();
         let (h, _) = t.register(&p, Addr(1), 100);
-        t.deregister(&p, h);
-        t.deregister(&p, h);
+        assert!(t.deregister(&p, h).is_ok());
+        // Second deregister of the same handle: typed error, no abort, and
+        // the table's books stay balanced.
+        assert_eq!(t.deregister(&p, h), Err(DeregError { handle: h }));
+        assert_eq!(t.registered_bytes(), 0);
+        assert_eq!(t.total_deregistrations, 1);
+        // The table keeps working afterwards.
+        let (h2, _) = t.register(&p, Addr(2), 100);
+        assert!(t.deregister(&p, h2).is_ok());
     }
 
     #[test]

@@ -207,7 +207,10 @@ mod tests {
         c.inject(0, 0, kick, Bytes::new());
         assert!(c.run().stopped_early);
         let layer: &mut MpiLayer = c.layer_mut();
-        assert!(layer.stats.blocked_ns > 10_000, "rendezvous recv must block");
+        assert!(
+            layer.stats.blocked_ns > 10_000,
+            "rendezvous recv must block"
+        );
         assert!(layer.stats.iprobe_calls >= 1);
     }
 

@@ -28,13 +28,30 @@ use gemini_net::{Addr, MemHandle, RdmaOp};
 use mempool::{Block, MemPool};
 use sim_core::Time;
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
-use ugni::{CqEvent, CqHandle, EpHandle, Gni, GniError, PostDescriptor};
+use std::collections::{HashMap, HashSet, VecDeque};
+use ugni::{CqEvent, CqHandle, EpHandle, Gni, GniError, GniResult, PostDescriptor, SmsgSendOk};
 
 const TAG_SMALL: u8 = 0;
 const TAG_INIT: u8 = 1;
 const TAG_ACK: u8 = 2;
 const TAG_PERSIST: u8 = 3;
+
+/// First retry delay after a fabric transaction error, virtual ns.
+const RETRY_BACKOFF0: Time = 1_000;
+/// Exponential backoff cap.
+const RETRY_BACKOFF_MAX: Time = 65_536;
+
+fn next_backoff(b: Time) -> Time {
+    if b == 0 {
+        RETRY_BACKOFF0
+    } else {
+        (b * 2).min(RETRY_BACKOFF_MAX)
+    }
+}
+
+/// Bytes of the per-message sequence header prepended on the small path
+/// when a fault plan is active (receiver-side duplicate suppression).
+const SEQ_HDR: usize = 8;
 
 /// Machine-layer event payloads (driven through `MachineCtx::schedule`).
 enum Ev {
@@ -55,6 +72,8 @@ enum Ev {
     PostGet { xid: u64 },
     /// A persistent PUT completed locally; notify the receiver.
     PersistPutDone { xid: u64 },
+    /// A persistent PUT failed in the fabric; post it again (chaos mode).
+    RepostPut { xid: u64 },
     /// A pxshm message becomes visible to the receiver.
     ShmArrive { data: Bytes, copy_out: bool },
 }
@@ -95,6 +114,28 @@ struct PendingRecv {
     bytes: u64,
     remote_handle: MemHandle,
     remote_addr: Addr,
+    /// Current retry backoff; nonzero once the GET has faulted.
+    backoff: Time,
+}
+
+/// An in-flight persistent PUT being tracked for fabric-error recovery
+/// (chaos mode only; fault-free runs use the direct `PersistPutDone` path).
+struct PendingPut {
+    handle: PersistentHandle,
+    src_pe: PeId,
+    dst_pe: PeId,
+    bytes: u64,
+    backoff: Time,
+}
+
+/// Small/control messages parked behind exhausted credits or a faulted
+/// transaction on one connection, FIFO, with a single armed retry timer.
+#[derive(Default)]
+struct ConnBacklog {
+    q: VecDeque<(u8, Bytes)>,
+    armed: bool,
+    /// Current transaction-error backoff (0 = healthy connection).
+    backoff: Time,
 }
 
 struct PersistChan {
@@ -118,6 +159,20 @@ pub struct UgniStats {
     /// SMP mode: protocol CPU time absorbed by the per-node comm threads
     /// instead of worker PEs.
     pub comm_thread_ns: Time,
+    /// Small-path sends that failed in the fabric and were re-sent.
+    pub send_faults: u64,
+    /// FMA/BTE transactions that failed and were re-posted.
+    pub rdma_faults: u64,
+    /// CQ overruns recovered via resync.
+    pub cq_resyncs: u64,
+    /// Direct-path registrations that hit NIC resource exhaustion and fell
+    /// back to the pre-registered pool.
+    pub reg_fallbacks: u64,
+    /// Duplicate small-path messages suppressed by the receiver (resends
+    /// after a corrupted-completion delivery).
+    pub dup_drops: u64,
+    /// Total CPU time charged as fault recovery.
+    pub recovery_ns: Time,
 }
 
 /// The machine layer object.
@@ -130,14 +185,24 @@ pub struct UgniLayer {
     eps: HashMap<(PeId, PeId), EpHandle>,
     /// One message pool per PE (per process, as in non-SMP Charm++).
     pools: Vec<MemPool>,
-    /// Small/control messages queued behind exhausted credits, per
-    /// connection, with a flag for an armed retry timer.
-    backlog: HashMap<(PeId, PeId), (VecDeque<(u8, Bytes)>, bool)>,
+    /// Per-connection send backlog (credit exhaustion + fabric faults).
+    backlog: HashMap<(PeId, PeId), ConnBacklog>,
     sends: HashMap<u64, PendingSend>,
     recvs: HashMap<u64, PendingRecv>,
     persists: HashMap<PersistentHandle, PersistChan>,
     /// In-flight persistent payloads keyed by xid.
     persist_data: HashMap<u64, (Bytes, PeId)>,
+    /// Persistent PUTs awaiting a CQ completion (chaos mode only).
+    persist_pending: HashMap<u64, PendingPut>,
+    /// True when the configured fault plan can inject anything. All
+    /// recovery bookkeeping that would perturb timing (sequence headers,
+    /// CQ-reaped PUT completions) is gated on this so fault-free runs stay
+    /// bit-identical to the pre-chaos code.
+    chaos: bool,
+    /// Next small-path sequence number per connection (chaos mode).
+    seq_tx: HashMap<(PeId, PeId), u64>,
+    /// Sequence numbers already delivered per connection (chaos mode).
+    seq_seen: HashMap<(PeId, PeId), HashSet<u64>>,
     /// SMP mode: per-node comm-thread availability.
     comm_busy: Vec<Time>,
     /// Earliest armed poll event per PE (coalescing: one in-flight
@@ -149,6 +214,7 @@ pub struct UgniLayer {
 
 impl UgniLayer {
     pub fn new(cfg: UgniConfig) -> Self {
+        let chaos = cfg.params.fault.is_active();
         UgniLayer {
             cfg,
             gni: None,
@@ -160,6 +226,10 @@ impl UgniLayer {
             recvs: HashMap::new(),
             persists: HashMap::new(),
             persist_data: HashMap::new(),
+            persist_pending: HashMap::new(),
+            chaos,
+            seq_tx: HashMap::new(),
+            seq_seen: HashMap::new(),
             comm_busy: Vec::new(),
             poll_armed: Vec::new(),
             next_xid: 0,
@@ -174,6 +244,22 @@ impl UgniLayer {
     fn charge_comm(&mut self, ctx: &mut MachineCtx, pe: PeId, ns: Time) -> Time {
         if !self.cfg.smp {
             ctx.charge_overhead(pe, ns);
+            return ctx.pe_free_at(pe).max(ctx.now());
+        }
+        let node = ctx.node_of(pe) as usize;
+        let start = self.comm_busy[node].max(ctx.now());
+        self.comm_busy[node] = start + ns;
+        self.stats.comm_thread_ns += ns;
+        start + ns
+    }
+
+    /// Like [`UgniLayer::charge_comm`] but accounted as fault recovery:
+    /// retries, CQ resyncs, and registration fallbacks land in the trace's
+    /// recovery category instead of ordinary overhead.
+    fn charge_rec(&mut self, ctx: &mut MachineCtx, pe: PeId, ns: Time) -> Time {
+        self.stats.recovery_ns += ns;
+        if !self.cfg.smp {
+            ctx.charge_recovery(pe, ns);
             return ctx.pe_free_at(pe).max(ctx.now());
         }
         let node = ctx.node_of(pe) as usize;
@@ -246,8 +332,18 @@ impl UgniLayer {
             let gni = self.gni.as_mut().expect("init");
             let addr = gni.alloc_addr(node);
             let malloc = params.malloc_cost(bytes);
-            let (handle, reg_cost) = gni.mem_register(node, addr, bytes);
-            (Buf::Direct { addr, handle }, malloc + reg_cost)
+            match gni.mem_register(node, addr, bytes) {
+                Ok((handle, reg_cost)) => (Buf::Direct { addr, handle }, malloc + reg_cost),
+                Err(_) => {
+                    // Transient NIC memory-descriptor exhaustion
+                    // (GNI_RC_ERROR_RESOURCE): fall back to the
+                    // pre-registered pool so the transfer still proceeds.
+                    self.stats.reg_fallbacks += 1;
+                    let reg = gni.fabric_mut().reg_table(node);
+                    let (block, cost) = self.pools[pe as usize].alloc(&params, reg, bytes);
+                    (Buf::Pooled(block), malloc + cost)
+                }
+            }
         }
     }
 
@@ -266,7 +362,9 @@ impl UgniLayer {
             Buf::Direct { addr, handle } => {
                 let gni = self.gni.as_mut().expect("init");
                 gni.mem_clear(node, addr);
-                gni.mem_deregister(node, handle) + params.malloc_base
+                // A stale handle is a bookkeeping bug, not a fabric fault:
+                // charge nothing extra and keep going.
+                gni.mem_deregister(node, handle).unwrap_or(0) + params.malloc_base
             }
         }
     }
@@ -284,16 +382,30 @@ impl UgniLayer {
         data: Bytes,
         earliest: Time,
     ) {
+        // Chaos mode: frame every small-path message with a per-connection
+        // sequence number so the receiver can suppress the duplicates that
+        // corrupted-completion resends produce (exactly-once delivery).
+        let data = if self.chaos {
+            let ctr = self.seq_tx.entry((src_pe, dst_pe)).or_default();
+            let seq = *ctr;
+            *ctr += 1;
+            let mut b = BytesMut::with_capacity(SEQ_HDR + data.len());
+            b.put_u64(seq);
+            b.put_slice(&data);
+            b.freeze()
+        } else {
+            data
+        };
         let key = (src_pe, dst_pe);
-        if self.backlog.get(&key).is_some_and(|(q, _)| !q.is_empty()) {
-            self.backlog.get_mut(&key).unwrap().0.push_back((tag, data));
+        if self.backlog.get(&key).is_some_and(|b| !b.q.is_empty()) {
+            self.backlog.get_mut(&key).unwrap().q.push_back((tag, data));
             return;
         }
         self.try_smsg(ctx, src_pe, dst_pe, tag, data, earliest);
     }
 
     /// Attempt one SMSG (or MSGQ message, by configuration); on credit
-    /// exhaustion, push to the backlog and arm a retry timer.
+    /// exhaustion or a fabric fault, park it and arm a retry timer.
     fn try_smsg(
         &mut self,
         ctx: &mut MachineCtx,
@@ -305,57 +417,114 @@ impl UgniLayer {
     ) {
         let ep = self.ep(ctx, src_pe, dst_pe);
         let now = earliest.max(ctx.now());
-        if self.cfg.small_path == SmallPath::Msgq {
-            match self.gni_mut().msgq_send_w_tag(now, ep, tag, data.clone()) {
-                Ok(ok) => {
-                    self.charge_comm(ctx, src_pe, ok.cpu);
-                    self.schedule_poll(ctx, ok.deliver_at, dst_pe, Ev::PollMsgq);
-                }
-                Err(GniError::NoCredits { retry_at }) => {
-                    self.stats.credit_retries += 1;
-                    let e = self.backlog.entry((src_pe, dst_pe)).or_default();
-                    e.0.push_back((tag, data));
-                    if !e.1 {
-                        e.1 = true;
-                        let at = retry_at.max(now + 1);
-                        ctx.schedule_nodefer(at, src_pe, Box::new(Ev::Retry { peer: dst_pe }));
-                    }
-                }
-                Err(e) => panic!("msgq send failed: {e:?}"),
-            }
-            return;
+        let use_msgq = self.cfg.small_path == SmallPath::Msgq;
+        let res = if use_msgq {
+            self.gni_mut().msgq_send_w_tag(now, ep, tag, data.clone())
+        } else {
+            self.gni_mut().smsg_send_w_tag(now, ep, tag, data.clone())
+        };
+        self.smsg_result(ctx, src_pe, dst_pe, tag, data, now, use_msgq, res, false);
+    }
+
+    /// Park a small-path message on its connection backlog (front for
+    /// in-order retries, back for fresh sends) and make sure exactly one
+    /// retry timer is armed for the connection.
+    #[allow(clippy::too_many_arguments)]
+    fn park_and_arm(
+        &mut self,
+        ctx: &mut MachineCtx,
+        src_pe: PeId,
+        peer: PeId,
+        tag: u8,
+        data: Bytes,
+        at: Time,
+        front: bool,
+    ) {
+        let e = self.backlog.entry((src_pe, peer)).or_default();
+        if front {
+            e.q.push_front((tag, data));
+        } else {
+            e.q.push_back((tag, data));
         }
-        match self.gni_mut().smsg_send_w_tag(now, ep, tag, data.clone()) {
+        if !e.armed {
+            e.armed = true;
+            // Retries interleave with other machine-layer work (the
+            // progress engine runs between protocol steps), so they must
+            // not defer behind long overhead windows.
+            ctx.schedule_nodefer(at, src_pe, Box::new(Ev::Retry { peer }));
+        }
+    }
+
+    /// Shared outcome handling for every small-path send attempt (fresh
+    /// sends and backlog retries, SMSG and MSGQ). Returns true when the
+    /// message went out.
+    #[allow(clippy::too_many_arguments)]
+    fn smsg_result(
+        &mut self,
+        ctx: &mut MachineCtx,
+        src_pe: PeId,
+        dst_pe: PeId,
+        tag: u8,
+        data: Bytes,
+        now: Time,
+        use_msgq: bool,
+        res: GniResult<SmsgSendOk>,
+        front: bool,
+    ) -> bool {
+        match res {
             Ok(ok) => {
                 self.charge_comm(ctx, src_pe, ok.cpu);
-                self.schedule_poll(ctx, ok.deliver_at, dst_pe, Ev::PollSmsg);
+                let ev: Ev = if use_msgq { Ev::PollMsgq } else { Ev::PollSmsg };
+                self.schedule_poll(ctx, ok.deliver_at, dst_pe, ev);
+                if let Some(b) = self.backlog.get_mut(&(src_pe, dst_pe)) {
+                    b.backoff = 0;
+                }
+                true
             }
             Err(GniError::NoCredits { retry_at }) => {
                 self.stats.credit_retries += 1;
-                let e = self.backlog.entry((src_pe, dst_pe)).or_default();
-                e.0.push_back((tag, data));
-                if !e.1 {
-                    e.1 = true;
-                    let at = retry_at.max(now + 1);
-                    // Retries interleave with other machine-layer work (the
-                    // progress engine runs between protocol steps), so they
-                    // must not defer behind long overhead windows.
-                    ctx.schedule_nodefer(at, src_pe, Box::new(Ev::Retry { peer: dst_pe }));
-                }
+                let at = retry_at.max(now + 1);
+                self.park_and_arm(ctx, src_pe, dst_pe, tag, data, at, front);
+                false
             }
-            Err(e) => panic!("smsg failed: {e:?}"),
+            Err(GniError::TransactionError {
+                cpu,
+                error_at,
+                delivered_at,
+                ..
+            }) => {
+                // The fabric lost or corrupted the message. The send CPU
+                // was burned either way; if the payload landed anyway
+                // (corrupted completion) wake the receiver so it drains —
+                // the re-send becomes a duplicate its dedup filter drops.
+                self.stats.send_faults += 1;
+                self.charge_rec(ctx, src_pe, cpu);
+                if let Some(t) = delivered_at {
+                    let ev: Ev = if use_msgq { Ev::PollMsgq } else { Ev::PollSmsg };
+                    self.schedule_poll(ctx, t, dst_pe, ev);
+                }
+                let backoff = {
+                    let e = self.backlog.entry((src_pe, dst_pe)).or_default();
+                    e.backoff = next_backoff(e.backoff);
+                    e.backoff
+                };
+                let at = error_at.max(now) + backoff;
+                self.park_and_arm(ctx, src_pe, dst_pe, tag, data, at, front);
+                false
+            }
+            Err(e) => panic!("small-path send failed: {e:?}"),
         }
     }
 
     fn conn_retry(&mut self, ctx: &mut MachineCtx, src_pe: PeId, peer: PeId) {
-        if let Some((_, armed)) = self.backlog.get_mut(&(src_pe, peer)) {
-            *armed = false;
+        if let Some(b) = self.backlog.get_mut(&(src_pe, peer)) {
+            b.armed = false;
         }
         loop {
-            let Some((q, _)) = self.backlog.get_mut(&(src_pe, peer)) else {
+            let Some(b) = self.backlog.get_mut(&(src_pe, peer)) else {
                 return;
             };
-            let Some((tag, data)) = q.pop_front() else {
+            let Some((tag, data)) = b.q.pop_front() else {
                 return;
             };
             let ep = self.ep(ctx, src_pe, peer);
@@ -366,22 +535,8 @@ impl UgniLayer {
             } else {
                 self.gni_mut().smsg_send_w_tag(now, ep, tag, data.clone())
             };
-            match res {
-                Ok(ok) => {
-                    self.charge_comm(ctx, src_pe, ok.cpu);
-                    let ev: Ev = if use_msgq { Ev::PollMsgq } else { Ev::PollSmsg };
-                    self.schedule_poll(ctx, ok.deliver_at, peer, ev);
-                }
-                Err(GniError::NoCredits { retry_at }) => {
-                    let (q, armed) = self.backlog.get_mut(&(src_pe, peer)).unwrap();
-                    q.push_front((tag, data));
-                    *armed = true;
-                    self.stats.credit_retries += 1;
-                    let at = retry_at.max(now + 1);
-                    ctx.schedule_nodefer(at, src_pe, Box::new(Ev::Retry { peer }));
-                    return;
-                }
-                Err(e) => panic!("small-message retry failed: {e:?}"),
+            if !self.smsg_result(ctx, src_pe, peer, tag, data, now, use_msgq, res, true) {
+                return;
             }
         }
     }
@@ -422,6 +577,7 @@ impl UgniLayer {
                 bytes,
                 remote_handle: handle,
                 remote_addr: addr,
+                backoff: 0,
             },
         );
         // Post the GET once the buffer is ready (after the charge).
@@ -434,7 +590,7 @@ impl UgniLayer {
     }
 
     fn post_get(&mut self, ctx: &mut MachineCtx, xid: u64) {
-        let (dst_pe, src_pe, bytes, local_mem, local_addr, remote_mem, remote_addr) = {
+        let (dst_pe, src_pe, bytes, local_mem, local_addr, remote_mem, remote_addr, backoff) = {
             let r = self.recvs.get(&xid).expect("unknown recv xid");
             (
                 r.dst_pe,
@@ -444,6 +600,7 @@ impl UgniLayer {
                 r.buf.addr(),
                 r.remote_handle,
                 r.remote_addr,
+                r.backoff,
             )
         };
         let ep = self.ep(ctx, dst_pe, src_pe);
@@ -458,15 +615,20 @@ impl UgniLayer {
             data: None,
             user_id: xid,
         };
-        let use_fma = bytes <= self.cfg.fma_bte_threshold
-            && bytes <= self.cfg.params.fma_max_bytes;
+        let use_fma = bytes <= self.cfg.fma_bte_threshold && bytes <= self.cfg.params.fma_max_bytes;
         let ok = if use_fma {
             self.gni_mut().post_fma(now, ep, desc)
         } else {
             self.gni_mut().post_rdma(now, ep, desc)
         }
         .expect("rendezvous GET rejected");
-        self.charge_comm(ctx, dst_pe, ok.cpu);
+        if backoff > 0 {
+            // This is a re-post after a fabric fault: the CPU is recovery
+            // work, not steady-state protocol overhead.
+            self.charge_rec(ctx, dst_pe, ok.cpu);
+        } else {
+            self.charge_comm(ctx, dst_pe, ok.cpu);
+        }
         self.schedule_poll(ctx, ok.local_cq_at, dst_pe, Ev::PollCq);
     }
 
@@ -481,14 +643,20 @@ impl UgniLayer {
                     self.charge_comm(ctx, pe, poll_cost);
                     match op {
                         RdmaOp::Get => self.get_done(ctx, user_id, data),
-                        // Persistent PUT completions are handled by the
-                        // PersistPutDone event; seeing one here just drains
-                        // the CQ entry.
-                        RdmaOp::Put => {}
+                        // Persistent PUT completions are normally consumed
+                        // by the PersistPutDone event and this is a no-op;
+                        // under chaos the pending table is authoritative
+                        // because the PUT may have been re-posted.
+                        RdmaOp::Put => self.put_done(ctx, pe, user_id),
                     }
                 }
                 Ok(CqEvent::SmsgRx { .. }) => {
                     // SMSG arrivals are drained via PollSmsg.
+                }
+                Ok(CqEvent::PostError { user_id, op, .. }) => {
+                    self.stats.rdma_faults += 1;
+                    self.charge_rec(ctx, pe, poll_cost);
+                    self.repost_after_error(ctx, pe, user_id, op);
                 }
                 Err(GniError::NotDone) => {
                     self.charge_comm(ctx, pe, poll_cost);
@@ -497,9 +665,112 @@ impl UgniLayer {
                     }
                     return;
                 }
+                Err(GniError::CqOverrun) => {
+                    // The CQ dropped completions. Resync: audit outstanding
+                    // transactions, recover the lost events, keep draining.
+                    let (cost, _n) = self
+                        .gni_mut()
+                        .cq_resync(cq, now)
+                        .expect("cq resync on a healthy queue");
+                    self.stats.cq_resyncs += 1;
+                    self.charge_rec(ctx, pe, cost);
+                }
                 Err(e) => panic!("cq poll failed: {e:?}"),
             }
         }
+    }
+
+    /// A fabric-failed FMA/BTE transaction: schedule a re-post with capped
+    /// exponential backoff in virtual time.
+    fn repost_after_error(&mut self, ctx: &mut MachineCtx, pe: PeId, xid: u64, op: RdmaOp) {
+        match op {
+            RdmaOp::Get => {
+                let r = self.recvs.get_mut(&xid).expect("GET fault for unknown xid");
+                r.backoff = next_backoff(r.backoff);
+                let at = ctx.now() + r.backoff;
+                ctx.schedule_nodefer(at, pe, Box::new(Ev::PostGet { xid }));
+            }
+            RdmaOp::Put => {
+                let p = self
+                    .persist_pending
+                    .get_mut(&xid)
+                    .expect("PUT fault for unknown xid");
+                p.backoff = next_backoff(p.backoff);
+                let at = ctx.now() + p.backoff;
+                ctx.schedule_nodefer(at, pe, Box::new(Ev::RepostPut { xid }));
+            }
+        }
+    }
+
+    /// A persistent PUT completed on the CQ. No-op in fault-free runs (the
+    /// direct PersistPutDone event already notified); in chaos mode this is
+    /// where the receiver-side notification is finally sent.
+    fn put_done(&mut self, ctx: &mut MachineCtx, pe: PeId, xid: u64) {
+        if self.persist_pending.remove(&xid).is_none() {
+            return;
+        }
+        let dst_pe = self
+            .persist_data
+            .get(&xid)
+            .expect("persist PUT done without data")
+            .1;
+        let mut b = BytesMut::with_capacity(9);
+        b.put_u8(TAG_PERSIST);
+        b.put_u64(xid);
+        let at = ctx.now();
+        self.smsg(ctx, pe, dst_pe, TAG_PERSIST, b.freeze(), at);
+    }
+
+    /// Re-post a fabric-failed persistent PUT (chaos mode). The payload is
+    /// still held in `persist_data`, the channel buffers are permanent, so
+    /// the descriptor can be rebuilt exactly.
+    fn repost_put(&mut self, ctx: &mut MachineCtx, xid: u64) {
+        let (handle, src_pe, dst_pe, bytes) = {
+            let p = self
+                .persist_pending
+                .get(&xid)
+                .expect("re-post of unknown PUT");
+            (p.handle, p.src_pe, p.dst_pe, p.bytes)
+        };
+        let (local_mem, local_addr, remote_mem, remote_addr) = {
+            let chan = self
+                .persists
+                .get(&handle)
+                .expect("persistent channel vanished");
+            (
+                chan.local.handle(),
+                chan.local.addr(),
+                chan.remote.handle(),
+                chan.remote.addr(),
+            )
+        };
+        let data = self
+            .persist_data
+            .get(&xid)
+            .expect("re-post of PUT without data")
+            .0
+            .clone();
+        let ep = self.ep(ctx, src_pe, dst_pe);
+        let desc = PostDescriptor {
+            op: RdmaOp::Put,
+            local_mem,
+            local_addr,
+            remote_mem,
+            remote_addr,
+            bytes,
+            data: Some(data),
+            user_id: xid,
+        };
+        let now = ctx.now();
+        let use_fma = bytes <= self.cfg.fma_bte_threshold && bytes <= self.cfg.params.fma_max_bytes;
+        let ok = if use_fma {
+            self.gni_mut().post_fma(now, ep, desc)
+        } else {
+            self.gni_mut().post_rdma(now, ep, desc)
+        }
+        .expect("persistent PUT re-post rejected");
+        self.charge_rec(ctx, src_pe, ok.cpu);
+        self.schedule_poll(ctx, ok.local_cq_at, src_pe, Ev::PollCq);
     }
 
     fn get_done(&mut self, ctx: &mut MachineCtx, xid: u64, data: Option<Bytes>) {
@@ -574,12 +845,25 @@ impl UgniLayer {
 
     /// Handle one received small-path message addressed to `pe`.
     fn process_small(&mut self, ctx: &mut MachineCtx, pe: PeId, rx: ugni::SmsgRecv) {
+        // Chaos mode: strip the sequence header and drop duplicates (a
+        // corrupted completion delivers the payload AND makes the sender
+        // re-send — dedup restores exactly-once delivery).
+        let data = if self.chaos {
+            let seq = u64::from_be_bytes(rx.data[..SEQ_HDR].try_into().unwrap());
+            if !self.seq_seen.entry((rx.from, pe)).or_default().insert(seq) {
+                self.stats.dup_drops += 1;
+                return;
+            }
+            rx.data.slice(SEQ_HDR..)
+        } else {
+            rx.data.clone()
+        };
         match rx.tag {
             TAG_SMALL => {
                 // Copy out of the mailbox into a runtime buffer. Small
                 // buffers are never registered: the pool path pays a
                 // free-list hit, the direct path a plain malloc.
-                let len = rx.data.len() as u64;
+                let len = data.len() as u64;
                 let cost = if self.cfg.use_mempool {
                     let params = self.cfg.params.clone();
                     let node = ctx.node_of(pe);
@@ -593,15 +877,15 @@ impl UgniLayer {
                     self.cfg.params.malloc_cost(len) + self.cfg.params.malloc_base
                 };
                 let done = self.charge_comm(ctx, pe, cost);
-                ctx.deliver_at(done.max(ctx.now()), pe, rx.data);
+                ctx.deliver_at(done.max(ctx.now()), pe, data);
             }
             TAG_INIT => {
                 let from = rx.from;
-                self.handle_init(ctx, pe, from, &rx.data);
+                self.handle_init(ctx, pe, from, &data);
             }
-            TAG_ACK => self.handle_ack(ctx, &rx.data),
+            TAG_ACK => self.handle_ack(ctx, &data),
             TAG_PERSIST => {
-                let xid = u64::from_be_bytes(rx.data[1..9].try_into().unwrap());
+                let xid = u64::from_be_bytes(data[1..9].try_into().unwrap());
                 let (data, dst_pe) = self
                     .persist_data
                     .remove(&xid)
@@ -621,7 +905,14 @@ impl UgniLayer {
         ctx.charge_overhead(src_pe, self.cfg.shm_overhead + copy);
         let copy_out = self.cfg.intranode == IntraNode::PxshmDoubleCopy;
         let at = ctx.now() + self.cfg.shm_overhead + copy + self.cfg.shm_notice;
-        ctx.schedule(at, dst_pe, Box::new(Ev::ShmArrive { data: msg, copy_out }));
+        ctx.schedule(
+            at,
+            dst_pe,
+            Box::new(Ev::ShmArrive {
+                data: msg,
+                copy_out,
+            }),
+        );
     }
 }
 
@@ -670,7 +961,12 @@ impl MachineLayer for UgniLayer {
             ctx.charge_overhead(src_pe, self.cfg.smp_handoff);
         }
 
-        let limit = self.gni().smsg_limit() as usize;
+        // Chaos mode frames small messages with a sequence header; keep
+        // the framed message within the mailbox limit.
+        let mut limit = self.gni().smsg_limit() as usize;
+        if self.chaos {
+            limit = limit.saturating_sub(SEQ_HDR);
+        }
         if msg.len() <= limit {
             self.stats.small_msgs += 1;
             let at = ctx.pe_free_at(src_pe).max(ctx.now());
@@ -716,6 +1012,7 @@ impl MachineLayer for UgniLayer {
             Ev::Retry { peer } => self.conn_retry(ctx, pe, peer),
             Ev::StartRendezvous { xid } => self.rendezvous_start(ctx, xid),
             Ev::PostGet { xid } => self.post_get(ctx, xid),
+            Ev::RepostPut { xid } => self.repost_put(ctx, xid),
             Ev::PersistPutDone { xid } => {
                 let dst_pe = self
                     .persist_data
@@ -808,8 +1105,7 @@ impl MachineLayer for UgniLayer {
             user_id: xid,
         };
         let now = ctx.now();
-        let use_fma =
-            bytes <= self.cfg.fma_bte_threshold && bytes <= self.cfg.params.fma_max_bytes;
+        let use_fma = bytes <= self.cfg.fma_bte_threshold && bytes <= self.cfg.params.fma_max_bytes;
         let ok = if use_fma {
             self.gni_mut().post_fma(now, ep, desc)
         } else {
@@ -817,6 +1113,23 @@ impl MachineLayer for UgniLayer {
         }
         .expect("persistent PUT rejected");
         self.charge_comm(ctx, src_pe, ok.cpu);
-        ctx.schedule_nodefer(ok.local_cq_at, src_pe, Box::new(Ev::PersistPutDone { xid }));
+        if self.chaos {
+            // Reap the completion from the CQ so a PostError can trigger a
+            // re-post; the fault-free direct event would wrongly notify
+            // the receiver of a PUT that never landed.
+            self.persist_pending.insert(
+                xid,
+                PendingPut {
+                    handle,
+                    src_pe,
+                    dst_pe,
+                    bytes,
+                    backoff: 0,
+                },
+            );
+            self.schedule_poll(ctx, ok.local_cq_at, src_pe, Ev::PollCq);
+        } else {
+            ctx.schedule_nodefer(ok.local_cq_at, src_pe, Box::new(Ev::PersistPutDone { xid }));
+        }
     }
 }

@@ -18,10 +18,7 @@ mod tests {
     use gemini_net::GeminiParams;
 
     fn cluster_with(cfg: UgniConfig, pes: u32, cores: u32) -> Cluster {
-        Cluster::new(
-            ClusterCfg::new(pes, cores),
-            Box::new(UgniLayer::new(cfg)),
-        )
+        Cluster::new(ClusterCfg::new(pes, cores), Box::new(UgniLayer::new(cfg)))
     }
 
     /// One-way latency of a `bytes`-payload message between PE 0 and PE 1
@@ -163,8 +160,7 @@ mod tests {
     #[test]
     fn small_messages_unaffected_by_mempool() {
         let with = one_way_latency(UgniConfig::optimized(), 64, 50, false);
-        let without =
-            one_way_latency(UgniConfig::optimized().with_mempool(false), 64, 50, false);
+        let without = one_way_latency(UgniConfig::optimized().with_mempool(false), 64, 50, false);
         let ratio = with / without;
         assert!(
             (0.8..1.2).contains(&ratio),
@@ -185,7 +181,10 @@ mod tests {
         // the paper: "This implementation is quite efficient in a pingpong
         // test". The pxshm win only appears under NIC contention (below).
         let nic = one_way_latency_intranode(IntraNode::NetworkLoopback, 65536);
-        assert!(nic < double, "loopback should beat double copy in isolation");
+        assert!(
+            nic < double,
+            "loopback should beat double copy in isolation"
+        );
     }
 
     #[test]
@@ -445,6 +444,194 @@ mod tests {
         }
         c.run();
         assert_eq!(*c.user::<u64>(0), 70);
+    }
+
+    fn chaos_cfg(seed: u64, drop: f64, corrupt: f64) -> UgniConfig {
+        let mut cfg = UgniConfig::optimized();
+        cfg.params.fault = gemini_net::FaultPlan {
+            seed,
+            smsg_drop: drop,
+            smsg_corrupt: corrupt,
+            fma_drop: drop,
+            fma_corrupt: corrupt,
+            bte_drop: drop,
+            bte_corrupt: corrupt,
+            ..gemini_net::FaultPlan::none()
+        };
+        cfg
+    }
+
+    /// PE 0 blasts `n` small messages at PE 1 under the given config; the
+    /// run drains to quiescence and returns (delivered count, end time,
+    /// stats debug string).
+    fn run_small_blast(cfg: UgniConfig, n: u64, bytes: usize) -> (u64, sim_core::Time, String) {
+        let mut c = cluster_with(cfg, 2, 1);
+        c.init_user(|_| 0u64);
+        let h = c.register_handler(|ctx, _env| {
+            *ctx.user::<u64>() += 1;
+        });
+        let kick = c.register_handler(move |ctx, _| {
+            for _ in 0..n {
+                ctx.send(1, h, Bytes::from(vec![3u8; bytes]));
+            }
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        let r = c.run();
+        let got = *c.user::<u64>(1);
+        let layer: &mut UgniLayer = c.layer_mut();
+        (got, r.end_time, format!("{:?}", layer.stats))
+    }
+
+    #[test]
+    fn chaos_small_messages_recover_exactly_once() {
+        let mut c = cluster_with(chaos_cfg(42, 0.05, 0.05), 2, 1);
+        c.init_user(|_| 0u64);
+        let n = 200u64;
+        let h = c.register_handler(|ctx, _env| {
+            *ctx.user::<u64>() += 1;
+        });
+        let kick = c.register_handler(move |ctx, _| {
+            for _ in 0..n {
+                ctx.send(1, h, Bytes::from_static(b"payload"));
+            }
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.run();
+        // Exactly-once despite drops (resent) and corrupted completions
+        // (delivered + resent -> receiver dedup): not one more, not one
+        // fewer.
+        assert_eq!(*c.user::<u64>(1), n, "delivery not exactly-once");
+        let layer: &mut UgniLayer = c.layer_mut();
+        assert!(layer.stats.send_faults > 0, "plan injected no smsg faults");
+        assert!(
+            layer.stats.dup_drops > 0,
+            "no corrupt-delivery duplicate was suppressed"
+        );
+        assert!(
+            layer.stats.recovery_ns > 0,
+            "recovery work was never accounted"
+        );
+    }
+
+    #[test]
+    fn chaos_rendezvous_reposts_and_preserves_payload() {
+        let mut c = cluster_with(chaos_cfg(7, 0.2, 0.2), 2, 1);
+        c.init_user(|_| 0u64);
+        let pattern: Vec<u8> = (0..65536u32).map(|i| (i * 131 % 251) as u8).collect();
+        let expect = pattern.clone();
+        let n = 10u64;
+        let h = c.register_handler(move |ctx, env| {
+            assert_eq!(
+                &env.payload[..],
+                &expect[..],
+                "rendezvous payload corrupted"
+            );
+            *ctx.user::<u64>() += 1;
+        });
+        let payload = Bytes::from(pattern);
+        let kick = c.register_handler(move |ctx, _| {
+            for _ in 0..n {
+                ctx.send(1, h, payload.clone());
+            }
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.run();
+        assert_eq!(*c.user::<u64>(1), n, "rendezvous not exactly-once");
+        let layer: &mut UgniLayer = c.layer_mut();
+        assert!(layer.stats.rdma_faults > 0, "plan injected no RDMA faults");
+    }
+
+    #[test]
+    fn forced_cq_overrun_resyncs_and_completes() {
+        let mut cfg = UgniConfig::optimized();
+        cfg.params.fault.force_cq_overrun_at = Some(1);
+        let (got, _, stats) = run_small_blast(cfg, 20, 40_000);
+        assert_eq!(got, 20, "messages lost across the CQ overrun");
+        assert!(
+            stats.contains("cq_resyncs: 1"),
+            "forced overrun never resynced: {stats}"
+        );
+    }
+
+    #[test]
+    fn persistent_sends_recover_from_put_faults() {
+        let mut c = cluster_with(chaos_cfg(11, 0.2, 0.2), 2, 1);
+        struct St {
+            handle: Option<PersistentHandle>,
+            got: u64,
+        }
+        c.init_user(|_| St {
+            handle: None,
+            got: 0,
+        });
+        let n = 20u64;
+        let h = c.register_handler(|ctx, _env| {
+            ctx.user::<St>().got += 1;
+        });
+        let send_all = c.register_handler(move |ctx, _| {
+            let hd = ctx.user::<St>().handle.unwrap();
+            for _ in 0..n {
+                ctx.send_persistent(hd, 1, h, Bytes::from(vec![9u8; 4096]));
+            }
+        });
+        let kick = c.register_handler(move |ctx, _| {
+            let hd = ctx.create_persistent(1, 8192);
+            ctx.user::<St>().handle = Some(hd);
+            ctx.send(ctx.pe(), send_all, Bytes::new());
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.run();
+        assert_eq!(c.user::<St>(1).got, n, "persistent path not exactly-once");
+    }
+
+    #[test]
+    fn link_down_window_is_survivable() {
+        let mut cfg = UgniConfig::optimized();
+        cfg.params.fault.link_down.push(gemini_net::LinkDownWindow {
+            node: 0,
+            dim: 0,
+            plus: true,
+            from_ns: 50_000,
+            until_ns: 250_000,
+        });
+        let (got, _, _) = run_small_blast(cfg, 100, 512);
+        assert_eq!(got, 100, "messages lost across the link outage");
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let a = run_small_blast(chaos_cfg(99, 0.05, 0.05), 150, 1024);
+        let b = run_small_blast(chaos_cfg(99, 0.05, 0.05), 150, 1024);
+        assert_eq!(a, b, "same seed + same plan must replay identically");
+        let c = run_small_blast(chaos_cfg(100, 0.05, 0.05), 150, 1024);
+        assert_ne!(a.1, c.1, "different fault seed should perturb timing");
+    }
+
+    #[test]
+    fn registration_exhaustion_falls_back_to_pool() {
+        let mut cfg = UgniConfig::optimized().with_mempool(false);
+        cfg.params.fault.seed = 5;
+        cfg.params.fault.reg_fail = 0.5;
+        let mut c = cluster_with(cfg, 2, 1);
+        c.init_user(|_| 0u64);
+        let n = 12u64;
+        let h = c.register_handler(|ctx, env| {
+            assert_eq!(env.payload.len(), 32768);
+            *ctx.user::<u64>() += 1;
+        });
+        let kick = c.register_handler(move |ctx, _| {
+            for _ in 0..n {
+                ctx.send(1, h, Bytes::from(vec![5u8; 32768]));
+            }
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.run();
+        assert_eq!(*c.user::<u64>(1), n);
+        let layer: &mut UgniLayer = c.layer_mut();
+        assert!(
+            layer.stats.reg_fallbacks > 0,
+            "50% reg failure never hit the fallback path"
+        );
     }
 
     #[test]

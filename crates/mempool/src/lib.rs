@@ -174,7 +174,9 @@ impl MemPool {
     pub fn free(&mut self, p: &GeminiParams, reg: &mut RegTable, block: Block) -> Time {
         self.stats.frees += 1;
         if block.is_direct() {
-            return reg.deregister(p, block.handle) + p.malloc_base;
+            // Direct blocks are registered at alloc time, so deregistration
+            // can only fail on a caller double-free; charge nothing then.
+            return reg.deregister(p, block.handle).unwrap_or(0) + p.malloc_base;
         }
         #[cfg(debug_assertions)]
         {
@@ -227,7 +229,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (GeminiParams, RegTable, MemPool) {
-        (GeminiParams::hopper(), RegTable::new(), MemPool::new(1 << 40))
+        (
+            GeminiParams::hopper(),
+            RegTable::new(),
+            MemPool::new(1 << 40),
+        )
     }
 
     #[test]
@@ -387,6 +393,66 @@ mod proptests {
                 prop_assert!(b.addr.0 >= base.0);
                 prop_assert!(b.addr.0 + b.size <= base.0 + len);
             }
+        }
+
+        /// Dynamic expansion under registration pressure stays O(1) per
+        /// operation: once a class has expanded, every later alloc that
+        /// hits its free list costs exactly the constant `alloc_hit`, and
+        /// every pooled free costs exactly the constant `free` — no matter
+        /// how deep the churn. Counters and pinned bytes must balance at
+        /// the end, and expansions stay bounded by the live-set peak.
+        #[test]
+        fn expansion_churn_stays_constant_time(
+            ops in proptest::collection::vec((6u32..18, 0u64..4, any::<bool>()), 20..300)
+        ) {
+            let p = GeminiParams::hopper();
+            let mut reg = RegTable::new();
+            let mut pool = MemPool::new(1 << 40);
+            let mut live: Vec<Block> = Vec::new();
+            // Per-class live peak: a class only expands when every block it
+            // ever carved is live, so expansions_c <= peak_live_c.
+            let mut live_per_class: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            let mut peak_per_class: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            for (shift, pick, do_free) in ops {
+                if do_free && !live.is_empty() {
+                    let b = live.swap_remove((pick % live.len() as u64) as usize);
+                    *live_per_class.get_mut(&b.size).unwrap() -= 1;
+                    let c = pool.free(&p, &mut reg, b);
+                    prop_assert_eq!(c, PoolCosts::default().free, "pooled free must be O(1)");
+                } else {
+                    let bytes = 1u64 << shift; // 64 B .. 128 KiB: always pooled
+                    let expansions_before = pool.stats.expansions;
+                    let (b, c) = pool.alloc(&p, &mut reg, bytes);
+                    if pool.stats.expansions == expansions_before {
+                        prop_assert_eq!(
+                            c,
+                            PoolCosts::default().alloc_hit,
+                            "free-list hit must be O(1)"
+                        );
+                    }
+                    let n = live_per_class.entry(b.size).or_insert(0);
+                    *n += 1;
+                    let pk = peak_per_class.entry(b.size).or_insert(0);
+                    *pk = (*pk).max(*n);
+                    live.push(b);
+                }
+            }
+            // Drain: counters balance, nothing deregistered, memory pinned.
+            for b in live.drain(..) {
+                pool.free(&p, &mut reg, b);
+            }
+            prop_assert_eq!(pool.stats.allocs, pool.stats.frees);
+            prop_assert_eq!(reg.total_deregistrations, 0, "pool must keep memory pinned");
+            prop_assert!(reg.registered_bytes() >= pool.pinned_bytes());
+            let bound: u64 = peak_per_class.values().sum();
+            prop_assert!(
+                pool.stats.expansions <= bound.max(1),
+                "expansions {} outran summed per-class live peaks {}",
+                pool.stats.expansions,
+                bound
+            );
         }
 
         /// alloc/free cycles leave counters balanced and expansion bounded.

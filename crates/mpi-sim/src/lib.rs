@@ -25,10 +25,16 @@
 //! returns CPU cost plus wake hints; there are no threads.
 
 use bytes::Bytes;
-use gemini_net::{Addr, GeminiParams, NodeId, RdmaOp, RegCache};
+use gemini_net::{Addr, FaultKind, GeminiParams, NodeId, RdmaOp, RegCache};
 use sim_core::Time;
 use std::collections::{HashMap, VecDeque};
-use ugni::{CqHandle, EpHandle, Gni, GniError, PostDescriptor};
+use ugni::{CqEvent, CqHandle, EpHandle, Gni, GniError, PostDescriptor, SmsgSendOk};
+
+/// Initial blocking-retry backoff after a fabric transaction error (the
+/// library spins, so this is virtual CPU time), doubled per attempt.
+const RETRY_BACKOFF0: Time = 1_000;
+/// Backoff cap: keeps the retry cadence bounded under long outages.
+const RETRY_BACKOFF_MAX: Time = 65_536;
 
 pub type Rank = u32;
 pub type Tag = i32;
@@ -156,6 +162,10 @@ pub struct MpiStats {
     pub udreg_hits: u64,
     pub udreg_misses: u64,
     pub blocking_recv_ns: Time,
+    /// Transfers re-driven after a fabric transaction error.
+    pub send_retries: u64,
+    /// CQ overrun recoveries performed.
+    pub cq_resyncs: u64,
 }
 
 /// The per-job MPI instance.
@@ -192,7 +202,12 @@ impl MpiSim {
             let node = r / cores_per_node;
             let a = gni.alloc_addr(node);
             // 8 MiB of internal pre-registered buffering per rank.
-            let (h, _) = gni.mem_register(node, a, 8 << 20);
+            // Transient NIC descriptor exhaustion (chaos plans) is retried;
+            // a bounded number of attempts keeps a pathological plan from
+            // hanging startup.
+            let (h, _) = (0..64)
+                .find_map(|_| gni.mem_register(node, a, 8 << 20).ok())
+                .expect("eager buffer registration: NIC resources exhausted");
             eager_addr.push(a);
             eager_handle.push(h);
         }
@@ -237,6 +252,77 @@ impl MpiSim {
         ep
     }
 
+    /// Send an SMSG, absorbing credit exhaustion and fabric transaction
+    /// errors by blocking and resending with capped exponential backoff
+    /// (Cray MPI semantics: the library spins in the send call). Returns
+    /// the successful send and the virtual time the call returns at.
+    fn smsg_send_blocking(
+        &mut self,
+        mut at: Time,
+        ep: EpHandle,
+        tag: u8,
+        data: Bytes,
+    ) -> (SmsgSendOk, Time) {
+        let mut backoff = RETRY_BACKOFF0;
+        loop {
+            match self.gni.smsg_send_w_tag(at, ep, tag, data.clone()) {
+                Ok(ok) => return (ok, at + ok.cpu),
+                Err(GniError::NoCredits { retry_at }) => at = at.max(retry_at),
+                Err(GniError::TransactionError { cpu, error_at, .. }) => {
+                    // The failure is observable at error_at; resend after a
+                    // backoff. A corrupted completion already delivered the
+                    // payload — the duplicate is discarded at drain time.
+                    self.stats.send_retries += 1;
+                    at = error_at.max(at + cpu) + backoff;
+                    backoff = (backoff * 2).min(RETRY_BACKOFF_MAX);
+                }
+                Err(e) => panic!("SMSG send failed unrecoverably: {e:?}"),
+            }
+        }
+    }
+
+    /// Reap the completion for `user_id` from `cq`, polling from `at`.
+    /// Recovers CQ overruns in place (audit + resync) and discards stale
+    /// completions from earlier eagerly-drained posts. `Ok` carries the
+    /// consume time and any GET payload; `Err` reports a failed post and
+    /// when the failure became observable.
+    fn reap_post(
+        &mut self,
+        cq: CqHandle,
+        user_id: u64,
+        mut at: Time,
+    ) -> Result<(Time, Option<Bytes>), (FaultKind, Time)> {
+        loop {
+            match self.gni.cq_get_event(cq, at) {
+                Ok(CqEvent::PostDone {
+                    user_id: id, data, ..
+                }) if id == user_id => {
+                    return Ok((at, data));
+                }
+                Ok(CqEvent::PostError {
+                    user_id: id, kind, ..
+                }) if id == user_id => {
+                    return Err((kind, at));
+                }
+                // Stale completion (or error already handled by a retry).
+                Ok(_) => continue,
+                Err(GniError::CqOverrun) => {
+                    let (cost, _) = self.gni.cq_resync(cq, at).expect("valid CQ");
+                    self.stats.cq_resyncs += 1;
+                    at += cost;
+                }
+                Err(GniError::NotDone) => match self.gni.cq_next_ready(cq) {
+                    Some(t) if t > at => at = t,
+                    // The completion for `user_id` is always pushed (queued
+                    // or into the overrun-lost set), so an empty CQ here is
+                    // a protocol bug, not a fabric fault.
+                    _ => panic!("completion for post {user_id} vanished"),
+                },
+                Err(e) => panic!("CQ poll failed: {e:?}"),
+            }
+        }
+    }
+
     /// `MPI_Isend` (the send-side request always completes locally in this
     /// model; rendezvous data is held until the receiver pulls it).
     /// `buf` identifies the application buffer for uDREG purposes — pass
@@ -279,32 +365,16 @@ impl MpiSim {
 
         let smsg_limit = self.gni.smsg_limit() as u64;
         if bytes + 16 <= smsg_limit {
-            // Small eager: copy into the internal buffer, one SMSG.
+            // Small eager: copy into the internal buffer, one SMSG. The
+            // blocking send absorbs credit exhaustion and fabric faults.
             self.stats.eager_msgs += 1;
             fx.cpu += p.memcpy_cost(bytes);
             let ep = self.ep(src, dst);
-            match self.gni.smsg_send_w_tag(now + fx.cpu, ep, TAG_EAGER, data.clone()) {
-                Ok(ok) => {
-                    fx.cpu += ok.cpu;
-                    self.unexpected[dst as usize]
-                        .push_back((ok.deliver_at, Unexp::Eager { src, tag, data }));
-                    fx.wakes.push((dst, ok.deliver_at));
-                }
-                Err(GniError::NoCredits { retry_at }) => {
-                    // Cray MPI spins until credits return.
-                    let wait = retry_at.saturating_sub(now + fx.cpu);
-                    fx.cpu += wait;
-                    let ok = self
-                        .gni
-                        .smsg_send_w_tag(now + fx.cpu, ep, TAG_EAGER, data.clone())
-                        .expect("credits after wait");
-                    fx.cpu += ok.cpu;
-                    self.unexpected[dst as usize]
-                        .push_back((ok.deliver_at, Unexp::Eager { src, tag, data }));
-                    fx.wakes.push((dst, ok.deliver_at));
-                }
-                Err(e) => panic!("eager send failed: {e:?}"),
-            }
+            let (ok, end) = self.smsg_send_blocking(now + fx.cpu, ep, TAG_EAGER, data.clone());
+            fx.cpu = end - now;
+            self.unexpected[dst as usize]
+                .push_back((ok.deliver_at, Unexp::Eager { src, tag, data }));
+            fx.wakes.push((dst, ok.deliver_at));
             return fx;
         }
 
@@ -329,15 +399,29 @@ impl MpiSim {
                 data: Some(data.clone()),
                 user_id: xid,
             };
-            let ok = if bytes <= 4096 {
-                self.gni.post_fma(now + fx.cpu, ep, desc)
-            } else {
-                self.gni.post_rdma(now + fx.cpu, ep, desc)
-            }
-            .expect("eager PUT failed");
-            fx.cpu += ok.cpu;
-            // Drain our own CQ entry eagerly (send request completion).
-            let _ = self.gni.cq_get_event(self.cqs[src as usize], ok.local_cq_at);
+            // Post the PUT; a failed transaction is re-posted after its
+            // error surfaces on the CQ, with capped exponential backoff.
+            let cq = self.cqs[src as usize];
+            let mut attempt_at = now + fx.cpu;
+            let mut backoff = RETRY_BACKOFF0;
+            let ok = loop {
+                let posted = if bytes <= 4096 {
+                    self.gni.post_fma(attempt_at, ep, desc.clone())
+                } else {
+                    self.gni.post_rdma(attempt_at, ep, desc.clone())
+                }
+                .expect("eager PUT rejected");
+                // Drain our own CQ entry eagerly (send request completion).
+                match self.reap_post(cq, xid, posted.local_cq_at) {
+                    Ok(_) => break posted,
+                    Err((_kind, err_at)) => {
+                        self.stats.send_retries += 1;
+                        attempt_at = err_at.max(attempt_at + posted.cpu) + backoff;
+                        backoff = (backoff * 2).min(RETRY_BACKOFF_MAX);
+                    }
+                }
+            };
+            fx.cpu = (attempt_at - now) + ok.cpu;
             self.put_data.insert(xid, (src, tag, data.clone()));
             let visible_guess = ok.data_at.max(now + fx.cpu);
             self.unexpected[dst as usize]
@@ -347,19 +431,12 @@ impl MpiSim {
             hdr.push(TAG_PUT_NOTIFY);
             hdr.extend_from_slice(&xid.to_be_bytes());
             let notify_at = ok.data_at.max(now + fx.cpu);
-            match self
-                .gni
-                .smsg_send_w_tag(notify_at, ep, TAG_PUT_NOTIFY, Bytes::from(hdr))
-            {
-                Ok(n) => {
-                    // The receiver learns of the message via the notify.
-                    if let Some(back) = self.unexpected[dst as usize].back_mut() {
-                        back.0 = back.0.max(n.deliver_at);
-                    }
-                    fx.wakes.push((dst, n.deliver_at));
-                }
-                Err(e) => panic!("eager notify failed: {e:?}"),
+            let (n, _) = self.smsg_send_blocking(notify_at, ep, TAG_PUT_NOTIFY, Bytes::from(hdr));
+            // The receiver learns of the message via the notify.
+            if let Some(back) = self.unexpected[dst as usize].back_mut() {
+                back.0 = back.0.max(n.deliver_at);
             }
+            fx.wakes.push((dst, n.deliver_at));
             return fx;
         }
 
@@ -389,24 +466,20 @@ impl MpiSim {
         hdr.extend_from_slice(&handle.0.to_be_bytes());
         hdr.extend_from_slice(&buf.0.to_be_bytes());
         let ep = self.ep(src, dst);
-        match self.gni.smsg_send_w_tag(now + fx.cpu, ep, TAG_RTS, Bytes::from(hdr)) {
-            Ok(ok) => {
-                fx.cpu += ok.cpu;
-                self.unexpected[dst as usize].push_back((
-                    ok.deliver_at,
-                    Unexp::Rts {
-                        src,
-                        tag,
-                        bytes,
-                        xid,
-                        handle,
-                        addr: buf,
-                    },
-                ));
-                fx.wakes.push((dst, ok.deliver_at));
-            }
-            Err(e) => panic!("RTS failed: {e:?}"),
-        }
+        let (ok, end) = self.smsg_send_blocking(now + fx.cpu, ep, TAG_RTS, Bytes::from(hdr));
+        fx.cpu = end - now;
+        self.unexpected[dst as usize].push_back((
+            ok.deliver_at,
+            Unexp::Rts {
+                src,
+                tag,
+                bytes,
+                xid,
+                handle,
+                addr: buf,
+            },
+        ));
+        fx.wakes.push((dst, ok.deliver_at));
         fx
     }
 
@@ -416,12 +489,8 @@ impl MpiSim {
     pub fn progress(&mut self, now: Time, rank: Rank) -> Time {
         let node = self.node_of(rank);
         let mut cpu = 0;
-        loop {
-            match self.gni.smsg_get_next_w_tag(node, rank, now + cpu) {
-                Ok(rx) => cpu += rx.cpu,
-                Err(GniError::NotDone) => break,
-                Err(e) => panic!("progress drain failed: {e:?}"),
-            }
+        while let Ok(rx) = self.gni.smsg_get_next_w_tag(node, rank, now + cpu) {
+            cpu += rx.cpu;
         }
         cpu
     }
@@ -499,9 +568,7 @@ impl MpiSim {
         let (_, u) = self.unexpected[rank as usize].remove(idx).unwrap();
         let p = self.cfg.params.clone();
         // Matching re-scans the unexpected list up to the hit.
-        let base = now
-            + self.cfg.call_overhead
-            + (idx as Time + 1) * self.cfg.match_scan_per_entry;
+        let base = now + self.cfg.call_overhead + (idx as Time + 1) * self.cfg.match_scan_per_entry;
         match u {
             Unexp::Eager { src, tag, data } | Unexp::Shm { src, tag, data } => {
                 // Copy out of MPI internal (or shared) memory into the user
@@ -548,26 +615,32 @@ impl MpiSim {
                     data: None,
                     user_id: xid,
                 };
-                let ok = self.gni.post_rdma(t0, ep, desc).expect("rendezvous GET");
-                // Blocking: spin on the CQ until done.
-                let ev = self
-                    .gni
-                    .cq_get_event(self.cqs[rank as usize], ok.local_cq_at)
-                    .expect("GET completion");
-                let data = match ev {
-                    ugni::CqEvent::PostDone { data, .. } => {
-                        data.expect("rendezvous GET without data")
+                // Blocking: spin on the CQ until done, re-posting the GET
+                // if the fabric fails it (zero-copy pull is idempotent).
+                let cqh = self.cqs[rank as usize];
+                let mut attempt_at = t0;
+                let mut backoff = RETRY_BACKOFF0;
+                let (ok, data) = loop {
+                    let posted = self
+                        .gni
+                        .post_rdma(attempt_at, ep, desc.clone())
+                        .expect("rendezvous GET rejected");
+                    match self.reap_post(cqh, xid, posted.local_cq_at) {
+                        Ok((_, d)) => break (posted, d.expect("rendezvous GET without data")),
+                        Err((_kind, err_at)) => {
+                            self.stats.send_retries += 1;
+                            attempt_at = err_at.max(attempt_at + posted.cpu) + backoff;
+                            backoff = (backoff * 2).min(RETRY_BACKOFF_MAX);
+                        }
                     }
-                    e => panic!("unexpected CQ event {e:?}"),
                 };
                 // DONE message lets the sender's request complete.
                 let mut hdr = Vec::with_capacity(9);
                 hdr.push(TAG_DONE);
                 hdr.extend_from_slice(&xid.to_be_bytes());
                 let ep_back = self.ep(rank, src);
-                let _ = self
-                    .gni
-                    .smsg_send_w_tag(ok.local_cq_at, ep_back, TAG_DONE, Bytes::from(hdr));
+                let _ =
+                    self.smsg_send_blocking(ok.local_cq_at, ep_back, TAG_DONE, Bytes::from(hdr));
                 let done = ok.local_cq_at + self.cfg.call_overhead;
                 self.stats.blocking_recv_ns += done.saturating_sub(now);
                 Some(RecvOutcome {

@@ -28,8 +28,8 @@ impl DetRng {
     /// reproducible stream.
     pub fn derive(base_seed: u64, stream: u64) -> Self {
         // SplitMix64 finalizer mixes the pair into a well-distributed seed.
-        let mut z = base_seed
-            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        let mut z =
+            base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(stream.wrapping_add(1)));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^= z >> 31;

@@ -178,11 +178,7 @@ impl Figure {
         for &x in &xs {
             let mut row = format!("{:>12}", fmt_x(x));
             for s in &self.series {
-                let y = s
-                    .points
-                    .iter()
-                    .find(|p| p.0 == x)
-                    .map(|p| p.1);
+                let y = s.points.iter().find(|p| p.0 == x).map(|p| p.1);
                 match y {
                     Some(v) => row.push_str(&format!("  {:>18.3}", v)),
                     None => row.push_str(&format!("  {:>18}", "-")),
@@ -196,9 +192,9 @@ impl Figure {
 }
 
 fn fmt_x(x: f64) -> String {
-    if x >= 1024.0 * 1024.0 && (x as u64) % (1024 * 1024) == 0 {
+    if x >= 1024.0 * 1024.0 && (x as u64).is_multiple_of(1024 * 1024) {
         format!("{}M", x as u64 / (1024 * 1024))
-    } else if x >= 1024.0 && (x as u64) % 1024 == 0 {
+    } else if x >= 1024.0 && (x as u64).is_multiple_of(1024) {
         format!("{}K", x as u64 / 1024)
     } else {
         format!("{}", x)

@@ -20,7 +20,7 @@
 pub mod types;
 
 use bytes::Bytes;
-use gemini_net::{Addr, Fabric, GeminiParams, MemHandle, Mechanism, NodeId, RdmaOp};
+use gemini_net::{Addr, Fabric, FaultKind, GeminiParams, Mechanism, MemHandle, NodeId, RdmaOp};
 use sim_core::{EventQueue, Time};
 use std::collections::HashMap;
 
@@ -39,6 +39,12 @@ struct Endpoint {
 #[derive(Default)]
 struct Cq {
     events: EventQueue<CqEvent>,
+    /// Overrun error state (`GNI_CQ_OVERRUN`): set when an event arrives
+    /// past the configured depth, cleared only by [`Gni::cq_resync`].
+    overrun: bool,
+    /// Events that fell off the queue during the overrun, kept so a resync
+    /// can audit outstanding transactions and recover them.
+    lost: Vec<(Time, CqEvent)>,
 }
 
 /// The per-job uGNI instance: owns the fabric and all handles.
@@ -47,6 +53,7 @@ pub struct Gni {
     cqs: Vec<Cq>,
     eps: Vec<Endpoint>,
     /// Per-(node, instance) inbound SMSG mailboxes (time-ordered).
+    #[allow(clippy::type_complexity)]
     rx: HashMap<(NodeId, u32), EventQueue<(u8, u32, Bytes)>>,
     /// Per-node shared MSGQ queues: (tag, from_inst, dst_inst, data).
     msgq_rx: HashMap<NodeId, EventQueue<(u8, u32, u32, Bytes)>>,
@@ -56,6 +63,10 @@ pub struct Gni {
     contents: HashMap<(NodeId, Addr), Bytes>,
     /// Per-node bump allocator for simulated addresses.
     next_addr: Vec<u64>,
+    /// One-shot latch for `FaultPlan::force_cq_overrun_at`.
+    forced_overrun_done: bool,
+    /// Lifetime count of CQ overrun episodes.
+    pub cq_overruns: u64,
 }
 
 impl Gni {
@@ -76,6 +87,8 @@ impl Gni {
             msgq_rx: HashMap::new(),
             contents: HashMap::new(),
             next_addr: (0..n).map(|i| (i as u64 + 1) << 44).collect(),
+            forced_overrun_done: false,
+            cq_overruns: 0,
         }
     }
 
@@ -136,16 +149,31 @@ impl Gni {
         Addr(a)
     }
 
-    /// `GNI_MemRegister`: returns the handle and the CPU cost.
-    pub fn mem_register(&mut self, node: NodeId, addr: Addr, bytes: u64) -> (MemHandle, Time) {
+    /// `GNI_MemRegister`: returns the handle and the CPU cost. Under an
+    /// active fault plan the NIC's descriptor table can be transiently
+    /// exhausted ([`GniError::ResourceError`]); callers fall back to
+    /// pre-registered memory or retry later.
+    pub fn mem_register(
+        &mut self,
+        node: NodeId,
+        addr: Addr,
+        bytes: u64,
+    ) -> GniResult<(MemHandle, Time)> {
+        if self.fabric.reg_fault_roll() {
+            return Err(GniError::ResourceError);
+        }
         let p = self.fabric.params.clone();
-        self.fabric.reg_table(node).register(&p, addr, bytes)
+        Ok(self.fabric.reg_table(node).register(&p, addr, bytes))
     }
 
-    /// `GNI_MemDeregister`: returns the CPU cost.
-    pub fn mem_deregister(&mut self, node: NodeId, h: MemHandle) -> Time {
+    /// `GNI_MemDeregister`: returns the CPU cost. Deregistering an unknown
+    /// or already-released handle is reported, not fatal.
+    pub fn mem_deregister(&mut self, node: NodeId, h: MemHandle) -> GniResult<Time> {
         let p = self.fabric.params.clone();
-        self.fabric.reg_table(node).deregister(&p, h)
+        self.fabric
+            .reg_table(node)
+            .deregister(&p, h)
+            .map_err(|_| GniError::InvalidHandle)
     }
 
     /// Store content into a simulated buffer (the side channel for RDMA
@@ -181,13 +209,39 @@ impl Gni {
             let e = self.eps.get(ep.0 as usize).ok_or(GniError::InvalidHandle)?;
             (e.local, e.remote, e.conn)
         };
-        let out = self
+        let out = match self
             .fabric
             .smsg_send(now, local, remote, conn, data.len() as u64)
-            .map_err(|e| match e {
-                gemini_net::SmsgError::NoCredits { retry_at } => GniError::NoCredits { retry_at },
-                gemini_net::SmsgError::TooLarge { limit } => GniError::TooLarge { limit },
-            })?;
+        {
+            Ok(out) => out,
+            Err(gemini_net::SmsgError::NoCredits { retry_at }) => {
+                return Err(GniError::NoCredits { retry_at })
+            }
+            Err(gemini_net::SmsgError::TooLarge { limit }) => {
+                return Err(GniError::TooLarge { limit })
+            }
+            Err(gemini_net::SmsgError::TransactionError {
+                kind,
+                cpu,
+                error_at,
+                delivered_at,
+            }) => {
+                // Corrupted completion: the payload *did* land, so a resend
+                // will duplicate it — receivers dedup by sequence number.
+                if let Some(at) = delivered_at {
+                    self.rx
+                        .entry((remote, conn.1))
+                        .or_default()
+                        .push(at, (tag, conn.0, data));
+                }
+                return Err(GniError::TransactionError {
+                    kind,
+                    cpu,
+                    error_at,
+                    delivered_at,
+                });
+            }
+        };
         self.rx
             .entry((remote, conn.1))
             .or_default()
@@ -242,13 +296,34 @@ impl Gni {
             let e = self.eps.get(ep.0 as usize).ok_or(GniError::InvalidHandle)?;
             (e.local, e.remote, e.conn)
         };
-        let out = self
-            .fabric
-            .msgq_send(now, local, remote, data.len() as u64)
-            .map_err(|e| match e {
-                gemini_net::SmsgError::NoCredits { retry_at } => GniError::NoCredits { retry_at },
-                gemini_net::SmsgError::TooLarge { limit } => GniError::TooLarge { limit },
-            })?;
+        let out = match self.fabric.msgq_send(now, local, remote, data.len() as u64) {
+            Ok(out) => out,
+            Err(gemini_net::SmsgError::NoCredits { retry_at }) => {
+                return Err(GniError::NoCredits { retry_at })
+            }
+            Err(gemini_net::SmsgError::TooLarge { limit }) => {
+                return Err(GniError::TooLarge { limit })
+            }
+            Err(gemini_net::SmsgError::TransactionError {
+                kind,
+                cpu,
+                error_at,
+                delivered_at,
+            }) => {
+                if let Some(at) = delivered_at {
+                    self.msgq_rx
+                        .entry(remote)
+                        .or_default()
+                        .push(at, (tag, conn.0, conn.1, data));
+                }
+                return Err(GniError::TransactionError {
+                    kind,
+                    cpu,
+                    error_at,
+                    delivered_at,
+                });
+            }
+        };
         self.msgq_rx
             .entry(remote)
             .or_default()
@@ -267,11 +342,7 @@ impl Gni {
     /// Drain the next MSGQ message on `node`; also returns the destination
     /// instance the sender addressed (the shared queue is demultiplexed in
     /// software).
-    pub fn msgq_get_next_w_tag(
-        &mut self,
-        node: NodeId,
-        now: Time,
-    ) -> GniResult<(SmsgRecv, u32)> {
+    pub fn msgq_get_next_w_tag(&mut self, node: NodeId, now: Time) -> GniResult<(SmsgRecv, u32)> {
         let Some(q) = self.msgq_rx.get_mut(&node) else {
             return Err(GniError::NotDone);
         };
@@ -319,7 +390,10 @@ impl Gni {
             let e = self.eps.get(ep.0 as usize).ok_or(GniError::InvalidHandle)?;
             (e.local, e.remote, e.cq)
         };
-        if !self.fabric.reg_table_ref(local).is_registered(desc.local_mem)
+        if !self
+            .fabric
+            .reg_table_ref(local)
+            .is_registered(desc.local_mem)
             || !self
                 .fabric
                 .reg_table_ref(remote)
@@ -332,26 +406,33 @@ impl Gni {
             .fabric
             .rdma(now, local, remote, desc.bytes, mech, desc.op);
 
-        let data = match desc.op {
-            RdmaOp::Get => {
-                // Data read from remote memory, returned with the local CQ
-                // event (it has landed in local memory by then).
-                let d = self.contents.get(&(remote, desc.remote_addr)).cloned();
-                if let Some(ref d) = d {
-                    self.contents.insert((local, desc.local_addr), d.clone());
-                }
-                d
+        if let Some(kind) = out.fault {
+            // Failure surfaces asynchronously at the CQ, as on real
+            // hardware: the post itself succeeds, the error event carries
+            // the descriptor's user_id so the initiator can re-post. A
+            // corrupted completion still moved the data.
+            if kind == FaultKind::CorruptDelivered {
+                self.move_rdma_data(local, remote, &desc);
             }
-            RdmaOp::Put => {
-                // Deposit payload into remote memory.
-                if let Some(ref d) = desc.data {
-                    self.contents.insert((remote, desc.remote_addr), d.clone());
-                }
-                desc.data.clone()
-            }
-        };
+            self.cq_push(
+                cq,
+                out.local_cq_at,
+                CqEvent::PostError {
+                    user_id: desc.user_id,
+                    op: desc.op,
+                    kind,
+                },
+            );
+            return Ok(PostOk {
+                cpu: out.cpu,
+                local_cq_at: out.local_cq_at,
+                data_at: out.data_at,
+            });
+        }
 
-        self.cqs[cq.0 as usize].events.push(
+        let data = self.move_rdma_data(local, remote, &desc);
+        self.cq_push(
+            cq,
             out.local_cq_at,
             CqEvent::PostDone {
                 user_id: desc.user_id,
@@ -367,25 +448,110 @@ impl Gni {
         })
     }
 
+    /// Perform the simulated data movement for a post: GET copies remote
+    /// content into local memory (and returns it for the CQ event), PUT
+    /// deposits the descriptor's payload into remote memory.
+    fn move_rdma_data(
+        &mut self,
+        local: NodeId,
+        remote: NodeId,
+        desc: &PostDescriptor,
+    ) -> Option<Bytes> {
+        match desc.op {
+            RdmaOp::Get => {
+                let d = self.contents.get(&(remote, desc.remote_addr)).cloned();
+                if let Some(ref d) = d {
+                    self.contents.insert((local, desc.local_addr), d.clone());
+                }
+                d
+            }
+            RdmaOp::Put => {
+                if let Some(ref d) = desc.data {
+                    self.contents.insert((remote, desc.remote_addr), d.clone());
+                }
+                desc.data.clone()
+            }
+        }
+    }
+
+    /// Append a completion to a CQ, honoring the fault plan's queue depth
+    /// and forced-overrun point. Once a CQ overruns, further completions
+    /// are lost (kept aside for [`Gni::cq_resync`]) until the owner
+    /// recovers the queue.
+    fn cq_push(&mut self, cq: CqHandle, at: Time, ev: CqEvent) {
+        let depth = self.fabric.params.fault.cq_depth;
+        let forced = !self.forced_overrun_done
+            && self
+                .fabric
+                .params
+                .fault
+                .force_cq_overrun_at
+                .is_some_and(|t| at >= t);
+        if forced {
+            self.forced_overrun_done = true;
+        }
+        let q = &mut self.cqs[cq.0 as usize];
+        let over_depth = depth > 0 && q.events.len() as u32 >= depth;
+        if q.overrun || over_depth || forced {
+            if !q.overrun {
+                q.overrun = true;
+                self.cq_overruns += 1;
+            }
+            q.lost.push((at, ev));
+            return;
+        }
+        q.events.push(at, ev);
+    }
+
     /// `GNI_CqGetEvent`: poll a CQ. Returns `NotDone` when no event is
     /// ready at `now`. The poll itself costs [`Gni::cq_poll_cost`].
+    /// An overrun CQ reports [`GniError::CqOverrun`] on every poll until
+    /// the owner calls [`Gni::cq_resync`].
     pub fn cq_get_event(&mut self, cq: CqHandle, now: Time) -> GniResult<CqEvent> {
-        let q = &mut self
+        let c = self
             .cqs
             .get_mut(cq.0 as usize)
-            .ok_or(GniError::InvalidHandle)?
-            .events;
-        match q.peek_time() {
-            Some(t) if t <= now => Ok(q.pop().unwrap().1),
+            .ok_or(GniError::InvalidHandle)?;
+        if c.overrun {
+            return Err(GniError::CqOverrun);
+        }
+        match c.events.peek_time() {
+            Some(t) if t <= now => Ok(c.events.pop().unwrap().1),
             _ => Err(GniError::NotDone),
         }
     }
 
-    /// Earliest pending event time on a CQ.
+    /// Recover an overrun CQ: audit outstanding transactions and reinsert
+    /// the completions that fell off the queue (they become pollable no
+    /// earlier than `now`). Returns the CPU cost of the audit and the
+    /// number of events recovered. Safe to call on a healthy CQ (audits
+    /// nothing, still pays the two bookkeeping polls).
+    pub fn cq_resync(&mut self, cq: CqHandle, now: Time) -> GniResult<(Time, u32)> {
+        let poll = self.fabric.params.cq_poll_cpu;
+        let c = self
+            .cqs
+            .get_mut(cq.0 as usize)
+            .ok_or(GniError::InvalidHandle)?;
+        let lost = std::mem::take(&mut c.lost);
+        let n = lost.len() as u32;
+        for (t, ev) in lost {
+            c.events.push(t.max(now), ev);
+        }
+        c.overrun = false;
+        Ok((poll * (n as Time + 2), n))
+    }
+
+    /// Earliest pending event time on a CQ, counting events stranded by an
+    /// overrun (so progress engines keep polling and reach the resync).
     pub fn cq_next_ready(&self, cq: CqHandle) -> Option<Time> {
-        self.cqs
-            .get(cq.0 as usize)
-            .and_then(|c| c.events.peek_time())
+        self.cqs.get(cq.0 as usize).and_then(|c| {
+            let queued = c.events.peek_time();
+            let lost = c.lost.iter().map(|(t, _)| *t).min();
+            match (queued, lost) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        })
     }
 
     /// CPU cost of one CQ poll.
@@ -413,7 +579,8 @@ mod tests {
             .unwrap();
         // Too early: not pollable.
         assert_eq!(
-            g.smsg_get_next_w_tag(1, 1, sent.deliver_at - 1).unwrap_err(),
+            g.smsg_get_next_w_tag(1, 1, sent.deliver_at - 1)
+                .unwrap_err(),
             GniError::NotDone
         );
         let rx = g.smsg_get_next_w_tag(1, 1, sent.deliver_at).unwrap();
@@ -449,11 +616,11 @@ mod tests {
         let payload = Bytes::from(vec![0xABu8; 8192]);
 
         let a0 = g.alloc_addr(0);
-        let (h0, _) = g.mem_register(0, a0, 8192);
+        let (h0, _) = g.mem_register(0, a0, 8192).unwrap();
         g.mem_write(0, a0, payload.clone());
 
         let a1 = g.alloc_addr(1);
-        let (h1, _) = g.mem_register(1, a1, 8192);
+        let (h1, _) = g.mem_register(1, a1, 8192).unwrap();
 
         let ok = g
             .post_rdma(
@@ -496,10 +663,10 @@ mod tests {
         let payload = Bytes::from(vec![3u8; 4096]);
 
         let a0 = g.alloc_addr(0);
-        let (h0, _) = g.mem_register(0, a0, 4096);
+        let (h0, _) = g.mem_register(0, a0, 4096).unwrap();
         g.mem_write(0, a0, payload.clone());
         let a1 = g.alloc_addr(1);
-        let (h1, _) = g.mem_register(1, a1, 4096);
+        let (h1, _) = g.mem_register(1, a1, 4096).unwrap();
 
         let ok = g
             .post_fma(
@@ -527,7 +694,7 @@ mod tests {
         let cq = g.cq_create();
         let ep = g.ep_create(0, 1, cq);
         let a0 = g.alloc_addr(0);
-        let (h0, _) = g.mem_register(0, a0, 64);
+        let (h0, _) = g.mem_register(0, a0, 64).unwrap();
         let bogus = MemHandle(999);
         let desc = PostDescriptor {
             op: RdmaOp::Put,
@@ -539,7 +706,10 @@ mod tests {
             data: None,
             user_id: 0,
         };
-        assert_eq!(g.post_fma(0, ep, desc).unwrap_err(), GniError::NotRegistered);
+        assert_eq!(
+            g.post_fma(0, ep, desc).unwrap_err(),
+            GniError::NotRegistered
+        );
     }
 
     #[test]
@@ -548,13 +718,13 @@ mod tests {
         let cq = g.cq_create();
         let ep = g.ep_create(1, 0, cq);
         let a0 = g.alloc_addr(0);
-        let (h0, _) = g.mem_register(0, a0, 64);
+        let (h0, _) = g.mem_register(0, a0, 64).unwrap();
         g.mem_write(0, a0, Bytes::from_static(b"x"));
-        g.mem_deregister(0, h0);
+        g.mem_deregister(0, h0).unwrap();
         g.mem_clear(0, a0);
         assert!(g.mem_read(0, a0).is_none());
         let a1 = g.alloc_addr(1);
-        let (h1, _) = g.mem_register(1, a1, 64);
+        let (h1, _) = g.mem_register(1, a1, 64).unwrap();
         let desc = PostDescriptor {
             op: RdmaOp::Get,
             local_mem: h1,
@@ -565,7 +735,10 @@ mod tests {
             data: None,
             user_id: 0,
         };
-        assert_eq!(g.post_rdma(0, ep, desc).unwrap_err(), GniError::NotRegistered);
+        assert_eq!(
+            g.post_rdma(0, ep, desc).unwrap_err(),
+            GniError::NotRegistered
+        );
     }
 
     #[test]
@@ -621,10 +794,10 @@ mod tests {
         let ep = g.ep_create(0, 1, cq);
         assert_eq!(g.cq_next_ready(cq), None);
         let a0 = g.alloc_addr(0);
-        let (h0, _) = g.mem_register(0, a0, 64);
+        let (h0, _) = g.mem_register(0, a0, 64).unwrap();
         g.mem_write(0, a0, Bytes::from_static(b"y"));
         let a1 = g.alloc_addr(1);
-        let (h1, _) = g.mem_register(1, a1, 64);
+        let (h1, _) = g.mem_register(1, a1, 64).unwrap();
         let ok = g
             .post_fma(
                 0,
@@ -676,5 +849,157 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(b, c);
+    }
+
+    // ---- fault injection ----
+
+    fn gni_with_fault(f: impl FnOnce(&mut gemini_net::FaultPlan)) -> Gni {
+        let mut p = GeminiParams::test_small();
+        f(&mut p.fault);
+        Gni::new(p, 8)
+    }
+
+    fn put_desc(
+        h0: MemHandle,
+        a0: Addr,
+        h1: MemHandle,
+        a1: Addr,
+        bytes: u64,
+        user_id: u64,
+    ) -> PostDescriptor {
+        PostDescriptor {
+            op: RdmaOp::Put,
+            local_mem: h0,
+            local_addr: a0,
+            remote_mem: h1,
+            remote_addr: a1,
+            bytes,
+            data: Some(Bytes::from(vec![0x5Au8; bytes as usize])),
+            user_id,
+        }
+    }
+
+    #[test]
+    fn corrupt_smsg_error_still_delivers_payload() {
+        let mut g = gni_with_fault(|f| {
+            f.seed = 42;
+            f.smsg_corrupt = 1.0;
+        });
+        let cq = g.cq_create();
+        let ep = g.ep_create(0, 1, cq);
+        let err = g
+            .smsg_send_w_tag(0, ep, 9, Bytes::from_static(b"dup"))
+            .unwrap_err();
+        let GniError::TransactionError {
+            kind, delivered_at, ..
+        } = err
+        else {
+            panic!("expected TransactionError, got {err:?}");
+        };
+        assert_eq!(kind, FaultKind::CorruptDelivered);
+        let at = delivered_at.expect("corrupt delivery still lands");
+        let rx = g.smsg_get_next_w_tag(1, 1, at).unwrap();
+        assert_eq!(rx.tag, 9);
+        assert_eq!(&rx.data[..], b"dup");
+    }
+
+    #[test]
+    fn dropped_rdma_surfaces_post_error_on_cq() {
+        let mut g = gni_with_fault(|f| {
+            f.seed = 7;
+            f.fma_drop = 1.0;
+        });
+        let cq = g.cq_create();
+        let ep = g.ep_create(0, 1, cq);
+        let a0 = g.alloc_addr(0);
+        let (h0, _) = g.mem_register(0, a0, 256).unwrap();
+        let a1 = g.alloc_addr(1);
+        let (h1, _) = g.mem_register(1, a1, 256).unwrap();
+        let ok = g
+            .post_fma(0, ep, put_desc(h0, a0, h1, a1, 256, 77))
+            .unwrap();
+        match g.cq_get_event(cq, ok.local_cq_at).unwrap() {
+            CqEvent::PostError { user_id, op, kind } => {
+                assert_eq!(user_id, 77);
+                assert_eq!(op, RdmaOp::Put);
+                assert_eq!(kind, FaultKind::Dropped);
+            }
+            e => panic!("expected PostError, got {e:?}"),
+        }
+        // Dropped means dropped: nothing landed in remote memory.
+        assert!(g.mem_read(1, a1).is_none());
+    }
+
+    #[test]
+    fn cq_overrun_is_sticky_until_resync() {
+        let mut g = gni_with_fault(|f| f.cq_depth = 1);
+        let cq = g.cq_create();
+        let ep = g.ep_create(0, 1, cq);
+        let a0 = g.alloc_addr(0);
+        let (h0, _) = g.mem_register(0, a0, 64).unwrap();
+        let a1 = g.alloc_addr(1);
+        let (h1, _) = g.mem_register(1, a1, 64).unwrap();
+        let ok1 = g.post_fma(0, ep, put_desc(h0, a0, h1, a1, 64, 1)).unwrap();
+        let ok2 = g.post_fma(0, ep, put_desc(h0, a0, h1, a1, 64, 2)).unwrap();
+        assert_eq!(g.cq_overruns, 1);
+        let late = ok1.local_cq_at.max(ok2.local_cq_at) + 1_000;
+        // The error state masks the queue and persists across polls.
+        assert_eq!(g.cq_get_event(cq, late).unwrap_err(), GniError::CqOverrun);
+        assert_eq!(g.cq_get_event(cq, late).unwrap_err(), GniError::CqOverrun);
+        // Progress engines still see pending work, so they reach the resync.
+        assert!(g.cq_next_ready(cq).is_some());
+        let (cpu, recovered) = g.cq_resync(cq, late).unwrap();
+        assert!(cpu > 0);
+        assert_eq!(recovered, 1);
+        // Both completions are recoverable after the resync.
+        let mut ids = Vec::new();
+        while let Ok(ev) = g.cq_get_event(cq, late) {
+            match ev {
+                CqEvent::PostDone { user_id, .. } => ids.push(user_id),
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn forced_overrun_fires_exactly_once() {
+        let mut g = gni_with_fault(|f| f.force_cq_overrun_at = Some(0));
+        let cq = g.cq_create();
+        let ep = g.ep_create(0, 1, cq);
+        let a0 = g.alloc_addr(0);
+        let (h0, _) = g.mem_register(0, a0, 64).unwrap();
+        let a1 = g.alloc_addr(1);
+        let (h1, _) = g.mem_register(1, a1, 64).unwrap();
+        let ok1 = g.post_fma(0, ep, put_desc(h0, a0, h1, a1, 64, 1)).unwrap();
+        assert_eq!(
+            g.cq_get_event(cq, ok1.local_cq_at).unwrap_err(),
+            GniError::CqOverrun
+        );
+        let (_, recovered) = g.cq_resync(cq, ok1.local_cq_at).unwrap();
+        assert_eq!(recovered, 1);
+        // One-shot: the next completion is delivered normally.
+        let ok2 = g
+            .post_fma(ok1.local_cq_at, ep, put_desc(h0, a0, h1, a1, 64, 2))
+            .unwrap();
+        assert!(matches!(
+            g.cq_get_event(cq, ok2.local_cq_at),
+            Ok(CqEvent::PostDone { .. })
+        ));
+        assert_eq!(g.cq_overruns, 1);
+    }
+
+    #[test]
+    fn register_resource_exhaustion_reported() {
+        let mut g = gni_with_fault(|f| {
+            f.seed = 3;
+            f.reg_fail = 1.0;
+        });
+        let a = g.alloc_addr(0);
+        assert_eq!(
+            g.mem_register(0, a, 64).unwrap_err(),
+            GniError::ResourceError
+        );
     }
 }

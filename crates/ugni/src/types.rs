@@ -6,7 +6,7 @@
 //! [`crate::Gni::post_rdma`], and so on.
 
 use bytes::Bytes;
-use gemini_net::{Addr, MemHandle, NodeId, RdmaOp};
+use gemini_net::{Addr, FaultKind, MemHandle, NodeId, RdmaOp};
 use sim_core::Time;
 
 /// Completion queue handle (`gni_cq_handle_t`).
@@ -33,6 +33,23 @@ pub enum GniError {
     InvalidHandle,
     /// RDMA against unregistered memory (`GNI_RC_PERMISSION_ERROR`).
     NotRegistered,
+    /// The transaction failed in the fabric (`GNI_RC_TRANSACTION_ERROR`).
+    /// The sender's CPU cost was still paid and the failure is observable
+    /// at `error_at`; when `delivered_at` is `Some` the payload landed
+    /// anyway (corrupted completion) and a resend will duplicate it.
+    TransactionError {
+        kind: FaultKind,
+        cpu: Time,
+        error_at: Time,
+        delivered_at: Option<Time>,
+    },
+    /// The CQ overflowed and dropped events (`GNI_CQ_OVERRUN`). The queue
+    /// stays in the error state until [`crate::Gni::cq_resync`] audits and
+    /// recovers the lost completions.
+    CqOverrun,
+    /// Transient NIC resource exhaustion (`GNI_RC_ERROR_RESOURCE`), e.g.
+    /// no memory-descriptor slots left for `GNI_MemRegister`.
+    ResourceError,
 }
 
 pub type GniResult<T> = Result<T, GniError>;
@@ -70,6 +87,14 @@ pub enum CqEvent {
     /// An SMSG landed in this node's mailbox (drain it with
     /// `smsg_get_next_w_tag`).
     SmsgRx { from: NodeId },
+    /// A posted FMA/BTE transaction failed in the fabric
+    /// (`GNI_CQ_STATUS` error bits). Carries the posting descriptor's
+    /// `user_id` so the initiator can find and re-post the transfer.
+    PostError {
+        user_id: u64,
+        op: RdmaOp,
+        kind: FaultKind,
+    },
 }
 
 /// Result of a successful SMSG send.

@@ -16,9 +16,7 @@ fn main() {
     let iters: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100);
 
     let cfg = JacobiConfig { n, blocks, iters };
-    println!(
-        "Jacobi 2D: {n}x{n} grid, {blocks}x{blocks} blocks, {iters} iterations\n"
-    );
+    println!("Jacobi 2D: {n}x{n} grid, {blocks}x{blocks} blocks, {iters} iterations\n");
 
     for layer in [LayerKind::ugni(), LayerKind::mpi()] {
         let r = run_jacobi(&layer, 16, 4, &cfg);

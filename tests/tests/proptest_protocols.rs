@@ -5,7 +5,6 @@
 
 use bytes::Bytes;
 use charm_apps::LayerKind;
-use charm_rt::prelude::*;
 use proptest::prelude::*;
 
 /// Run a scatter of messages with the given sizes from PE 0 to round-robin

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the workspace patches `bytes` to this crate (see `[patch.crates-io]` in the
+//! root manifest). It implements exactly the subset the runtime uses: a
+//! cheaply-cloneable immutable byte container ([`Bytes`]), a growable builder
+//! ([`BytesMut`]), and the [`BufMut`] write helpers. Semantics match the real
+//! crate for that subset (e.g. `put_u16`/`put_u32`/`put_u64` are big-endian,
+//! the `_le` variants little-endian), so swapping the real dependency back in
+//! is a one-line manifest change.
+
+#![allow(clippy::all)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+///
+/// Clones share one reference-counted allocation; [`Bytes::slice`] produces a
+/// zero-copy view into the same allocation.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty `Bytes`.
+    #[inline]
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wrap a static slice. (The stand-in copies once at construction; the
+    /// contents are identical and the workspace only uses this for short
+    /// header literals.)
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::copy_from_slice(bytes)
+    }
+
+    /// Copy `data` into a fresh allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let end = data.len();
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Number of bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Zero-copy sub-slice sharing the same allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self[..] == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self[..].iter()
+    }
+}
+
+/// A growable byte buffer; freeze it into an immutable [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[inline]
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// An empty buffer with room for `cap` bytes.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({:?})", &self.vec)
+    }
+}
+
+/// Write-side helpers, matching the endianness conventions of the real
+/// `bytes` crate (`put_uN` big-endian, `put_*_le` little-endian).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_slice(&[val]);
+        }
+    }
+
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    fn put_u16(&mut self, n: u16) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    fn put_u16_le(&mut self, n: u16) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    fn put_u64_le(&mut self, n: u64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, n: f64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.vec.resize(self.vec.len() + cnt, val);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.slice(..).len(), 3);
+    }
+
+    #[test]
+    fn bufmut_endianness_matches_real_bytes() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u16(0x0102);
+        m.put_u64_le(0x0807060504030201);
+        let b = m.freeze();
+        assert_eq!(&b[..2], &[0x01, 0x02]);
+        assert_eq!(&b[2..10], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn put_bytes_fills() {
+        let mut m = BytesMut::new();
+        m.put_bytes(0xAB, 3);
+        assert_eq!(&m[..], &[0xAB, 0xAB, 0xAB]);
+    }
+}

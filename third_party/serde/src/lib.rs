@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its configuration types
+//! so they are wire-ready when a real serializer is linked, but no serializer
+//! crate is part of the build (and the build environment is offline). This
+//! stand-in supplies the two traits as markers plus derive macros that emit
+//! empty impls, keeping every `#[derive(Serialize, Deserialize)]` site
+//! compiling unchanged. Swapping the real `serde` back in is a one-line
+//! manifest change; no call sites move.
+
+#![allow(clippy::all)]
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

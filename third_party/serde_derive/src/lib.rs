@@ -1,0 +1,46 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! Each derive scans the item's top-level tokens for the `struct`/`enum`
+//! keyword, takes the following identifier as the type name, and emits an
+//! empty marker-trait impl. Generic types are not supported (none of the
+//! workspace's serde-derived types are generic); deriving on one is a compile
+//! error pointing here rather than a silent misbehavior.
+
+#![allow(clippy::all)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        assert!(
+                            p.as_char() != '<',
+                            "serde stand-in derives do not support generic types"
+                        );
+                    }
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stand-in derive: no struct/enum name found");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Serialize for {} {{}}", type_name(input))
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Deserialize for {} {{}}", type_name(input))
+        .parse()
+        .unwrap()
+}
