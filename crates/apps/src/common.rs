@@ -86,6 +86,26 @@ impl LayerKind {
         cfg.fault = self.fault();
         Cluster::new(cfg, self.make_layer())
     }
+
+    /// After a run, assert the machine layer's uGNI usage was contract
+    /// clean. With the `verify` feature off (release figure builds) the
+    /// layers report `None` and this is a no-op; under `cargo test` the
+    /// integration-tests crate turns verification on and every app run
+    /// doubles as a contract check.
+    pub fn assert_contract_clean(&self, c: &mut Cluster) {
+        let report = match self {
+            LayerKind::Ugni(_) => c.layer_mut::<UgniLayer>().contract_report(),
+            LayerKind::Mpi(_) => c.layer_mut::<MpiLayer>().contract_report(),
+            LayerKind::Ideal(_) => None,
+        };
+        if let Some(report) = report {
+            assert!(
+                report.is_clean(),
+                "uGNI contract violations on {}:\n{report}",
+                self.name()
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -331,6 +331,7 @@ pub fn run_jacobi(
 
     c.inject_broadcast(0, aid, go, Bytes::new());
     let report = c.run();
+    layer.assert_contract_clean(&mut c);
     if std::env::var("JAC_DEBUG").is_ok() {
         eprintln!(
             "jac debug: sent={} delivered={} events={} handlers={}",

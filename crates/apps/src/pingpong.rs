@@ -24,7 +24,7 @@ pub fn raw_ugni_one_way(params: &GeminiParams, bytes: u64) -> Time {
     let mut g = Gni::new(params.clone(), 2);
     let cq = g.cq_create();
     if bytes <= g.smsg_limit() as u64 {
-        let ep = g.ep_create(0, 1, cq);
+        let ep = g.ep_create(0, 1, cq).expect("ep");
         let ok = g
             .smsg_send_w_tag(0, ep, 0, Bytes::from(vec![0u8; bytes as usize]))
             .expect("smsg");
@@ -50,10 +50,10 @@ pub fn raw_transaction_latency(
         RdmaOp::Get => (1u32, 0u32),
         RdmaOp::Put => (0, 1),
     };
-    let ep = g.ep_create(init, remote, cq);
-    let la = g.alloc_addr(init);
+    let ep = g.ep_create(init, remote, cq).expect("ep");
+    let la = g.alloc_addr(init).expect("alloc");
     let (lh, _) = g.mem_register(init, la, bytes.max(1)).expect("register");
-    let ra = g.alloc_addr(remote);
+    let ra = g.alloc_addr(remote).expect("alloc");
     let (rh, _) = g.mem_register(remote, ra, bytes.max(1)).expect("register");
     let data = Bytes::from(vec![0u8; bytes as usize]);
     g.mem_write(remote, ra, data.clone());
@@ -195,6 +195,7 @@ pub fn charm_one_way_with_recovery(
     c.inject(0, 1, kick, Bytes::new());
     c.inject(50_000, 0, kick, Bytes::new());
     let report = c.run();
+    layer.assert_contract_clean(&mut c);
     let lat = c.user::<St>(0).elapsed as f64 / (2.0 * iters as f64);
     let (busy, ovh, rec, _) = c.trace().utilization_with_recovery(Some(report.end_time));
     let work = busy + ovh + rec;
@@ -264,6 +265,7 @@ pub fn charm_bandwidth(layer: &LayerKind, bytes: usize, window: u32, rounds: u32
     });
     c.inject(0, 0, kick, Bytes::new());
     c.run();
+    layer.assert_contract_clean(&mut c);
     let st = c.user::<St>(0);
     // bytes / ns == GB/s; report MB/s like the paper.
     (st.total_bytes as f64 / st.total as f64) * 1000.0

@@ -31,7 +31,7 @@ fn bench_get_vs_put_rendezvous(c: &mut Criterion) {
         let data = Bytes::from(vec![0u8; bytes as usize]);
         // Control message first (INIT for GET; rendezvous+CTS for PUT is
         // one extra smsg, per the paper's argument in §III-C).
-        let ep01 = g.ep_create(0, 1, cq);
+        let ep01 = g.ep_create(0, 1, cq).expect("ep");
         let mut t = 0;
         let ctrl_hops = match op {
             RdmaOp::Get => 1,
@@ -47,10 +47,10 @@ fn bench_get_vs_put_rendezvous(c: &mut Criterion) {
             RdmaOp::Get => (1u32, 0u32),
             RdmaOp::Put => (0, 1),
         };
-        let ep = g.ep_create(init, remote, cq);
-        let la = g.alloc_addr(init);
+        let ep = g.ep_create(init, remote, cq).expect("ep");
+        let la = g.alloc_addr(init).expect("alloc");
         let (lh, _) = g.mem_register(init, la, bytes).expect("register");
-        let ra = g.alloc_addr(remote);
+        let ra = g.alloc_addr(remote).expect("alloc");
         let (rh, _) = g.mem_register(remote, ra, bytes).expect("register");
         g.mem_write(remote, ra, data.clone());
         g.mem_write(init, la, data.clone());

@@ -9,7 +9,7 @@
 use crate::params::GeminiParams;
 use serde::{Deserialize, Serialize};
 use sim_core::Time;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Opaque simulated memory address: identifies a buffer for registration
 /// caching. Buffers allocated at different times get distinct addresses
@@ -18,7 +18,7 @@ use std::collections::HashMap;
 pub struct Addr(pub u64);
 
 /// Handle returned by a successful registration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MemHandle(pub u64);
 
 /// Deregistration failure: the handle is not (or no longer) registered.
@@ -89,7 +89,10 @@ impl RegTable {
 /// in the paper's Fig. 9(a).
 #[derive(Debug)]
 pub struct RegCache {
-    entries: HashMap<(Addr, u64), MemHandle>,
+    /// Keyed `(addr, len)`. A `BTreeMap` (not `HashMap`): `invalidate`
+    /// iterates the keys, and iteration order must be deterministic for
+    /// bit-for-bit replay (enforced workspace-wide by `lint-pass`).
+    entries: BTreeMap<(Addr, u64), MemHandle>,
     lru: Vec<(Addr, u64)>,
     capacity: usize,
     pub lookup_cost: Time,
@@ -100,7 +103,7 @@ pub struct RegCache {
 impl RegCache {
     pub fn new(capacity: usize, lookup_cost: Time) -> Self {
         RegCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             lru: Vec::new(),
             capacity: capacity.max(1),
             lookup_cost,

@@ -65,6 +65,12 @@ impl MpiLayer {
         self.mpi.as_ref().expect("layer not initialized")
     }
 
+    /// Contract-verifier findings from the MPI library's uGNI instance.
+    /// `Some` only when built with the `verify` feature.
+    pub fn contract_report(&self) -> Option<ugni_verify::ContractReport> {
+        self.mpi.as_ref().and_then(|m| m.contract_report())
+    }
+
     fn mpi_mut(&mut self) -> &mut MpiSim {
         self.mpi.as_mut().expect("layer not initialized")
     }

@@ -31,6 +31,14 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use ugni::{CqEvent, CqHandle, EpHandle, Gni, GniError, GniResult, PostDescriptor, SmsgSendOk};
 
+// With the `verify` feature every uGNI call goes through the CheckedGni
+// contract verifier; signatures are identical, so only the stored type
+// changes. CheckedGni derefs to Gni for the read-only surface.
+#[cfg(not(feature = "verify"))]
+use ugni::Gni as LGni;
+#[cfg(feature = "verify")]
+use ugni_verify::CheckedGni as LGni;
+
 const TAG_SMALL: u8 = 0;
 const TAG_INIT: u8 = 1;
 const TAG_ACK: u8 = 2;
@@ -178,7 +186,7 @@ pub struct UgniStats {
 /// The machine layer object.
 pub struct UgniLayer {
     cfg: UgniConfig,
-    gni: Option<Gni>,
+    gni: Option<LGni>,
     /// One transaction CQ per PE.
     cqs: Vec<CqHandle>,
     /// Lazily created endpoints per (src_pe, dst_pe).
@@ -303,7 +311,19 @@ impl UgniLayer {
         self.gni.as_ref().expect("layer not initialized")
     }
 
-    fn gni_mut(&mut self) -> &mut Gni {
+    /// Contract-verifier findings for this layer's uGNI instance.
+    /// `Some` only when built with the `verify` feature.
+    #[cfg(feature = "verify")]
+    pub fn contract_report(&self) -> Option<ugni_verify::ContractReport> {
+        self.gni.as_ref().map(|g| g.report())
+    }
+
+    #[cfg(not(feature = "verify"))]
+    pub fn contract_report(&self) -> Option<ugni_verify::ContractReport> {
+        None
+    }
+
+    fn gni_mut(&mut self) -> &mut LGni {
         self.gni.as_mut().expect("layer not initialized")
     }
 
@@ -313,7 +333,10 @@ impl UgniLayer {
         }
         let cq = self.cqs[src_pe as usize];
         let (sn, dn) = (ctx.node_of(src_pe), ctx.node_of(dst_pe));
-        let ep = self.gni_mut().ep_create_inst(sn, src_pe, dn, dst_pe, cq);
+        let ep = self
+            .gni_mut()
+            .ep_create_inst(sn, src_pe, dn, dst_pe, cq)
+            .expect("ep bind: CQ and nodes fixed at init");
         self.eps.insert((src_pe, dst_pe), ep);
         ep
     }
@@ -330,7 +353,7 @@ impl UgniLayer {
             (Buf::Pooled(block), cost)
         } else {
             let gni = self.gni.as_mut().expect("init");
-            let addr = gni.alloc_addr(node);
+            let addr = gni.alloc_addr(node).expect("node within job");
             let malloc = params.malloc_cost(bytes);
             match gni.mem_register(node, addr, bytes) {
                 Ok((handle, reg_cost)) => (Buf::Direct { addr, handle }, malloc + reg_cost),
@@ -683,18 +706,21 @@ impl UgniLayer {
     /// A fabric-failed FMA/BTE transaction: schedule a re-post with capped
     /// exponential backoff in virtual time.
     fn repost_after_error(&mut self, ctx: &mut MachineCtx, pe: PeId, xid: u64, op: RdmaOp) {
+        // A fault for a transfer no longer tracked (already completed or
+        // cancelled) is stale; recovery absorbs it rather than aborting.
         match op {
             RdmaOp::Get => {
-                let r = self.recvs.get_mut(&xid).expect("GET fault for unknown xid");
+                let Some(r) = self.recvs.get_mut(&xid) else {
+                    return;
+                };
                 r.backoff = next_backoff(r.backoff);
                 let at = ctx.now() + r.backoff;
                 ctx.schedule_nodefer(at, pe, Box::new(Ev::PostGet { xid }));
             }
             RdmaOp::Put => {
-                let p = self
-                    .persist_pending
-                    .get_mut(&xid)
-                    .expect("PUT fault for unknown xid");
+                let Some(p) = self.persist_pending.get_mut(&xid) else {
+                    return;
+                };
                 p.backoff = next_backoff(p.backoff);
                 let at = ctx.now() + p.backoff;
                 ctx.schedule_nodefer(at, pe, Box::new(Ev::RepostPut { xid }));
@@ -725,31 +751,29 @@ impl UgniLayer {
     /// still held in `persist_data`, the channel buffers are permanent, so
     /// the descriptor can be rebuilt exactly.
     fn repost_put(&mut self, ctx: &mut MachineCtx, xid: u64) {
-        let (handle, src_pe, dst_pe, bytes) = {
-            let p = self
-                .persist_pending
-                .get(&xid)
-                .expect("re-post of unknown PUT");
-            (p.handle, p.src_pe, p.dst_pe, p.bytes)
-        };
-        let (local_mem, local_addr, remote_mem, remote_addr) = {
-            let chan = self
-                .persists
-                .get(&handle)
-                .expect("persistent channel vanished");
-            (
-                chan.local.handle(),
-                chan.local.addr(),
-                chan.remote.handle(),
-                chan.remote.addr(),
-            )
-        };
-        let data = self
-            .persist_data
+        // Stale re-post (transfer completed meanwhile): absorb, don't abort.
+        let Some((handle, src_pe, dst_pe, bytes)) = self
+            .persist_pending
             .get(&xid)
-            .expect("re-post of PUT without data")
-            .0
-            .clone();
+            .map(|p| (p.handle, p.src_pe, p.dst_pe, p.bytes))
+        else {
+            return;
+        };
+        let Some((local_mem, local_addr, remote_mem, remote_addr)) =
+            self.persists.get(&handle).map(|chan| {
+                (
+                    chan.local.handle(),
+                    chan.local.addr(),
+                    chan.remote.handle(),
+                    chan.remote.addr(),
+                )
+            })
+        else {
+            return;
+        };
+        let Some(data) = self.persist_data.get(&xid).map(|d| d.0.clone()) else {
+            return;
+        };
         let ep = self.ep(ctx, src_pe, dst_pe);
         let desc = PostDescriptor {
             op: RdmaOp::Put,
@@ -763,12 +787,27 @@ impl UgniLayer {
         };
         let now = ctx.now();
         let use_fma = bytes <= self.cfg.fma_bte_threshold && bytes <= self.cfg.params.fma_max_bytes;
-        let ok = if use_fma {
+        let ok = match if use_fma {
             self.gni_mut().post_fma(now, ep, desc)
         } else {
             self.gni_mut().post_rdma(now, ep, desc)
-        }
-        .expect("persistent PUT re-post rejected");
+        } {
+            Ok(ok) => ok,
+            Err(_) => {
+                // The NIC rejected the re-post (e.g. transiently invalid
+                // handle); back off and try again instead of panicking.
+                let backoff = {
+                    let Some(p) = self.persist_pending.get_mut(&xid) else {
+                        return;
+                    };
+                    p.backoff = next_backoff(p.backoff);
+                    p.backoff
+                };
+                self.stats.rdma_faults += 1;
+                ctx.schedule_nodefer(now + backoff, src_pe, Box::new(Ev::RepostPut { xid }));
+                return;
+            }
+        };
         self.charge_rec(ctx, src_pe, ok.cpu);
         self.schedule_poll(ctx, ok.local_cq_at, src_pe, Ev::PollCq);
     }
@@ -926,7 +965,7 @@ impl MachineLayer for UgniLayer {
     }
 
     fn init(&mut self, ctx: &mut MachineCtx) {
-        let mut gni = Gni::new(self.cfg.params.clone(), ctx.num_nodes());
+        let mut gni = LGni::new(self.cfg.params.clone(), ctx.num_nodes());
         for _pe in 0..ctx.num_pes() {
             self.cqs.push(gni.cq_create());
         }

@@ -30,6 +30,13 @@ use sim_core::Time;
 use std::collections::{HashMap, VecDeque};
 use ugni::{CqEvent, CqHandle, EpHandle, Gni, GniError, PostDescriptor, SmsgSendOk};
 
+// With the `verify` feature every uGNI call goes through the CheckedGni
+// contract verifier (identical signatures; derefs to Gni for reads).
+#[cfg(not(feature = "verify"))]
+use ugni::Gni as LGni;
+#[cfg(feature = "verify")]
+use ugni_verify::CheckedGni as LGni;
+
 /// Initial blocking-retry backoff after a fabric transaction error (the
 /// library spins, so this is virtual CPU time), doubled per attempt.
 const RETRY_BACKOFF0: Time = 1_000;
@@ -171,7 +178,7 @@ pub struct MpiStats {
 /// The per-job MPI instance.
 pub struct MpiSim {
     cfg: MpiConfig,
-    gni: Gni,
+    gni: LGni,
     cores_per_node: u32,
     cqs: Vec<CqHandle>,
     eps: HashMap<(Rank, Rank), EpHandle>,
@@ -193,14 +200,14 @@ impl MpiSim {
     /// Bring up MPI across `ranks` ranks, `cores_per_node` per node.
     pub fn new(cfg: MpiConfig, ranks: u32, cores_per_node: u32) -> Self {
         let nodes = ranks.div_ceil(cores_per_node);
-        let mut gni = Gni::new(cfg.params.clone(), nodes);
+        let mut gni = LGni::new(cfg.params.clone(), nodes);
         let mut cqs = Vec::new();
         let mut eager_addr = Vec::new();
         let mut eager_handle = Vec::new();
         for r in 0..ranks {
             cqs.push(gni.cq_create());
             let node = r / cores_per_node;
-            let a = gni.alloc_addr(node);
+            let a = gni.alloc_addr(node).expect("node within job");
             // 8 MiB of internal pre-registered buffering per rank.
             // Transient NIC descriptor exhaustion (chaos plans) is retried;
             // a bounded number of attempts keeps a pathological plan from
@@ -233,6 +240,18 @@ impl MpiSim {
         &self.gni
     }
 
+    /// Contract-verifier findings for the underlying uGNI instance.
+    /// `Some` only when built with the `verify` feature.
+    #[cfg(feature = "verify")]
+    pub fn contract_report(&self) -> Option<ugni_verify::ContractReport> {
+        Some(self.gni.report())
+    }
+
+    #[cfg(not(feature = "verify"))]
+    pub fn contract_report(&self) -> Option<ugni_verify::ContractReport> {
+        None
+    }
+
     pub fn config(&self) -> &MpiConfig {
         &self.cfg
     }
@@ -247,7 +266,10 @@ impl MpiSim {
         }
         let cq = self.cqs[src as usize];
         let (sn, dn) = (self.node_of(src), self.node_of(dst));
-        let ep = self.gni.ep_create_inst(sn, src, dn, dst, cq);
+        let ep = self
+            .gni
+            .ep_create_inst(sn, src, dn, dst, cq)
+            .expect("ep bind: CQ and nodes fixed at init");
         self.eps.insert((src, dst), ep);
         ep
     }
@@ -306,11 +328,16 @@ impl MpiSim {
                 }
                 // Stale completion (or error already handled by a retry).
                 Ok(_) => continue,
-                Err(GniError::CqOverrun) => {
-                    let (cost, _) = self.gni.cq_resync(cq, at).expect("valid CQ");
-                    self.stats.cq_resyncs += 1;
-                    at += cost;
-                }
+                Err(GniError::CqOverrun) => match self.gni.cq_resync(cq, at) {
+                    Ok((cost, _)) => {
+                        self.stats.cq_resyncs += 1;
+                        at += cost;
+                    }
+                    // Resync refused (stale CQ handle): surface as a failed
+                    // post so the caller's retry path runs — recovery code
+                    // degrades rather than aborting.
+                    Err(_) => return Err((FaultKind::Dropped, at)),
+                },
                 Err(GniError::NotDone) => match self.gni.cq_next_ready(cq) {
                     Some(t) if t > at => at = t,
                     // The completion for `user_id` is always pushed (queued
@@ -661,7 +688,7 @@ impl MpiSim {
     /// A fresh application-buffer identity on `rank`'s node.
     pub fn fresh_buf(&mut self, rank: Rank) -> Addr {
         let node = self.node_of(rank);
-        self.gni.alloc_addr(node)
+        self.gni.alloc_addr(node).expect("node within job")
     }
 }
 

@@ -116,8 +116,14 @@ impl Gni {
 
     /// `GNI_EpCreate` + `GNI_EpBind`: endpoint from `local` to `remote`,
     /// with local completions delivered to `cq`. Instances default to the
-    /// node ids (one process per node).
-    pub fn ep_create(&mut self, local: NodeId, remote: NodeId, cq: CqHandle) -> EpHandle {
+    /// node ids (one process per node). Binding to an unknown CQ or node
+    /// is a contract violation, reported as a typed error.
+    pub fn ep_create(
+        &mut self,
+        local: NodeId,
+        remote: NodeId,
+        cq: CqHandle,
+    ) -> GniResult<EpHandle> {
         self.ep_create_inst(local, local, remote, remote, cq)
     }
 
@@ -130,23 +136,32 @@ impl Gni {
         remote: NodeId,
         remote_inst: u32,
         cq: CqHandle,
-    ) -> EpHandle {
-        assert!((cq.0 as usize) < self.cqs.len(), "bad CQ");
+    ) -> GniResult<EpHandle> {
+        if (cq.0 as usize) >= self.cqs.len() {
+            return Err(GniError::InvalidHandle);
+        }
+        if local >= self.job_nodes() || remote >= self.job_nodes() {
+            return Err(GniError::InvalidNode);
+        }
         self.eps.push(Endpoint {
             local,
             remote,
             conn: (local_inst, remote_inst),
             cq,
         });
-        EpHandle(self.eps.len() as u32 - 1)
+        Ok(EpHandle(self.eps.len() as u32 - 1))
     }
 
     /// Allocate a fresh simulated buffer address on `node` (stand-in for
     /// the application's `malloc` result; costs are modeled separately).
-    pub fn alloc_addr(&mut self, node: NodeId) -> Addr {
-        let a = self.next_addr[node as usize];
-        self.next_addr[node as usize] += 1 << 24;
-        Addr(a)
+    pub fn alloc_addr(&mut self, node: NodeId) -> GniResult<Addr> {
+        let slot = self
+            .next_addr
+            .get_mut(node as usize)
+            .ok_or(GniError::InvalidNode)?;
+        let a = *slot;
+        *slot += 1 << 24;
+        Ok(Addr(a))
     }
 
     /// `GNI_MemRegister`: returns the handle and the CPU cost. Under an
@@ -265,7 +280,9 @@ impl Gni {
         };
         match q.peek_time() {
             Some(t) if t <= now => {
-                let (_, (tag, from, data)) = q.pop().unwrap();
+                let (_, (tag, from, data)) = q
+                    .pop()
+                    .ok_or(GniError::Internal("smsg mailbox peek/pop desync"))?;
                 let cpu = self.fabric.smsg_recv_cost(data.len() as u64);
                 Ok(SmsgRecv {
                     tag,
@@ -348,7 +365,8 @@ impl Gni {
         };
         match q.peek_time() {
             Some(t) if t <= now => {
-                let (_, (tag, from, dst_inst, data)) = q.pop().unwrap();
+                let (_, (tag, from, dst_inst, data)) =
+                    q.pop().ok_or(GniError::Internal("msgq peek/pop desync"))?;
                 let cpu = self.fabric.msgq_recv_cost(data.len() as u64);
                 Ok((
                     SmsgRecv {
@@ -516,7 +534,11 @@ impl Gni {
             return Err(GniError::CqOverrun);
         }
         match c.events.peek_time() {
-            Some(t) if t <= now => Ok(c.events.pop().unwrap().1),
+            Some(t) if t <= now => c
+                .events
+                .pop()
+                .map(|(_, ev)| ev)
+                .ok_or(GniError::Internal("cq peek/pop desync")),
             _ => Err(GniError::NotDone),
         }
     }
@@ -573,7 +595,7 @@ mod tests {
     fn smsg_round_trip_carries_payload() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
+        let ep = g.ep_create(0, 1, cq).unwrap();
         let sent = g
             .smsg_send_w_tag(0, ep, 7, Bytes::from_static(b"hello"))
             .unwrap();
@@ -599,7 +621,7 @@ mod tests {
     fn smsg_respects_job_size_limit() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
+        let ep = g.ep_create(0, 1, cq).unwrap();
         let limit = g.smsg_limit() as usize;
         let too_big = Bytes::from(vec![0u8; limit + 1]);
         assert!(matches!(
@@ -612,14 +634,14 @@ mod tests {
     fn get_reads_remote_content() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(1, 0, cq); // node 1 GETs from node 0
+        let ep = g.ep_create(1, 0, cq).unwrap(); // node 1 GETs from node 0
         let payload = Bytes::from(vec![0xABu8; 8192]);
 
-        let a0 = g.alloc_addr(0);
+        let a0 = g.alloc_addr(0).unwrap();
         let (h0, _) = g.mem_register(0, a0, 8192).unwrap();
         g.mem_write(0, a0, payload.clone());
 
-        let a1 = g.alloc_addr(1);
+        let a1 = g.alloc_addr(1).unwrap();
         let (h1, _) = g.mem_register(1, a1, 8192).unwrap();
 
         let ok = g
@@ -659,13 +681,13 @@ mod tests {
     fn put_deposits_into_remote_memory() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
+        let ep = g.ep_create(0, 1, cq).unwrap();
         let payload = Bytes::from(vec![3u8; 4096]);
 
-        let a0 = g.alloc_addr(0);
+        let a0 = g.alloc_addr(0).unwrap();
         let (h0, _) = g.mem_register(0, a0, 4096).unwrap();
         g.mem_write(0, a0, payload.clone());
-        let a1 = g.alloc_addr(1);
+        let a1 = g.alloc_addr(1).unwrap();
         let (h1, _) = g.mem_register(1, a1, 4096).unwrap();
 
         let ok = g
@@ -692,8 +714,8 @@ mod tests {
     fn post_requires_registration() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
-        let a0 = g.alloc_addr(0);
+        let ep = g.ep_create(0, 1, cq).unwrap();
+        let a0 = g.alloc_addr(0).unwrap();
         let (h0, _) = g.mem_register(0, a0, 64).unwrap();
         let bogus = MemHandle(999);
         let desc = PostDescriptor {
@@ -716,14 +738,14 @@ mod tests {
     fn deregister_forbids_rdma() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(1, 0, cq);
-        let a0 = g.alloc_addr(0);
+        let ep = g.ep_create(1, 0, cq).unwrap();
+        let a0 = g.alloc_addr(0).unwrap();
         let (h0, _) = g.mem_register(0, a0, 64).unwrap();
         g.mem_write(0, a0, Bytes::from_static(b"x"));
         g.mem_deregister(0, h0).unwrap();
         g.mem_clear(0, a0);
         assert!(g.mem_read(0, a0).is_none());
-        let a1 = g.alloc_addr(1);
+        let a1 = g.alloc_addr(1).unwrap();
         let (h1, _) = g.mem_register(1, a1, 64).unwrap();
         let desc = PostDescriptor {
             op: RdmaOp::Get,
@@ -745,7 +767,7 @@ mod tests {
     fn smsg_fifo_order_preserved_at_receiver() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
+        let ep = g.ep_create(0, 1, cq).unwrap();
         let mut last_deliver = 0;
         for i in 0..4u8 {
             let ok = g
@@ -763,7 +785,7 @@ mod tests {
     fn credit_exhaustion_surfaces() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
+        let ep = g.ep_create(0, 1, cq).unwrap();
         let credits = g.fabric().params.smsg_credits;
         for _ in 0..credits {
             g.smsg_send_w_tag(0, ep, 0, Bytes::new()).unwrap();
@@ -791,12 +813,12 @@ mod tests {
     fn cq_next_ready_reports_pending() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
+        let ep = g.ep_create(0, 1, cq).unwrap();
         assert_eq!(g.cq_next_ready(cq), None);
-        let a0 = g.alloc_addr(0);
+        let a0 = g.alloc_addr(0).unwrap();
         let (h0, _) = g.mem_register(0, a0, 64).unwrap();
         g.mem_write(0, a0, Bytes::from_static(b"y"));
-        let a1 = g.alloc_addr(1);
+        let a1 = g.alloc_addr(1).unwrap();
         let (h1, _) = g.mem_register(1, a1, 64).unwrap();
         let ok = g
             .post_fma(
@@ -821,7 +843,7 @@ mod tests {
     fn msgq_round_trip_and_slower_than_smsg() {
         let mut g = gni();
         let cq = g.cq_create();
-        let ep = g.ep_create_inst(0, 10, 1, 11, cq);
+        let ep = g.ep_create_inst(0, 10, 1, 11, cq).unwrap();
         let smsg = g
             .smsg_send_w_tag(0, ep, 3, Bytes::from_static(b"fast"))
             .unwrap();
@@ -843,9 +865,9 @@ mod tests {
     #[test]
     fn distinct_addrs_per_node() {
         let mut g = gni();
-        let a = g.alloc_addr(0);
-        let b = g.alloc_addr(0);
-        let c = g.alloc_addr(1);
+        let a = g.alloc_addr(0).unwrap();
+        let b = g.alloc_addr(0).unwrap();
+        let c = g.alloc_addr(1).unwrap();
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(b, c);
@@ -886,7 +908,7 @@ mod tests {
             f.smsg_corrupt = 1.0;
         });
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
+        let ep = g.ep_create(0, 1, cq).unwrap();
         let err = g
             .smsg_send_w_tag(0, ep, 9, Bytes::from_static(b"dup"))
             .unwrap_err();
@@ -910,10 +932,10 @@ mod tests {
             f.fma_drop = 1.0;
         });
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
-        let a0 = g.alloc_addr(0);
+        let ep = g.ep_create(0, 1, cq).unwrap();
+        let a0 = g.alloc_addr(0).unwrap();
         let (h0, _) = g.mem_register(0, a0, 256).unwrap();
-        let a1 = g.alloc_addr(1);
+        let a1 = g.alloc_addr(1).unwrap();
         let (h1, _) = g.mem_register(1, a1, 256).unwrap();
         let ok = g
             .post_fma(0, ep, put_desc(h0, a0, h1, a1, 256, 77))
@@ -934,10 +956,10 @@ mod tests {
     fn cq_overrun_is_sticky_until_resync() {
         let mut g = gni_with_fault(|f| f.cq_depth = 1);
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
-        let a0 = g.alloc_addr(0);
+        let ep = g.ep_create(0, 1, cq).unwrap();
+        let a0 = g.alloc_addr(0).unwrap();
         let (h0, _) = g.mem_register(0, a0, 64).unwrap();
-        let a1 = g.alloc_addr(1);
+        let a1 = g.alloc_addr(1).unwrap();
         let (h1, _) = g.mem_register(1, a1, 64).unwrap();
         let ok1 = g.post_fma(0, ep, put_desc(h0, a0, h1, a1, 64, 1)).unwrap();
         let ok2 = g.post_fma(0, ep, put_desc(h0, a0, h1, a1, 64, 2)).unwrap();
@@ -967,10 +989,10 @@ mod tests {
     fn forced_overrun_fires_exactly_once() {
         let mut g = gni_with_fault(|f| f.force_cq_overrun_at = Some(0));
         let cq = g.cq_create();
-        let ep = g.ep_create(0, 1, cq);
-        let a0 = g.alloc_addr(0);
+        let ep = g.ep_create(0, 1, cq).unwrap();
+        let a0 = g.alloc_addr(0).unwrap();
         let (h0, _) = g.mem_register(0, a0, 64).unwrap();
-        let a1 = g.alloc_addr(1);
+        let a1 = g.alloc_addr(1).unwrap();
         let (h1, _) = g.mem_register(1, a1, 64).unwrap();
         let ok1 = g.post_fma(0, ep, put_desc(h0, a0, h1, a1, 64, 1)).unwrap();
         assert_eq!(
@@ -996,7 +1018,7 @@ mod tests {
             f.seed = 3;
             f.reg_fail = 1.0;
         });
-        let a = g.alloc_addr(0);
+        let a = g.alloc_addr(0).unwrap();
         assert_eq!(
             g.mem_register(0, a, 64).unwrap_err(),
             GniError::ResourceError

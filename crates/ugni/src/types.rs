@@ -10,12 +10,12 @@ use gemini_net::{Addr, FaultKind, MemHandle, NodeId, RdmaOp};
 use sim_core::Time;
 
 /// Completion queue handle (`gni_cq_handle_t`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CqHandle(pub(crate) u32);
 
 /// Endpoint handle (`gni_ep_handle_t`): a bound (local node, remote node)
 /// pair with a CQ for local completions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EpHandle(pub(crate) u32);
 
 /// Return codes, mirroring `gni_return_t`.
@@ -50,6 +50,13 @@ pub enum GniError {
     /// Transient NIC resource exhaustion (`GNI_RC_ERROR_RESOURCE`), e.g.
     /// no memory-descriptor slots left for `GNI_MemRegister`.
     ResourceError,
+    /// A node id outside the job (`GNI_RC_INVALID_PARAM`): the caller
+    /// addressed a node the fabric was never brought up on.
+    InvalidNode,
+    /// An internal invariant of the simulated NIC broke (peek/pop desync
+    /// and the like). Never expected; surfaced as a typed error so the
+    /// contract verifier can report it instead of an opaque panic.
+    Internal(&'static str),
 }
 
 pub type GniResult<T> = Result<T, GniError>;

@@ -120,14 +120,16 @@ fn inert_plan_changes_nothing() {
         blocks: 4,
         iters: 10,
     };
-    for (plain, gated) in [
+    for (plain, gated, pinned) in [
         (
             LayerKind::ugni(),
             LayerKind::ugni().with_fault(FaultPlan::none()),
+            242_228,
         ),
         (
             LayerKind::mpi(),
             LayerKind::mpi().with_fault(FaultPlan::none()),
+            314_200,
         ),
     ] {
         let a = run_jacobi(&plain, 8, 4, &cfg);
@@ -139,6 +141,15 @@ fn inert_plan_changes_nothing() {
             plain.name()
         );
         assert_eq!(a.grid, b.grid);
+        // Pinned virtual end-times. These match the `verify`-off build
+        // bit for bit (the contract checker is purely observational), so
+        // any drift here means the figure pipeline's numbers moved too.
+        assert_eq!(
+            a.time_ns,
+            pinned,
+            "virtual end time drifted on {}",
+            plain.name()
+        );
     }
 }
 

@@ -1,0 +1,75 @@
+//! Double-run bit-identity at the `Cluster` level, fault-free.
+//!
+//! The chaos suite already proves replay under an active fault plan; this
+//! file is the determinism backstop for the *normal* paths the lint pass
+//! guards — in particular the registration-cache invalidation walk in
+//! `gemini-net::reg`, which iterates its key set (a `BTreeMap`, enforced
+//! by `lint-pass`: a `HashMap` there would reshuffle deregistration order
+//! between runs and shift every downstream virtual timestamp).
+
+use charm_apps::jacobi2d::{run_jacobi, JacobiConfig};
+use charm_apps::pingpong::{charm_bandwidth, charm_one_way};
+use charm_apps::LayerKind;
+
+fn layers() -> Vec<LayerKind> {
+    vec![LayerKind::ugni(), LayerKind::mpi()]
+}
+
+#[test]
+fn mixed_size_pingpong_replays_bit_for_bit() {
+    // Sizes straddle the eager/rendezvous switch, so both the SMSG path
+    // and the registration cache (acquire + invalidate on free) run.
+    for layer in layers() {
+        for &(bytes, persistent) in &[
+            (64usize, false),
+            (8192, false),
+            (65536, false),
+            (65536, true),
+        ] {
+            let a = charm_one_way(&layer, 1, bytes, 50, persistent);
+            let b = charm_one_way(&layer, 1, bytes, 50, persistent);
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{} pingpong ({bytes}B, persistent={persistent}) diverged across runs",
+                layer.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bandwidth_window_replays_bit_for_bit() {
+    // Windowed rendezvous traffic churns many concurrent registrations,
+    // the workload most sensitive to map-iteration order.
+    for layer in layers() {
+        let a = charm_bandwidth(&layer, 65536, 8, 20);
+        let b = charm_bandwidth(&layer, 65536, 8, 20);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{} bandwidth run diverged across runs",
+            layer.name()
+        );
+    }
+}
+
+#[test]
+fn jacobi_replays_bit_for_bit_without_faults() {
+    let cfg = JacobiConfig {
+        n: 20,
+        blocks: 4,
+        iters: 10,
+    };
+    for layer in layers() {
+        let a = run_jacobi(&layer, 8, 4, &cfg);
+        let b = run_jacobi(&layer, 8, 4, &cfg);
+        assert_eq!(
+            (a.time_ns, a.residual.to_bits(), a.iterations_run),
+            (b.time_ns, b.residual.to_bits(), b.iterations_run),
+            "{} jacobi diverged across runs",
+            layer.name()
+        );
+        assert_eq!(a.grid, b.grid, "{} grids diverged", layer.name());
+    }
+}

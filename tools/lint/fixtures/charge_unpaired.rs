@@ -1,0 +1,20 @@
+// Fixture: violates the charge-category rule — charge_overhead records
+// the wrong trace category (Recovery instead of Overhead).
+pub enum Kind {
+    Overhead,
+    Recovery,
+}
+
+pub struct Ctx {
+    pub trace: Vec<Kind>,
+}
+
+impl Ctx {
+    pub fn charge_overhead(&mut self, _cost: u64) {
+        self.trace.push(Kind::Recovery);
+    }
+
+    pub fn charge_recovery(&mut self, _cost: u64) {
+        self.trace.push(Kind::Recovery);
+    }
+}

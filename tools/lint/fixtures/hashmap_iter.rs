@@ -1,0 +1,31 @@
+// Fixture: violates the hashmap-iter rule (not compiled into the
+// workspace; fed to the linter by tools/lint/tests/lint.rs).
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    pending: HashMap<u64, u32>,
+}
+
+impl Table {
+    pub fn total(&self) -> u32 {
+        let mut sum = 0;
+        for (_, v) in self.pending.iter() {
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn drop_all(&mut self) {
+        for k in self.pending.keys() {
+            let _ = k;
+        }
+    }
+}
+
+pub fn union(a: HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in &a {
+        out.push(*v);
+    }
+    out
+}

@@ -1,0 +1,7 @@
+// Fixture: violates the std-time rule.
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

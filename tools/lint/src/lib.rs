@@ -1,0 +1,522 @@
+//! Project-invariant lints the compiler can't express (DESIGN.md §8).
+//!
+//! Run as `cargo run -p lint-pass`. Exit status is nonzero when any rule
+//! fires, so CI can gate on it. The pass is a hand-rolled lexical
+//! analysis (the build environment is offline, so no `syn`): sources are
+//! sanitized — comments and string/char literal *contents* blanked,
+//! line structure preserved — and then scanned line-by-line with brace
+//! tracking for function spans.
+//!
+//! Rules:
+//!
+//! * **hashmap-iter** — no `HashMap`/`HashSet` iteration in the
+//!   simulation crates (`sim-core`, `gemini-net`, `ugni`, `lrts-ugni`,
+//!   `lrts-mpi`, `mpi-sim`). Hash iteration order is arbitrary; one
+//!   nondeterministically ordered event loop breaks the bit-for-bit
+//!   replay guarantee every figure rests on. Use `BTreeMap` or a
+//!   `Vec`-indexed table when order can leak into behavior.
+//! * **unwrap-in-recovery** — no `.unwrap()` / `.expect(` inside
+//!   fault-recovery functions (name contains `retry`, `resync`,
+//!   `repost`, `recover`, `fallback` or `reap`). Recovery code runs
+//!   precisely when invariants are shaken; it must degrade, not abort.
+//! * **std-time** — no `std::time` / `Instant` / `SystemTime` in
+//!   simulation crates. Virtual time is the only clock; a wall-clock
+//!   read is nondeterminism by definition.
+//! * **charge-category** — every `fn charge_<x>` definition in
+//!   `crates/core` must record the matching `Kind::<X>` trace category,
+//!   so cost accounting and the trace stay in sync.
+//!
+//! Test modules (`#[cfg(test)]`, by repo convention at the end of the
+//! file) are exempt from all rules.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Directory names (under `crates/`) of the deterministic simulation
+/// crates: everything that executes during a simulated run.
+pub const SIM_CRATES: &[&str] = &[
+    "sim-core",
+    "gemini-net",
+    "ugni",
+    "lrts-ugni",
+    "lrts-mpi",
+    "mpi-sim",
+];
+
+/// Function-name fragments that mark fault-recovery code paths.
+pub const RECOVERY_KEYWORDS: &[&str] =
+    &["retry", "resync", "repost", "recover", "fallback", "reap"];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Blank comments and string/char literal contents, preserving line
+/// structure, so later passes can match tokens and count braces without
+/// being fooled by `"}"` or `// HashMap.iter()`.
+fn sanitize(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            out.push('\n');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        if b[i] == '\n' {
+                            out.push('\n');
+                        }
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    out.push('"');
+                    i += 1;
+                }
+            }
+            'r' if i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') => {
+                // Raw string: r"..." or r#"..."# (any hash count).
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == '"' {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while k < b.len() && b[k] == '#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'raw;
+                            }
+                        }
+                        if b[j] == '\n' {
+                            out.push('\n');
+                        }
+                        j += 1;
+                    }
+                    out.push('"');
+                    out.push('"');
+                    i = j;
+                } else {
+                    out.push('r');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal closes within
+                // a couple of chars; a lifetime never closes.
+                if i + 2 < b.len() && b[i + 1] == '\\' {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != '\'' && j - i < 12 {
+                        j += 1;
+                    }
+                    out.push_str("' '");
+                    i = if j < b.len() { j + 1 } else { j };
+                } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                    out.push_str("' '");
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Extract the identifier ending right before byte offset `end` (exclusive).
+fn ident_ending_at(line: &str, end: usize) -> Option<&str> {
+    let head = &line[..end];
+    let start = head
+        .rfind(|c: char| !is_ident_char(c))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let id = &head[start..];
+    if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// Names in this file bound to a `HashMap`/`HashSet` (fields, lets,
+/// params): `name: HashMap<..>` and `let name = HashMap::new()` forms.
+fn hash_bound_names(lines: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in lines {
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(ty) {
+                let at = from + pos;
+                from = at + ty.len();
+                // `name: HashMap<` (possibly through a path prefix).
+                let before = line[..at].trim_end_matches(|c: char| {
+                    is_ident_char(c) || c == ':' || c == '<' || c == ' '
+                });
+                // Walk back over `: path::` to the binding `name:`.
+                if let Some(colon) = line[..at].rfind(':') {
+                    let lhs = line[..colon].trim_end();
+                    // Skip `::` path separators: binding colon is single.
+                    if !lhs.ends_with(':') && !line[colon..].starts_with("::") {
+                        if let Some(id) = ident_ending_at(line, lhs.len() + (colon - lhs.len())) {
+                            if !matches!(id, "use" | "collections" | "std") {
+                                names.push(id.to_string());
+                            }
+                        }
+                    }
+                }
+                // `let [mut] name = HashMap::new()` / `with_capacity`.
+                if let Some(eq) = line[..at].rfind('=') {
+                    let lhs = line[..eq].trim_end();
+                    if let Some(id) = ident_ending_at(line, lhs.len()) {
+                        if id != "mut" {
+                            names.push(id.to_string());
+                        } else if let Some(id2) = ident_ending_at(lhs, lhs.len()) {
+                            names.push(id2.to_string());
+                        }
+                    }
+                }
+                let _ = before;
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Does `line` iterate over hash-bound `name`?
+fn iterates(line: &str, name: &str) -> bool {
+    // `name.iter()` and friends, with an identifier boundary before.
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let at = from + pos;
+        from = at + name.len();
+        let pre_ok = at == 0
+            || !is_ident_char(line[..at].chars().next_back().unwrap())
+                && !line[..at].ends_with("Kind::");
+        if !pre_ok {
+            continue;
+        }
+        let rest = &line[at + name.len()..];
+        if ITER_METHODS.iter().any(|m| rest.starts_with(m)) {
+            return true;
+        }
+    }
+    // `for x in [&[mut]] [self.]name {`
+    if let Some(fpos) = line.find("for ") {
+        if let Some(inpos) = line[fpos..].find(" in ") {
+            let mut tail = line[fpos + inpos + 4..].trim_start();
+            for p in ["&mut ", "&", "self."] {
+                tail = tail.strip_prefix(p).unwrap_or(tail);
+            }
+            if let Some(rest) = tail.strip_prefix(name) {
+                let boundary = rest
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !is_ident_char(c) && c != '.');
+                if boundary {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// CamelCase a snake_case suffix: `overhead` → `Overhead`,
+/// `cache_miss` → `CacheMiss`.
+fn camel(s: &str) -> String {
+    s.split('_')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            let mut c = p.chars();
+            match c.next() {
+                Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// Function spans `(name, first_line_idx, last_line_idx)` in sanitized
+/// lines, found by brace counting from each `fn` keyword.
+fn fn_spans(lines: &[&str]) -> Vec<(String, usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        if let Some(pos) = find_fn_kw(line) {
+            let after = &line[pos + 3..];
+            let name: String = after
+                .trim_start()
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect();
+            if !name.is_empty() {
+                // Find the opening brace, then its close.
+                let mut depth = 0i32;
+                let mut opened = false;
+                let mut j = i;
+                'span: while j < lines.len() {
+                    let scan = if j == i { &lines[j][pos..] } else { lines[j] };
+                    for c in scan.chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            // `fn f();` in a trait: no body.
+                            ';' if !opened => break 'span,
+                            _ => {}
+                        }
+                    }
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+                if opened {
+                    spans.push((name, i, j.min(lines.len() - 1)));
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn find_fn_kw(line: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("fn ") {
+        let at = from + pos;
+        from = at + 3;
+        let pre_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap());
+        if pre_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// Line index of the first `#[cfg(test)]` (test modules sit at the end
+/// of files by repo convention); findings from there on are exempt.
+fn test_mod_start(lines: &[&str]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len())
+}
+
+/// Lint one source file. `crate_dir` is the directory name under
+/// `crates/` (e.g. `sim-core`, `core`); `file` is the path used in
+/// findings.
+pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
+    let clean = sanitize(src);
+    let lines: Vec<&str> = clean.lines().collect();
+    let cutoff = test_mod_start(&lines);
+    let mut out = Vec::new();
+    let sim = SIM_CRATES.contains(&crate_dir);
+
+    if sim {
+        // hashmap-iter
+        let names = hash_bound_names(&lines[..cutoff]);
+        for (idx, line) in lines[..cutoff].iter().enumerate() {
+            for name in &names {
+                if iterates(line, name) {
+                    out.push(Finding {
+                        rule: "hashmap-iter",
+                        file: file.to_string(),
+                        line: idx + 1,
+                        msg: format!(
+                            "iteration over hash-ordered `{name}` — order is \
+                             nondeterministic; use BTreeMap/Vec indexing"
+                        ),
+                    });
+                }
+            }
+        }
+        // std-time
+        for (idx, line) in lines[..cutoff].iter().enumerate() {
+            for pat in ["std::time", "Instant::now", "SystemTime"] {
+                if line.contains(pat) {
+                    out.push(Finding {
+                        rule: "std-time",
+                        file: file.to_string(),
+                        line: idx + 1,
+                        msg: format!(
+                            "`{pat}` in a simulation crate — virtual time is the only clock"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    if sim || crate_dir == "core" {
+        // unwrap-in-recovery
+        for (name, a, b) in fn_spans(&lines) {
+            if a >= cutoff {
+                continue;
+            }
+            if !RECOVERY_KEYWORDS.iter().any(|k| name.contains(k)) {
+                continue;
+            }
+            for (idx, line) in lines.iter().enumerate().take(b.min(cutoff - 1) + 1).skip(a) {
+                if line.contains(".unwrap()") || line.contains(".expect(") {
+                    out.push(Finding {
+                        rule: "unwrap-in-recovery",
+                        file: file.to_string(),
+                        line: idx + 1,
+                        msg: format!(
+                            "unwrap/expect inside recovery path `{name}` — recovery \
+                             code must degrade, not abort"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if crate_dir == "core" {
+        // charge-category
+        for (name, a, b) in fn_spans(&lines) {
+            if a >= cutoff {
+                continue;
+            }
+            let Some(suffix) = name.strip_prefix("charge_") else {
+                continue;
+            };
+            if suffix.is_empty() {
+                continue;
+            }
+            let want = format!("Kind::{}", camel(suffix));
+            let body = lines[a..=b.min(lines.len() - 1)].join("\n");
+            if !body.contains(&want) {
+                out.push(Finding {
+                    rule: "charge-category",
+                    file: file.to_string(),
+                    line: a + 1,
+                    msg: format!("`fn {name}` does not record trace category `{want}`"),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint every simulation crate (plus `core`) under `<root>/crates`.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut dirs: Vec<&str> = SIM_CRATES.to_vec();
+    dirs.push("core");
+    for dir in dirs {
+        let src = root.join("crates").join(dir).join("src");
+        let mut files = Vec::new();
+        rs_files(&src, &mut files);
+        for f in files {
+            let Ok(text) = std::fs::read_to_string(&f) else {
+                continue;
+            };
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .into_owned();
+            out.extend(lint_source(dir, &rel, &text));
+        }
+    }
+    out
+}

@@ -1,0 +1,23 @@
+//! `cargo run -p lint-pass`: run the workspace lints and exit nonzero on
+//! any finding (CI gates on this).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // tools/lint -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let findings = lint_pass::lint_workspace(root);
+    if findings.is_empty() {
+        println!("lint-pass: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("lint-pass: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
