@@ -41,6 +41,8 @@ pub struct JacobiResult {
     /// Interior cell values, row-major `n x n`, reassembled.
     pub grid: Vec<f64>,
     pub iterations_run: u32,
+    /// Simulator events processed by the run (wallclock-harness metric).
+    pub events: u64,
 }
 
 struct BlockState {
@@ -379,6 +381,7 @@ pub fn run_jacobi(
         time_ns: report.end_time,
         grid,
         iterations_run: ctl.iters_run,
+        events: report.stats.events,
     }
 }
 

@@ -39,6 +39,18 @@ pub fn kneighbor_iteration_time(
     bytes: usize,
     iters: u32,
 ) -> f64 {
+    kneighbor_report(layer, cores, cores_per_node, k, bytes, iters).0
+}
+
+/// [`kneighbor_iteration_time`] plus the driver's [`RunReport`].
+pub fn kneighbor_report(
+    layer: &LayerKind,
+    cores: u32,
+    cores_per_node: u32,
+    k: u32,
+    bytes: usize,
+    iters: u32,
+) -> (f64, RunReport) {
     assert!(cores > 2 * k, "ring too small for k");
     let mut c = layer.cluster(cores, cores_per_node);
     c.init_user(|_| St {
@@ -90,6 +102,11 @@ pub fn kneighbor_iteration_time(
     let ack = std::rc::Rc::new(std::cell::Cell::new(HandlerId(0)));
     let ack2 = ack.clone();
 
+    // All data messages carry the same zeroed payload; share one
+    // refcounted buffer instead of alloc+memset-ing per send (wire bytes
+    // and therefore virtual times are identical).
+    let zeros = Bytes::from(vec![0u8; bytes]);
+    let zeros_data = zeros.clone();
     let data = c.register_handler(move |ctx, env| {
         // Ping back, reusing the buffer (paper: "the same message buffer is
         // used to send the ack back").
@@ -98,17 +115,17 @@ pub fn kneighbor_iteration_time(
         let batches = maybe_advance(ctx, expected);
         for _ in 0..batches {
             for n in neighbors(ctx.pe()) {
-                ctx.send(n, env.handler, Bytes::from(vec![0u8; env.payload.len()]));
+                ctx.send(n, env.handler, zeros_data.clone());
             }
         }
     });
-    let bytes_copy = bytes;
+    let zeros_ack = zeros.clone();
     let ack_h = c.register_handler(move |ctx, _env| {
         ctx.user::<St>().ack_total += 1;
         let batches = maybe_advance(ctx, expected);
         for _ in 0..batches {
             for n in neighbors(ctx.pe()) {
-                ctx.send(n, data, Bytes::from(vec![0u8; bytes_copy]));
+                ctx.send(n, data, zeros_ack.clone());
             }
         }
     });
@@ -118,20 +135,20 @@ pub fn kneighbor_iteration_time(
         let now = ctx.now();
         ctx.user::<St>().t0 = now;
         for n in neighbors(ctx.pe()) {
-            ctx.send(n, data, Bytes::from(vec![0u8; bytes_copy]));
+            ctx.send(n, data, zeros.clone());
         }
     });
     for pe in 0..cores {
         c.inject(0, pe, kick, Bytes::new());
     }
-    c.run();
+    let report = c.run();
     let st = c.user::<St>(0);
     assert!(
         st.done,
         "kNeighbor stalled: finished {} of {} iterations (data {}, acks {})",
         st.iter, iters, st.data_total, st.ack_total
     );
-    st.total as f64 / iters as f64
+    (st.total as f64 / iters as f64, report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,64 @@
+//! `cargo run --release -p charm-bench --bin wallclock [-- --quick]`
+//!
+//! Runs the wall-clock suite (see `charm_bench::wallclock`), prints the
+//! events/sec table, writes `BENCH_wallclock.json` at the repo root, and
+//! exits nonzero if any workload's *virtual* end time drifted from its
+//! pinned value — engine fast-path work must never move virtual time.
+//!
+//! Flags: `--quick` (CI shape), `--no-write` (skip the JSON),
+//! `--print-pins` (emit the PINS table rows measured by this build).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let print_pins = args.iter().any(|a| a == "--print-pins");
+    let e = if quick {
+        charm_bench::Effort::quick()
+    } else {
+        charm_bench::Effort::default()
+    };
+
+    let suite = charm_bench::wallclock_suite(&e);
+    print!("{}", suite.render());
+
+    if print_pins {
+        println!("\n// measured PINS rows for this build:");
+        for r in &suite.runs {
+            println!(
+                "    (\"{}\", \"{}\", {}, {}),",
+                r.name, r.layer, suite.quick, r.virtual_end_ns
+            );
+        }
+    }
+
+    if !no_write {
+        // crates/bench -> repo root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let path = root.join("BENCH_wallclock.json");
+        std::fs::write(&path, suite.to_json()).expect("write BENCH_wallclock.json");
+        println!("wrote {}", path.display());
+    }
+
+    let drifted = suite.drifted();
+    if !drifted.is_empty() {
+        for r in drifted {
+            eprintln!(
+                "VIRTUAL-TIME DRIFT: {}/{} ended at {} ns, pinned {} ns",
+                r.name,
+                r.layer,
+                r.virtual_end_ns,
+                r.pinned_end_ns.unwrap()
+            );
+        }
+        eprintln!("wallclock: engine changed virtual time; this is a correctness bug");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -9,9 +9,11 @@
 
 pub mod figures;
 pub mod tables;
+pub mod wallclock;
 
 pub use figures::*;
 pub use tables::*;
+pub use wallclock::{wallclock_suite, WallRun, WallSuite};
 
 /// Default iteration counts, tuned so every figure regenerates in seconds
 /// in release mode while still averaging over steady-state behaviour.

@@ -22,6 +22,13 @@ pub const HEADER_BYTES: usize = 32;
 
 const MAGIC: u16 = 0xC4A7;
 
+/// Payloads at or below this many bytes are inlined into one contiguous
+/// wire buffer; larger ones ride behind the header zero-copy (chained).
+/// Sized so the SMSG/eager small-message paths — the ones that *do*
+/// flatten the buffer into mailbox frames — always see contiguous wire
+/// bytes and never pay a lazy flatten.
+const INLINE_WIRE: usize = 1024;
+
 /// Default message priority (midpoint; smaller values run first, as in
 /// Charm++'s prioritized execution).
 pub const DEFAULT_PRIO: u16 = u16::MAX / 2;
@@ -59,8 +66,31 @@ impl Envelope {
     }
 
     /// Serialize to the wire format.
+    ///
+    /// Small payloads are copied into one contiguous buffer; larger ones
+    /// are chained behind the header ([`Bytes::chained`]) so the wire
+    /// buffer shares the sender's payload allocation — the machine layers
+    /// move the result without ever copying the payload host-side. Wire
+    /// *contents* are identical either way.
     pub fn encode(&self) -> Bytes {
+        if self.payload.len() <= INLINE_WIRE {
+            return self.encode_mut().freeze();
+        }
+        let mut b = BytesMut::with_capacity(HEADER_BYTES);
+        self.put_header(&mut b);
+        Bytes::chained(b.freeze(), self.payload.clone())
+    }
+
+    /// Serialize to a still-mutable, fully contiguous wire buffer (tests
+    /// corrupt headers through this without re-copying the encoded bytes).
+    pub fn encode_mut(&self) -> BytesMut {
         let mut b = BytesMut::with_capacity(self.wire_size());
+        self.put_header(&mut b);
+        b.put_slice(&self.payload);
+        b
+    }
+
+    fn put_header(&self, b: &mut BytesMut) {
         b.put_u16(MAGIC);
         b.put_u16(self.handler.0);
         b.put_u32(self.src_pe);
@@ -69,21 +99,23 @@ impl Envelope {
         b.put_u16(self.priority);
         // Pad the header to its fixed size.
         b.put_bytes(0, HEADER_BYTES - 18);
-        b.put_slice(&self.payload);
-        b.freeze()
     }
 
     /// Deserialize from the wire format. Panics on a malformed buffer —
     /// that is always a machine-layer bug, not an input condition.
     pub fn decode(buf: &Bytes) -> Envelope {
         assert!(buf.len() >= HEADER_BYTES, "short envelope: {}", buf.len());
-        let magic = u16::from_be_bytes([buf[0], buf[1]]);
+        // Read the header through a sub-slice: on a chained wire buffer
+        // this resolves to the contiguous header part, so decoding never
+        // flattens (= copies) the payload.
+        let hdr = buf.slice(..HEADER_BYTES);
+        let magic = u16::from_be_bytes([hdr[0], hdr[1]]);
         assert_eq!(magic, MAGIC, "corrupt envelope magic {magic:#x}");
-        let handler = HandlerId(u16::from_be_bytes([buf[2], buf[3]]));
-        let src_pe = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
-        let dst_pe = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]);
-        let len = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]) as usize;
-        let priority = u16::from_be_bytes([buf[16], buf[17]]);
+        let handler = HandlerId(u16::from_be_bytes([hdr[2], hdr[3]]));
+        let src_pe = u32::from_be_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]);
+        let dst_pe = u32::from_be_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]);
+        let len = u32::from_be_bytes([hdr[12], hdr[13], hdr[14], hdr[15]]) as usize;
+        let priority = u16::from_be_bytes([hdr[16], hdr[17]]);
         assert_eq!(
             buf.len(),
             HEADER_BYTES + len,
@@ -104,7 +136,8 @@ impl Envelope {
     /// route on this without a full decode).
     pub fn peek_dst(buf: &Bytes) -> PeId {
         assert!(buf.len() >= HEADER_BYTES);
-        u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]])
+        let hdr = buf.slice(..HEADER_BYTES);
+        u32::from_be_bytes([hdr[8], hdr[9], hdr[10], hdr[11]])
     }
 }
 
@@ -158,6 +191,21 @@ mod tests {
     }
 
     #[test]
+    fn large_payload_round_trips_zero_copy() {
+        let payload = Bytes::from(vec![7u8; 4 * INLINE_WIRE]);
+        let e = Envelope::new(1, 2, HandlerId(3), payload.clone());
+        let wire = e.encode();
+        assert_eq!(wire.len(), e.wire_size());
+        let d = Envelope::decode(&wire);
+        assert_eq!(d, e);
+        // The decoded payload aliases the sender's allocation: encode
+        // chained it behind the header and decode sliced it back out.
+        assert_eq!(d.payload.as_ptr(), payload.as_ptr());
+        // A flattened view of the whole wire buffer still reads correctly.
+        assert_eq!(&wire[HEADER_BYTES..HEADER_BYTES + 4], &[7, 7, 7, 7]);
+    }
+
+    #[test]
     fn empty_payload_round_trip() {
         let e = Envelope::new(0, 0, HandlerId(0), Bytes::new());
         let d = Envelope::decode(&e.encode());
@@ -183,9 +231,9 @@ mod tests {
     #[should_panic(expected = "corrupt envelope magic")]
     fn corrupt_magic_panics() {
         let e = Envelope::new(0, 0, HandlerId(0), Bytes::new());
-        let mut wire = e.encode().to_vec();
+        let mut wire = e.encode_mut();
         wire[0] = 0;
-        Envelope::decode(&Bytes::from(wire));
+        Envelope::decode(&wire.freeze());
     }
 
     #[test]

@@ -49,6 +49,16 @@ pub struct Trace {
     /// Aggregated timeline buckets across all PEs (None = totals only).
     bucket_ns: Option<Time>,
     buckets: Vec<Acc>,
+    /// Per-PE buffered segment awaiting bucket application. The driver
+    /// charges most work as back-to-back same-kind segments (scheduler
+    /// overhead chained behind handler compute), so buffering one pending
+    /// segment per PE and extending it in place batches the bucket-split
+    /// loop across whole busy stretches. A buffer drains when a
+    /// non-adjacent or different-kind charge for that PE arrives; readers
+    /// ([`Trace::profile`]) overlay still-pending segments, so observable
+    /// results are exact at any instant. Totals, `end`, and the optional
+    /// raw log are updated eagerly and never buffered.
+    pending: Vec<Option<(Time, Time, Kind)>>,
     /// Optional full event log: (pe, start, dur, kind) — the
     /// Projections-style export. Off by default (memory).
     log: Option<Vec<(PeId, Time, Time, Kind)>>,
@@ -64,6 +74,7 @@ impl Trace {
             msgs: vec![0; num_pes as usize],
             bucket_ns,
             buckets: Vec::new(),
+            pending: vec![None; num_pes as usize],
             log: None,
             end: 0,
         }
@@ -90,23 +101,43 @@ impl Trace {
             Kind::Recovery => acc.rec += dur,
         }
         self.end = self.end.max(start + dur);
-        if let Some(w) = self.bucket_ns {
-            let mut t = start;
-            let end = start + dur;
-            while t < end {
-                let b = (t / w) as usize;
-                if b >= self.buckets.len() {
-                    self.buckets.resize(b + 1, Acc::default());
+        if self.bucket_ns.is_none() {
+            return;
+        }
+        // Timeline mode: merge the charge into this PE's pending segment
+        // when it extends it seamlessly (same kind, contiguous in time);
+        // otherwise drain the old segment into the buckets and start a new
+        // one. Splitting a merged segment across buckets distributes
+        // exactly the same durations as splitting its parts one by one.
+        match &mut self.pending[pe as usize] {
+            Some((s, d, k)) if *k == kind && *s + *d == start => *d += dur,
+            p => {
+                if let Some((s, d, k)) = p.replace((start, dur, kind)) {
+                    self.apply_to_buckets(s, d, k);
                 }
-                let seg_end = ((b as Time + 1) * w).min(end);
-                let d = seg_end - t;
-                match kind {
-                    Kind::Busy => self.buckets[b].busy += d,
-                    Kind::Overhead => self.buckets[b].ovh += d,
-                    Kind::Recovery => self.buckets[b].rec += d,
-                }
-                t = seg_end;
             }
+        }
+    }
+
+    /// Split one segment across the timeline buckets (the flush side of
+    /// the per-PE buffering in [`Trace::record`]).
+    fn apply_to_buckets(&mut self, start: Time, dur: Time, kind: Kind) {
+        let w = self.bucket_ns.expect("timeline mode");
+        let mut t = start;
+        let end = start + dur;
+        while t < end {
+            let b = (t / w) as usize;
+            if b >= self.buckets.len() {
+                self.buckets.resize(b + 1, Acc::default());
+            }
+            let seg_end = ((b as Time + 1) * w).min(end);
+            let d = seg_end - t;
+            match kind {
+                Kind::Busy => self.buckets[b].busy += d,
+                Kind::Overhead => self.buckets[b].ovh += d,
+                Kind::Recovery => self.buckets[b].rec += d,
+            }
+            t = seg_end;
         }
     }
 
@@ -171,8 +202,33 @@ impl Trace {
         let w = self
             .bucket_ns
             .expect("trace built without timeline buckets");
+        // Overlay the per-PE pending segments that have not been drained
+        // into the shared buckets yet, so the profile is exact even when
+        // read mid-run.
+        let mut buckets = self.buckets.clone();
+        for p in &self.pending {
+            let Some((start, dur, kind)) = *p else {
+                continue;
+            };
+            let mut t = start;
+            let end = start + dur;
+            while t < end {
+                let b = (t / w) as usize;
+                if b >= buckets.len() {
+                    buckets.resize(b + 1, Acc::default());
+                }
+                let seg_end = ((b as Time + 1) * w).min(end);
+                let d = seg_end - t;
+                match kind {
+                    Kind::Busy => buckets[b].busy += d,
+                    Kind::Overhead => buckets[b].ovh += d,
+                    Kind::Recovery => buckets[b].rec += d,
+                }
+                t = seg_end;
+            }
+        }
         let cap = (w as f64) * self.per_pe.len() as f64;
-        self.buckets
+        buckets
             .iter()
             .enumerate()
             .map(|(i, a)| {
@@ -275,6 +331,51 @@ mod tests {
         assert!((p[3].busy_frac - 1.0).abs() < 1e-9);
         assert!((p[4].busy_frac - 0.5).abs() < 1e-9);
         assert_eq!(p[0].busy_frac, 0.0);
+    }
+
+    #[test]
+    fn adjacent_charges_profile_like_one_segment() {
+        // Coalesced path (adjacent same-kind records) vs a single merged
+        // record: bucket profiles must match exactly.
+        let mut a = Trace::new(1, Some(100));
+        a.record(0, 250, 80, Kind::Busy);
+        a.record(0, 330, 120, Kind::Busy);
+        let mut b = Trace::new(1, Some(100));
+        b.record(0, 250, 200, Kind::Busy);
+        let (pa, pb) = (a.profile(), b.profile());
+        assert_eq!(pa.len(), pb.len());
+        for (ra, rb) in pa.iter().zip(&pb) {
+            assert_eq!(ra.busy_frac, rb.busy_frac);
+        }
+        assert_eq!(a.total_busy(), b.total_busy());
+    }
+
+    #[test]
+    fn drained_and_pending_segments_both_show_in_profile() {
+        let mut t = Trace::new(2, Some(100));
+        // PE 0: two non-adjacent busy stretches — the first drains into
+        // the shared buckets when the second arrives, the second is still
+        // pending at read time. PE 1: different kind, still pending.
+        t.record(0, 0, 100, Kind::Busy);
+        t.record(0, 300, 100, Kind::Busy);
+        t.record(1, 100, 50, Kind::Overhead);
+        let p = t.profile();
+        assert!((p[0].busy_frac - 0.5).abs() < 1e-9, "drained segment");
+        assert!((p[3].busy_frac - 0.5).abs() < 1e-9, "pending segment");
+        assert!((p[1].overhead_frac - 0.25).abs() < 1e-9, "other PE pending");
+        assert_eq!(t.end_time(), 400);
+    }
+
+    #[test]
+    fn kind_change_drains_the_buffer() {
+        let mut t = Trace::new(1, Some(1000));
+        t.record(0, 0, 100, Kind::Busy);
+        t.record(0, 100, 100, Kind::Overhead); // adjacent but different kind
+        t.record(0, 200, 100, Kind::Recovery);
+        let p = t.profile();
+        assert!((p[0].busy_frac - 0.1).abs() < 1e-9);
+        assert!((p[0].overhead_frac - 0.1).abs() < 1e-9);
+        assert!((p[0].recovery_frac - 0.1).abs() < 1e-9);
     }
 
     #[test]

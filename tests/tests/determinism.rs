@@ -10,6 +10,8 @@
 use charm_apps::jacobi2d::{run_jacobi, JacobiConfig};
 use charm_apps::pingpong::{charm_bandwidth, charm_one_way};
 use charm_apps::LayerKind;
+use proptest::prelude::*;
+use sim_core::queue::{HeapQueue, TwoLevelQueue};
 
 fn layers() -> Vec<LayerKind> {
     vec![LayerKind::ugni(), LayerKind::mpi()]
@@ -52,6 +54,135 @@ fn bandwidth_window_replays_bit_for_bit() {
             layer.name()
         );
     }
+}
+
+/// The two-level queue must pop the exact sequence the legacy heap pops —
+/// this is the engine-level guarantee behind every pinned virtual time in
+/// this file. A deterministic trace shaped like real simulator traffic:
+/// bursts of same-time events (scheduler cascades), short hops (protocol
+/// charges), and long timer jumps (retry horizons).
+#[test]
+fn two_level_queue_matches_legacy_heap_on_simulator_shaped_trace() {
+    let mut heap = HeapQueue::new();
+    let mut two = TwoLevelQueue::new();
+    let mut clock: u64 = 0;
+    let mut id: u32 = 0;
+    let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut next = || {
+        // xorshift64*: deterministic, no external RNG needed here.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for round in 0..2000 {
+        let r = next();
+        match r % 10 {
+            // Same-time cascade: several events at one instant must pop
+            // in push order.
+            0 => {
+                for _ in 0..(r / 10 % 5 + 2) {
+                    heap.push(clock, id);
+                    two.push(clock, id);
+                    id += 1;
+                }
+            }
+            // Short protocol hop.
+            1..=5 => {
+                let t = clock + r % 2048;
+                heap.push(t, id);
+                two.push(t, id);
+                id += 1;
+            }
+            // Long timer: far beyond the near horizon.
+            6 => {
+                let t = clock + 100_000 + r % 1_000_000;
+                heap.push(t, id);
+                two.push(t, id);
+                id += 1;
+            }
+            // Pop and advance the clock.
+            _ => {
+                let a = heap.pop();
+                let b = two.pop();
+                assert_eq!(a, b, "pop diverged at round {round}");
+                if let Some((t, _)) = a {
+                    clock = clock.max(t);
+                }
+            }
+        }
+        assert_eq!(heap.len(), two.len());
+        assert_eq!(heap.peek_time(), two.peek_time());
+    }
+    loop {
+        let a = heap.pop();
+        let b = two.pop();
+        assert_eq!(a, b, "drain diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    /// Random (time, seq) interleavings: the two-level queue pops a
+    /// FIFO-stable sort regardless of push pattern, and agrees with the
+    /// legacy heap at every step.
+    #[test]
+    fn two_level_queue_pops_fifo_stable(
+        ops in proptest::collection::vec(
+            proptest::option::of(0u64..500_000), 0..300)
+    ) {
+        let mut heap = HeapQueue::new();
+        let mut two = TwoLevelQueue::new();
+        let mut id = 0u32;
+        for op in ops {
+            match op {
+                Some(t) => {
+                    heap.push(t, id);
+                    two.push(t, id);
+                    id += 1;
+                }
+                None => {
+                    prop_assert_eq!(heap.pop(), two.pop());
+                }
+            }
+        }
+        // Final drain (no more pushes): what comes out must be a
+        // FIFO-stable sort — times never decrease, ties in push order.
+        let mut drained: Vec<(u64, u32)> = Vec::new();
+        while let Some(b) = two.pop() {
+            prop_assert_eq!(heap.pop(), Some(b));
+            drained.push(b);
+        }
+        prop_assert_eq!(heap.pop(), None);
+        for w in drained.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at t={}", w[0].0);
+            }
+        }
+    }
+}
+
+/// The wallclock harness's pinned virtual end times hold: engine fast-path
+/// work (queue, zero-copy wire buffers, trace buffering) must never move
+/// virtual time. Runs the quick suite, same as the CI wallclock job.
+#[test]
+fn wallclock_quick_suite_virtual_times_match_pins() {
+    let suite = charm_bench::wallclock_suite(&charm_bench::Effort::quick());
+    let drifted = suite.drifted();
+    assert!(
+        drifted.is_empty(),
+        "virtual-time drift: {:?}",
+        drifted
+            .iter()
+            .map(|r| format!(
+                "{}/{}: {} != pinned {:?}",
+                r.name, r.layer, r.virtual_end_ns, r.pinned_end_ns
+            ))
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]

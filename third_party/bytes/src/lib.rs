@@ -15,17 +15,57 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// A cheaply cloneable, contiguous, immutable slice of memory.
+/// A cheaply cloneable, logically contiguous, immutable slice of memory.
 ///
 /// Clones share one reference-counted allocation; [`Bytes::slice`] produces a
-/// zero-copy view into the same allocation.
-#[derive(Clone, Default)]
+/// zero-copy view into the same allocation. The backing store is an
+/// `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that `Bytes::from(vec)` and
+/// [`BytesMut::freeze`] take ownership of the vector's allocation instead of
+/// re-copying it — the simulators freeze every encoded envelope, so this is
+/// on the per-message hot path.
+///
+/// In addition to the contiguous form, [`Bytes::chained`] concatenates two
+/// `Bytes` without copying either (a two-part rope). Dereferencing a chain
+/// as `&[u8]` flattens it lazily — once per chain, cached, shared by
+/// clones — but `len`, `clone`, and any `slice` that falls entirely inside
+/// one part stay zero-copy. This is a deliberate extension over the real
+/// `bytes` crate (see `chained` for the migration note).
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
     start: usize,
     end: usize,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Contig(Arc<Vec<u8>>),
+    Chain(Arc<Chain>),
+}
+
+struct Chain {
+    head: Bytes,
+    tail: Bytes,
+    /// Lazily flattened copy, built the first time a chain is dereferenced
+    /// as a contiguous `&[u8]`; shared by all clones of the chain.
+    flat: OnceLock<Vec<u8>>,
+}
+
+impl fmt::Debug for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chain")
+            .field("head", &self.head)
+            .field("tail", &self.tail)
+            .finish()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Bytes {
@@ -33,9 +73,35 @@ impl Bytes {
     #[inline]
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            repr: Repr::Contig(Arc::new(Vec::new())),
             start: 0,
             end: 0,
+        }
+    }
+
+    /// Zero-copy concatenation: the result reads as `head` followed by
+    /// `tail`, sharing both allocations.
+    ///
+    /// Divergence from the real `bytes` crate (which has no owned rope
+    /// type): when swapping the real dependency back in, replace calls
+    /// with an explicit copy-concat (`[&head[..], &tail[..]].concat()`) —
+    /// contents are identical, only the host-side copy returns.
+    pub fn chained(head: Bytes, tail: Bytes) -> Self {
+        if head.is_empty() {
+            return tail;
+        }
+        if tail.is_empty() {
+            return head;
+        }
+        let end = head.len() + tail.len();
+        Bytes {
+            repr: Repr::Chain(Arc::new(Chain {
+                head,
+                tail,
+                flat: OnceLock::new(),
+            })),
+            start: 0,
+            end,
         }
     }
 
@@ -48,12 +114,7 @@ impl Bytes {
 
     /// Copy `data` into a fresh allocation.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        let end = data.len();
-        Bytes {
-            data: Arc::from(data),
-            start: 0,
-            end,
-        }
+        Self::from(data.to_vec())
     }
 
     /// Number of bytes.
@@ -68,7 +129,10 @@ impl Bytes {
         self.start == self.end
     }
 
-    /// Zero-copy sub-slice sharing the same allocation.
+    /// Zero-copy sub-slice sharing the same allocation. On a chain, a
+    /// range that falls entirely inside one part resolves to that part's
+    /// contiguous backing (this is how envelope decode gets the payload
+    /// back out of a chained wire buffer without flattening it).
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
         let lo = match range.start_bound() {
             Bound::Included(&n) => n,
@@ -81,10 +145,20 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        let (start, end) = (self.start + lo, self.start + hi);
+        if let Repr::Chain(c) = &self.repr {
+            let hl = c.head.len();
+            if end <= hl {
+                return c.head.slice(start..end);
+            }
+            if start >= hl {
+                return c.tail.slice(start - hl..end - hl);
+            }
+        }
         Bytes {
-            data: Arc::clone(&self.data),
-            start: self.start + lo,
-            end: self.start + hi,
+            repr: self.repr.clone(),
+            start,
+            end,
         }
     }
 }
@@ -93,7 +167,18 @@ impl Deref for Bytes {
     type Target = [u8];
     #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.repr {
+            Repr::Contig(data) => &data[self.start..self.end],
+            Repr::Chain(c) => {
+                let flat = c.flat.get_or_init(|| {
+                    let mut v = Vec::with_capacity(c.head.len() + c.tail.len());
+                    v.extend_from_slice(&c.head);
+                    v.extend_from_slice(&c.tail);
+                    v
+                });
+                &flat[self.start..self.end]
+            }
+        }
     }
 }
 
@@ -112,10 +197,11 @@ impl Borrow<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the vector's allocation — no copy.
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            repr: Repr::Contig(Arc::new(v)),
             start: 0,
             end,
         }
@@ -361,5 +447,48 @@ mod tests {
         let mut m = BytesMut::new();
         m.put_bytes(0xAB, 3);
         assert_eq!(&m[..], &[0xAB, 0xAB, 0xAB]);
+    }
+
+    #[test]
+    fn chained_reads_as_concatenation() {
+        let c = Bytes::chained(Bytes::from(vec![1, 2, 3]), Bytes::from(vec![4, 5]));
+        assert_eq!(c.len(), 5);
+        assert_eq!(&c[..], &[1, 2, 3, 4, 5]);
+        // Deref again: flattened cache path.
+        assert_eq!(&c[..], &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn chained_slice_within_one_part_is_that_part() {
+        let head = Bytes::from(vec![1, 2, 3]);
+        let tail = Bytes::from(vec![4, 5, 6, 7]);
+        let c = Bytes::chained(head, tail);
+        assert_eq!(&c.slice(..3)[..], &[1, 2, 3]);
+        assert_eq!(&c.slice(3..)[..], &[4, 5, 6, 7]);
+        assert_eq!(&c.slice(4..6)[..], &[5, 6]);
+        // A spanning slice still reads correctly.
+        assert_eq!(&c.slice(2..5)[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn chained_with_empty_parts_collapses() {
+        let b = Bytes::from(vec![9, 8]);
+        assert_eq!(&Bytes::chained(Bytes::new(), b.clone())[..], &[9, 8]);
+        assert_eq!(&Bytes::chained(b, Bytes::new())[..], &[9, 8]);
+    }
+
+    #[test]
+    fn chained_clones_share_the_flatten() {
+        let c = Bytes::chained(Bytes::from(vec![1; 64]), Bytes::from(vec![2; 64]));
+        let d = c.clone();
+        assert_eq!(c, d);
+        assert_eq!(d.slice(60..70).len(), 10);
+    }
+
+    #[test]
+    fn nested_chains_flatten() {
+        let inner = Bytes::chained(Bytes::from(vec![1]), Bytes::from(vec![2]));
+        let outer = Bytes::chained(inner, Bytes::from(vec![3]));
+        assert_eq!(&outer[..], &[1, 2, 3]);
     }
 }

@@ -1,0 +1,23 @@
+// Fixture for the `hot-path-copy` rule: payload copies inside
+// per-message functions of a simulation crate. Never compiled.
+
+pub fn sync_send(&mut self, msg: Bytes) {
+    let copy = msg.to_vec(); // FIRES: per-message payload copy
+    self.fifo.push(copy);
+}
+
+pub fn deliver(&mut self, buf: &[u8]) {
+    let mut dst = vec![0u8; buf.len()];
+    dst.copy_from_slice(buf); // FIRES
+    self.inbox.push(Bytes::from(vec![0u8; 8])); // FIRES: per-message alloc
+}
+
+pub fn drain_smsg(&mut self) {
+    let framed = self.hdr.to_vec(); // copy-ok: 8-byte mailbox frame header
+    self.rx.push(framed);
+}
+
+pub fn setup_buffers(&mut self) {
+    // Not a hot-path function name: copies at init time are fine.
+    self.pool = self.seed.to_vec();
+}

@@ -25,6 +25,14 @@
 //! * **charge-category** — every `fn charge_<x>` definition in
 //!   `crates/core` must record the matching `Kind::<X>` trace category,
 //!   so cost accounting and the trace stay in sync.
+//! * **hot-path-copy** — no `.to_vec()` / `.to_owned()` /
+//!   `copy_from_slice(` / `Bytes::from(vec!` inside per-message
+//!   functions (name contains `send`, `deliver`, `recv`, `post`,
+//!   `progress` or `drain`) of the simulation crates. Payloads travel
+//!   as refcounted `Bytes`; a host-side copy per message is exactly the
+//!   cost the zero-copy fast path removed. Deliberate copies (e.g.
+//!   framing a small mailbox message) carry a `// copy-ok: <why>`
+//!   comment on the same line.
 //!
 //! Test modules (`#[cfg(test)]`, by repo convention at the end of the
 //! file) are exempt from all rules.
@@ -46,6 +54,21 @@ pub const SIM_CRATES: &[&str] = &[
 /// Function-name fragments that mark fault-recovery code paths.
 pub const RECOVERY_KEYWORDS: &[&str] =
     &["retry", "resync", "repost", "recover", "fallback", "reap"];
+
+/// Function-name fragments that mark per-message hot paths: code that
+/// runs once per simulated message and must not copy payload bytes.
+pub const HOT_PATH_KEYWORDS: &[&str] = &["send", "deliver", "recv", "post", "progress", "drain"];
+
+/// Payload-copying constructs banned in hot paths (see `hot-path-copy`).
+const COPY_PATTERNS: &[&str] = &[
+    ".to_vec()",
+    ".to_owned()",
+    "copy_from_slice(",
+    "Bytes::from(vec!",
+];
+
+/// Marker comment that exempts one line from `hot-path-copy`.
+pub const COPY_OK_MARKER: &str = "copy-ok:";
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -408,6 +431,38 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
                         ),
                     });
                 }
+            }
+        }
+        // hot-path-copy: the marker lives in a comment, so it must be
+        // looked up on the raw (unsanitized) line.
+        let raw_lines: Vec<&str> = src.lines().collect();
+        for (name, a, b) in fn_spans(&lines) {
+            if a >= cutoff {
+                continue;
+            }
+            if !HOT_PATH_KEYWORDS.iter().any(|k| name.contains(k)) {
+                continue;
+            }
+            let end = b.min(cutoff.saturating_sub(1));
+            for (idx, line) in lines.iter().enumerate().take(end + 1).skip(a) {
+                let Some(pat) = COPY_PATTERNS.iter().find(|p| line.contains(**p)) else {
+                    continue;
+                };
+                if raw_lines
+                    .get(idx)
+                    .is_some_and(|r| r.contains(COPY_OK_MARKER))
+                {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "hot-path-copy",
+                    file: file.to_string(),
+                    line: idx + 1,
+                    msg: format!(
+                        "`{pat}` in per-message path `{name}` — payloads travel as \
+                         refcounted Bytes; mark a deliberate copy with `// copy-ok: <why>`"
+                    ),
+                });
             }
         }
         // std-time

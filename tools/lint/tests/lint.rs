@@ -69,6 +69,29 @@ fn charge_category_fixture_fires() {
 }
 
 #[test]
+fn hot_path_copy_fixture_fires() {
+    let src = fixture("hot_path_copy.rs");
+    let f = lint_source("lrts-ugni", "fixtures/hot_path_copy.rs", &src);
+    assert_eq!(rules(&f), ["hot-path-copy"], "findings: {f:?}");
+    // to_vec in sync_send, copy_from_slice + Bytes::from(vec! in deliver —
+    // but NOT the copy-ok: line in drain_smsg, and NOT setup_buffers
+    // (not a per-message function name).
+    assert_eq!(f.len(), 3, "findings: {f:?}");
+    assert!(f.iter().any(|x| x.msg.contains("sync_send")));
+    assert!(f.iter().filter(|x| x.msg.contains("deliver")).count() == 2);
+    assert!(!f.iter().any(|x| x.msg.contains("drain_smsg")));
+    assert!(!f.iter().any(|x| x.msg.contains("setup_buffers")));
+}
+
+#[test]
+fn hot_path_copy_only_applies_to_sim_crates() {
+    let src = fixture("hot_path_copy.rs");
+    // Figure drivers and apps may build payloads however they like.
+    let f = lint_source("apps", "fixtures/hot_path_copy.rs", &src);
+    assert!(f.is_empty(), "findings: {f:?}");
+}
+
+#[test]
 fn test_modules_are_exempt() {
     let src = "use std::collections::HashMap;\n\
                pub struct S { m: HashMap<u32, u32> }\n\
