@@ -245,8 +245,8 @@ pub fn run_jacobi(
 
     // Entry 0: receive a ghost edge [dir, values...].
     // Entry 1: go (start iteration: send edges).
-    let entry_cell: std::rc::Rc<std::cell::Cell<(EntryId, EntryId)>> =
-        std::rc::Rc::new(std::cell::Cell::new((EntryId(0), EntryId(0))));
+    let entry_cell: std::sync::Arc<std::sync::OnceLock<(EntryId, EntryId)>> =
+        std::sync::Arc::new(std::sync::OnceLock::new());
 
     fn maybe_compute(ctx: &mut PeCtx, st: &mut BlockState, aid: ArrayId) {
         if !st.has_go || st.edges_got < st.edges_expected {
@@ -274,7 +274,7 @@ pub fn run_jacobi(
 
     let ec2 = entry_cell.clone();
     let go = c.register_entry::<BlockState>(aid, move |ctx, st, _idx, _payload| {
-        let (recv_edge, _) = ec2.get();
+        let (recv_edge, _) = *ec2.get().expect("entries registered");
         // Send edges to each existing neighbor. Direction encoding matches
         // the receiver's ghost side: our bottom edge becomes their top
         // ghost (dir 0), etc.
@@ -304,7 +304,7 @@ pub fn run_jacobi(
         ctx.charge(200);
         maybe_compute(ctx, st, aid);
     });
-    entry_cell.set((recv_edge, go));
+    entry_cell.set((recv_edge, go)).expect("set once");
 
     // Reduction client: iterate or stop.
     struct Ctl {

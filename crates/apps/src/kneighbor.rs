@@ -99,7 +99,7 @@ pub fn kneighbor_report(
         batches
     }
 
-    let ack = std::rc::Rc::new(std::cell::Cell::new(HandlerId(0)));
+    let ack = std::sync::Arc::new(std::sync::OnceLock::new());
     let ack2 = ack.clone();
 
     // All data messages carry the same zeroed payload; share one
@@ -110,7 +110,11 @@ pub fn kneighbor_report(
     let data = c.register_handler(move |ctx, env| {
         // Ping back, reusing the buffer (paper: "the same message buffer is
         // used to send the ack back").
-        ctx.send(env.src_pe, ack2.get(), env.payload.clone());
+        ctx.send(
+            env.src_pe,
+            *ack2.get().expect("ack handler registered"),
+            env.payload.clone(),
+        );
         ctx.user::<St>().data_total += 1;
         let batches = maybe_advance(ctx, expected);
         for _ in 0..batches {
@@ -129,7 +133,7 @@ pub fn kneighbor_report(
             }
         }
     });
-    ack.set(ack_h);
+    ack.set(ack_h).expect("set once");
 
     let kick = c.register_handler(move |ctx, _| {
         let now = ctx.now();

@@ -216,13 +216,13 @@ pub fn run_minimd(
         }
     });
 
-    let ids: std::rc::Rc<std::cell::Cell<(EntryId, EntryId, EntryId)>> =
-        std::rc::Rc::new(std::cell::Cell::new((EntryId(0), EntryId(0), EntryId(0))));
+    let ids: std::sync::Arc<std::sync::OnceLock<(EntryId, EntryId, EntryId)>> =
+        std::sync::Arc::new(std::sync::OnceLock::new());
 
     // Compute: receive coords [step u64, ...payload]; fire when complete.
     let ids_c = ids.clone();
     let comp_recv = c.register_entry::<ComputeObj>(comp_aid, move |ctx, st, _idx, payload| {
-        let (_, _, patch_force) = ids_c.get();
+        let (_, _, patch_force) = *ids_c.get().expect("entries registered");
         let step = wire::unpack_u64(&payload, 0);
         st.inputs_got += 1;
         ctx.charge(120);
@@ -262,7 +262,7 @@ pub fn run_minimd(
     // Patch: `go` — multicast coordinates to all computes touching us.
     let ids_g = ids.clone();
     let patch_go = c.register_entry::<Patch>(patch_aid, move |ctx, st, idx, payload| {
-        let (comp_recv, _, _) = ids_g.get();
+        let (comp_recv, _, _) = *ids_g.get().expect("entries registered");
         let step = wire::unpack_u64(&payload, 0);
         ctx.charge(200);
         let mut coords = Vec::with_capacity(8 + st.coords_bytes);
@@ -279,7 +279,8 @@ pub fn run_minimd(
             ctx.charm_send(comp_aid, p * (MAX_D + 1) + d, comp_recv, coords.clone());
         }
     });
-    ids.set((comp_recv, patch_go, patch_force));
+    ids.set((comp_recv, patch_go, patch_force))
+        .expect("set once");
 
     // Client: one reduction per step -> next `go` broadcast with the PME
     // result payload.

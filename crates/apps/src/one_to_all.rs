@@ -37,11 +37,15 @@ pub fn one_to_all_latency(
     let targets: Vec<PeId> = (1..nodes).map(|n| n * cores_per_node).collect();
     let n_targets = targets.len() as u32;
 
-    let ack = std::rc::Rc::new(std::cell::Cell::new(HandlerId(0)));
+    let ack = std::sync::Arc::new(std::sync::OnceLock::new());
     let ack2 = ack.clone();
     let data = c.register_handler(move |ctx, _env| {
         // Remote core: ack back with a small message.
-        ctx.send(0, ack2.get(), Bytes::new());
+        ctx.send(
+            0,
+            *ack2.get().expect("ack handler registered"),
+            Bytes::new(),
+        );
     });
     let targets2 = targets.clone();
     let ack_h = c.register_handler(move |ctx, _| {
@@ -69,7 +73,7 @@ pub fn one_to_all_latency(
             }
         }
     });
-    ack.set(ack_h);
+    ack.set(ack_h).expect("set once");
     let targets3 = targets;
     let kick = c.register_handler(move |ctx, _| {
         let now = ctx.now();

@@ -239,7 +239,7 @@ pub fn charm_bandwidth_report(
         total_bytes: u64,
     }
     c.init_user(|_| St::default());
-    let ack = std::rc::Rc::new(std::cell::Cell::new(HandlerId(0)));
+    let ack = std::sync::Arc::new(std::sync::OnceLock::new());
     let ack2 = ack.clone();
     let data = c.register_handler(move |ctx, env| {
         // Receiver counts; acks the window when complete.
@@ -250,7 +250,11 @@ pub fn charm_bandwidth_report(
         };
         if full {
             ctx.user::<St>().got = 0;
-            ctx.send(0, ack2.get(), Bytes::new());
+            ctx.send(
+                0,
+                *ack2.get().expect("ack handler registered"),
+                Bytes::new(),
+            );
         }
         let _ = env;
     });
@@ -281,7 +285,7 @@ pub fn charm_bandwidth_report(
             }
         }
     });
-    ack.set(ack_h);
+    ack.set(ack_h).expect("set once");
     let kick = c.register_handler(move |ctx, _| {
         let now = ctx.now();
         {

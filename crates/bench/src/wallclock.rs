@@ -60,6 +60,8 @@ impl WallRun {
 #[derive(Debug, Clone)]
 pub struct WallSuite {
     pub quick: bool,
+    /// Worker threads the simulator ran with (1 = sequential engine).
+    pub threads: u32,
     pub runs: Vec<WallRun>,
 }
 
@@ -131,12 +133,48 @@ impl WallSuite {
         out
     }
 
+    /// One appendable history record: the keyed row
+    /// `(suite, quick, threads, rev)` → throughput, kept across runs so
+    /// `BENCH_wallclock.json` records the perf trajectory PR over PR and
+    /// thread-count over thread-count.
+    pub fn history_record(&self, rev: &str) -> String {
+        format!(
+            "{{\"suite\": \"wallclock\", \"quick\": {}, \"threads\": {}, \
+             \"rev\": \"{}\", \"total_events\": {}, \"total_wall_ns\": {}, \
+             \"events_per_sec\": {:.1}}}",
+            self.quick,
+            self.threads,
+            rev,
+            self.total_events(),
+            self.total_wall_ns(),
+            self.events_per_sec(),
+        )
+    }
+
+    /// Machine-readable `BENCH_wallclock.json` contents: the latest run in
+    /// full, plus the accumulated `history` rows (pass the rows parsed
+    /// from the previous file via [`extract_history`], plus any new ones).
+    pub fn to_json_with_history(&self, history: &[String]) -> String {
+        let mut out = self.to_json();
+        let tail = out.rfind("]\n}").expect("workloads array present");
+        out.truncate(tail + 1); // keep the "]", drop "\n}"
+        out.push_str(",\n  \"history\": [\n");
+        for (i, h) in history.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(h);
+            out.push_str(if i + 1 == history.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Machine-readable `BENCH_wallclock.json` contents.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"suite\": \"wallclock\",\n");
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"total_events\": {},\n", self.total_events()));
         out.push_str(&format!("  \"total_wall_ns\": {},\n", self.total_wall_ns()));
         out.push_str(&format!(
@@ -253,8 +291,44 @@ fn layers() -> [(&'static str, LayerKind); 2] {
     [("ugni", LayerKind::ugni()), ("mpi", LayerKind::mpi())]
 }
 
-/// Run the whole suite. `Effort::quick()` selects the reduced CI shape.
+/// Pull the accumulated `history` rows out of a previously written
+/// `BENCH_wallclock.json`, one JSON object per entry. Tolerates the
+/// pre-history file layout (returns empty).
+pub fn extract_history(json: &str) -> Vec<String> {
+    let Some(start) = json.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let body = &json[start + "\"history\": [".len()..];
+    let Some(end) = body.find(']') else {
+        return Vec::new();
+    };
+    body[..end]
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect()
+}
+
+/// Run the whole suite sequentially. `Effort::quick()` selects the
+/// reduced CI shape.
 pub fn wallclock_suite(e: &Effort) -> WallSuite {
+    wallclock_suite_threads(e, 1)
+}
+
+/// Run the whole suite with the simulator in `threads`-way conservative
+/// parallel mode (1 = the sequential engine). Virtual fingerprints are
+/// pinned identically for every thread count — the parallel engine is
+/// bit-exact, so a drift at `threads > 1` is a determinism bug, not a
+/// perf artifact.
+pub fn wallclock_suite_threads(e: &Effort, threads: u32) -> WallSuite {
+    charm_rt::prelude::set_default_threads(threads);
+    let suite = wallclock_suite_inner(e, threads);
+    charm_rt::prelude::set_default_threads(1);
+    suite
+}
+
+fn wallclock_suite_inner(e: &Effort, threads: u32) -> WallSuite {
     let quick = !e.full_scale;
     let mut runs = Vec::new();
 
@@ -339,5 +413,9 @@ pub fn wallclock_suite(e: &Effort) -> WallSuite {
         }));
     }
 
-    WallSuite { quick, runs }
+    WallSuite {
+        quick,
+        threads,
+        runs,
+    }
 }

@@ -14,7 +14,7 @@ use crate::msg::{Envelope, HandlerId, PeId};
 use bytes::{BufMut, Bytes, BytesMut};
 use std::any::Any;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The reserved Converse handler that dispatches all Charm traffic.
 pub const CHARM_HANDLER: HandlerId = HandlerId(0);
@@ -68,7 +68,7 @@ impl RedOp {
     }
 }
 
-type EntryFn = Rc<dyn Fn(&mut PeCtx, &mut dyn Any, u64, Bytes)>;
+type EntryFn = Arc<dyn Fn(&mut PeCtx, &mut dyn Any, u64, Bytes) + Send + Sync>;
 
 struct ArrayDef {
     #[allow(dead_code)]
@@ -99,7 +99,7 @@ pub struct CharmRegistry {
 pub struct CharmPe {
     /// Element states; `Option` so dispatch can take one out while the
     /// entry runs (an entry may send to a co-located element).
-    elements: HashMap<(u16, u64), Option<Box<dyn Any>>>,
+    elements: HashMap<(u16, u64), Option<Box<dyn Any + Send>>>,
     /// Elements living on this PE, per array.
     local_count: HashMap<u16, u64>,
     /// In-flight reduction partials keyed by (array, wave).
@@ -176,7 +176,7 @@ fn enc_reduce(aid: ArrayId, wave: u64, op: RedOp, vals: &[f64]) -> Bytes {
 impl Cluster {
     /// Create a chare array of `n` elements; `ctor(idx)` builds each
     /// element's state on its home PE.
-    pub fn create_array<T: 'static>(
+    pub fn create_array<T: Send + 'static>(
         &mut self,
         name: &str,
         n: u64,
@@ -206,15 +206,15 @@ impl Cluster {
 
     /// Register an entry method for `aid`. The closure receives the PE
     /// context, the element state, the element index, and the payload.
-    pub fn register_entry<T: 'static>(
+    pub fn register_entry<T: Send + 'static>(
         &mut self,
         aid: ArrayId,
-        f: impl Fn(&mut PeCtx, &mut T, u64, Bytes) + 'static,
+        f: impl Fn(&mut PeCtx, &mut T, u64, Bytes) + Send + Sync + 'static,
     ) -> EntryId {
         let eid = EntryId(self.charm.entries.len() as u16);
         self.charm.entries.push(EntryDef {
             array: aid,
-            f: Rc::new(move |ctx, any, idx, payload| {
+            f: Arc::new(move |ctx, any, idx, payload| {
                 let t = any.downcast_mut::<T>().expect("element state type");
                 f(ctx, t, idx, payload)
             }),
@@ -521,12 +521,12 @@ mod tests {
     fn reduction_sums_over_all_elements() {
         let mut c = cluster(4);
         let aid = c.create_array("vals", 12, |idx| idx as f64);
-        let done = std::rc::Rc::new(std::cell::Cell::new(-1.0));
+        let done = std::sync::Arc::new(std::sync::Mutex::new(-1.0));
         let done2 = done.clone();
         let client = c.register_handler(move |ctx, env| {
             let wave = u64::from_le_bytes(env.payload[0..8].try_into().unwrap());
             assert_eq!(wave, 0);
-            done2.set(wire::unpack_f64(&env.payload[8..], 0));
+            *done2.lock().unwrap() = wire::unpack_f64(&env.payload[8..], 0);
             ctx.stop();
         });
         c.set_reduction_client(aid, client, 0);
@@ -536,24 +536,24 @@ mod tests {
         c.inject_broadcast(0, aid, kick, Bytes::new());
         c.run();
         // sum 0..12 = 66
-        assert_eq!(done.get(), 66.0);
+        assert_eq!(*done.lock().unwrap(), 66.0);
     }
 
     #[test]
     fn successive_reduction_waves_keep_sequence() {
         let mut c = cluster(3);
         let aid = c.create_array("w", 6, |_| ());
-        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let results = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let r2 = results.clone();
-        let kick_cell: std::rc::Rc<std::cell::Cell<Option<EntryId>>> =
-            std::rc::Rc::new(std::cell::Cell::new(None));
+        let kick_cell: std::sync::Arc<std::sync::OnceLock<EntryId>> =
+            std::sync::Arc::new(std::sync::OnceLock::new());
         let kc = kick_cell.clone();
         let client = c.register_handler(move |ctx, env| {
             let wave = u64::from_le_bytes(env.payload[0..8].try_into().unwrap());
             let v = wire::unpack_f64(&env.payload[8..], 0);
-            r2.borrow_mut().push((wave, v));
+            r2.lock().unwrap().push((wave, v));
             if wave < 2 {
-                ctx.charm_broadcast(aid, kc.get().unwrap(), Bytes::new());
+                ctx.charm_broadcast(aid, *kc.get().unwrap(), Bytes::new());
             } else {
                 ctx.stop();
             }
@@ -562,10 +562,10 @@ mod tests {
         let kick = c.register_entry::<()>(aid, move |ctx, _st, _idx, _p| {
             ctx.contribute(aid, &[1.0], RedOp::Sum);
         });
-        kick_cell.set(Some(kick));
+        kick_cell.set(kick).expect("set once");
         c.inject_broadcast(0, aid, kick, Bytes::new());
         c.run();
-        assert_eq!(&*results.borrow(), &[(0, 6.0), (1, 6.0), (2, 6.0)]);
+        assert_eq!(&*results.lock().unwrap(), &[(0, 6.0), (1, 6.0), (2, 6.0)]);
     }
 
     #[test]
@@ -573,10 +573,10 @@ mod tests {
         for (op, expect) in [(RedOp::Min, 0.0), (RedOp::Max, 9.0)] {
             let mut c = cluster(2);
             let aid = c.create_array("mm", 10, |idx| idx as f64);
-            let got = std::rc::Rc::new(std::cell::Cell::new(f64::NAN));
+            let got = std::sync::Arc::new(std::sync::Mutex::new(f64::NAN));
             let g2 = got.clone();
             let client = c.register_handler(move |ctx, env| {
-                g2.set(wire::unpack_f64(&env.payload[8..], 0));
+                *g2.lock().unwrap() = wire::unpack_f64(&env.payload[8..], 0);
                 ctx.stop();
             });
             c.set_reduction_client(aid, client, 0);
@@ -585,7 +585,7 @@ mod tests {
             });
             c.inject_broadcast(0, aid, kick, Bytes::new());
             c.run();
-            assert_eq!(got.get(), expect, "{op:?}");
+            assert_eq!(*got.lock().unwrap(), expect, "{op:?}");
         }
     }
 
@@ -595,10 +595,10 @@ mod tests {
         // elements — PEs without elements used to deadlock the wave.
         let mut c = cluster(16);
         let aid = c.create_array("sparse", 3, |idx| idx as f64);
-        let got = std::rc::Rc::new(std::cell::Cell::new(f64::NAN));
+        let got = std::sync::Arc::new(std::sync::Mutex::new(f64::NAN));
         let g2 = got.clone();
         let client = c.register_handler(move |ctx, env| {
-            g2.set(wire::unpack_f64(&env.payload[8..], 0));
+            *g2.lock().unwrap() = wire::unpack_f64(&env.payload[8..], 0);
             ctx.stop();
         });
         c.set_reduction_client(aid, client, 0);
@@ -608,7 +608,7 @@ mod tests {
         c.inject_broadcast(0, aid, kick, Bytes::new());
         let r = c.run();
         assert!(r.stopped_early, "sparse reduction deadlocked");
-        assert_eq!(got.get(), 0.0 + 1.0 + 2.0);
+        assert_eq!(*got.lock().unwrap(), 0.0 + 1.0 + 2.0);
     }
 
     #[test]
@@ -633,11 +633,11 @@ mod tests {
     fn vector_reductions_combine_elementwise() {
         let mut c = cluster(4);
         let aid = c.create_array("vec", 8, |idx| idx as f64);
-        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let got = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let g2 = got.clone();
         let client = c.register_handler(move |ctx, env| {
             let body = &env.payload[8..];
-            *g2.borrow_mut() = (0..wire::f64_count(body))
+            *g2.lock().unwrap() = (0..wire::f64_count(body))
                 .map(|i| wire::unpack_f64(body, i))
                 .collect();
             ctx.stop();
@@ -648,7 +648,7 @@ mod tests {
         });
         c.inject_broadcast(0, aid, kick, Bytes::new());
         c.run();
-        assert_eq!(&*got.borrow(), &[28.0, 8.0, -28.0]);
+        assert_eq!(&*got.lock().unwrap(), &[28.0, 8.0, -28.0]);
     }
 
     #[test]

@@ -15,13 +15,33 @@ use crate::charm::{CharmPe, CharmRegistry};
 use crate::lrts::{MachineLayer, PersistentHandle};
 use crate::msg::{Envelope, HandlerId, PeId};
 use crate::qd::{QdPe, QdState};
-use crate::trace::{Kind, Trace};
+use crate::trace::{Kind, Trace, TraceOp};
 use bytes::Bytes;
 use gemini_net::NodeId;
+use sim_core::parallel::{partition_ranges, run_pool, EvKey, KeyedQueue};
 use sim_core::{DetRng, EventQueue, Time};
 use std::any::Any;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Default for [`ClusterCfg::threads`] (see [`set_default_threads`]).
+    static DEFAULT_THREADS: std::cell::Cell<u32> = const { std::cell::Cell::new(1) };
+}
+
+/// Set the worker count newly built [`ClusterCfg`]s default to (clamped to
+/// at least 1). Thread-local, so harnesses running independent simulations
+/// on a thread pool don't race: each harness thread configures its own
+/// default and every app built on it inherits `--threads` with zero churn.
+pub fn set_default_threads(n: u32) {
+    DEFAULT_THREADS.with(|c| c.set(n.max(1)));
+}
+
+/// The current thread's default for [`ClusterCfg::threads`].
+pub fn default_threads() -> u32 {
+    DEFAULT_THREADS.with(|c| c.get())
+}
 
 /// Cluster-wide configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +63,10 @@ pub struct ClusterCfg {
     /// inert default injects nothing). Kept here so drivers and reports can
     /// see at the cluster level whether a run was a chaos run.
     pub fault: gemini_net::FaultPlan,
+    /// Worker threads for [`Cluster::run`]: 1 = sequential engine, N > 1 =
+    /// conservative parallel execution over node partitions (bit-identical
+    /// results — see DESIGN.md §10). Defaults to [`default_threads`].
+    pub threads: u32,
 }
 
 impl ClusterCfg {
@@ -56,6 +80,7 @@ impl ClusterCfg {
             max_events: 2_000_000_000,
             seed: 0xC0FFEE,
             fault: gemini_net::FaultPlan::default(),
+            threads: default_threads(),
         }
     }
 
@@ -91,10 +116,10 @@ pub enum Event {
     /// Hand an encoded envelope to a PE's scheduler queue.
     Deliver(PeId, Bytes),
     /// Machine-layer-specific event, processed when the PE is free.
-    Machine(PeId, Box<dyn Any>),
+    Machine(PeId, Box<dyn Any + Send>),
     /// Machine-layer event processed at its exact time even if the PE is
     /// busy (protocol continuations whose CPU cost was already charged).
-    MachineNow(PeId, Box<dyn Any>),
+    MachineNow(PeId, Box<dyn Any + Send>),
     /// Drain a PE's parked machine events now that it may be free.
     ParkedWake(PeId),
     /// Application command issued from a handler on `PeId`.
@@ -111,12 +136,16 @@ pub(crate) struct PeState {
     /// Machine events deferred while this PE was busy, drained by a single
     /// ParkedWake event (re-queueing each one individually is quadratic
     /// under load).
-    parked: VecDeque<Box<dyn Any>>,
+    parked: VecDeque<Box<dyn Any + Send>>,
     parked_wake: bool,
-    user: Box<dyn Any>,
+    user: Box<dyn Any + Send>,
     rng: DetRng,
     pub(crate) charm: CharmPe,
     qd: QdPe,
+    /// Per-PE persistent-channel handle counter. Handles are namespaced by
+    /// PE (`pe << 32 | local`) so allocation is identical no matter which
+    /// thread executes the PE in parallel mode.
+    next_persistent: u64,
 }
 
 /// Queue entry ordered by (priority, arrival sequence).
@@ -144,7 +173,7 @@ impl Ord for PrioEnv {
 }
 
 /// Aggregate run statistics.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ClusterStats {
     pub events: u64,
     /// Event-type breakdown: [PeRun, Deliver, Machine, MachineNow, Cmd].
@@ -176,11 +205,10 @@ pub struct Cluster {
     pub(crate) pes: Vec<PeState>,
     layer: Option<Box<dyn MachineLayer>>,
     #[allow(clippy::type_complexity)]
-    handlers: Vec<Rc<dyn Fn(&mut PeCtx, Envelope)>>,
+    handlers: Vec<Arc<dyn Fn(&mut PeCtx, Envelope) + Send + Sync>>,
     pub(crate) charm: CharmRegistry,
     trace: Trace,
     stats: ClusterStats,
-    next_persistent: u64,
     stopped: bool,
     /// Handlers whose traffic is excluded from quiescence counting (QD's
     /// own control messages and the QD client notification).
@@ -203,6 +231,7 @@ impl Cluster {
                 rng: DetRng::derive(cfg.seed, pe as u64),
                 charm: CharmPe::default(),
                 qd: QdPe::default(),
+                next_persistent: 0,
             })
             .collect();
         let mut c = Cluster {
@@ -215,7 +244,6 @@ impl Cluster {
             charm: CharmRegistry::default(),
             trace,
             stats: ClusterStats::default(),
-            next_persistent: 0,
             stopped: false,
             system_handlers: std::collections::HashSet::new(),
             qd: None,
@@ -230,8 +258,10 @@ impl Cluster {
             let mut ctx = MachineCtx {
                 now: 0,
                 cfg: &c.cfg,
-                pes: &mut c.pes,
-                events: &mut c.events,
+                back: McBack::Seq {
+                    pes: &mut c.pes,
+                    events: &mut c.events,
+                },
                 trace: &mut c.trace,
                 stats: &mut c.stats,
             };
@@ -241,14 +271,19 @@ impl Cluster {
         c
     }
 
-    /// Register a Converse handler; returns its id.
-    pub fn register_handler(&mut self, f: impl Fn(&mut PeCtx, Envelope) + 'static) -> HandlerId {
-        self.handlers.push(Rc::new(f));
+    /// Register a Converse handler; returns its id. Handlers must be
+    /// `Send + Sync` because parallel runs execute them from worker
+    /// threads (shared immutably, one PE at a time).
+    pub fn register_handler(
+        &mut self,
+        f: impl Fn(&mut PeCtx, Envelope) + Send + Sync + 'static,
+    ) -> HandlerId {
+        self.handlers.push(Arc::new(f));
         HandlerId(self.handlers.len() as u16 - 1)
     }
 
     /// Install per-PE user state.
-    pub fn init_user<T: 'static>(&mut self, mut f: impl FnMut(PeId) -> T) {
+    pub fn init_user<T: Send + 'static>(&mut self, mut f: impl FnMut(PeId) -> T) {
         for pe in 0..self.cfg.num_pes {
             self.pes[pe as usize].user = Box::new(f(pe));
         }
@@ -321,8 +356,18 @@ impl Cluster {
     }
 
     /// Run until the event queue drains, a handler calls [`PeCtx::stop`],
-    /// or `max_events` is hit.
+    /// or `max_events` is hit. With `cfg.threads > 1` this dispatches to
+    /// [`Cluster::run_parallel`]; results are bit-identical either way.
     pub fn run(&mut self) -> RunReport {
+        if self.cfg.threads > 1 {
+            self.run_parallel(self.cfg.threads)
+        } else {
+            self.run_seq()
+        }
+    }
+
+    /// The sequential engine (`threads = 1` degenerate case).
+    fn run_seq(&mut self) -> RunReport {
         while !self.stopped {
             if self.stats.events >= self.cfg.max_events {
                 panic!(
@@ -436,8 +481,10 @@ impl Cluster {
             let mut ctx = MachineCtx {
                 now: t,
                 cfg: &self.cfg,
-                pes: &mut self.pes,
-                events: &mut self.events,
+                back: McBack::Seq {
+                    pes: &mut self.pes,
+                    events: &mut self.events,
+                },
                 trace: &mut self.trace,
                 stats: &mut self.stats,
             };
@@ -479,7 +526,7 @@ impl Cluster {
                 charm_reg: &self.charm,
                 outbox: &mut outbox,
                 stop: &mut stop,
-                next_persistent: &mut self.next_persistent,
+                next_persistent: &mut st.next_persistent,
                 stats: &mut self.stats,
                 qd_pe: &mut st.qd,
                 qd_global: &mut self.qd,
@@ -514,14 +561,176 @@ impl Cluster {
             self.events.push(st.busy_until, Event::PeRun(pe));
         }
     }
+
+    /// Conservative parallel execution over node partitions (DESIGN.md §10).
+    ///
+    /// The cluster's nodes are split into `threads` contiguous partitions,
+    /// each owning its PEs' state and a keyed event queue. Execution
+    /// alternates a serial phase (main thread, canonical global order:
+    /// machine-layer events, command execution, ties) with bounded parallel
+    /// windows in which workers run PE-local events with
+    /// `t < min(next layer event, frontier + lookahead)`. Side effects that
+    /// touch shared accounting (trace, stats) are buffered per event and
+    /// replayed in canonical key order at the window barrier, so every
+    /// virtual timestamp, trace charge, RNG draw and statistic is
+    /// bit-identical to [`Cluster::run`] with `threads = 1`.
+    ///
+    /// Falls back to the sequential engine when parallelism cannot help or
+    /// is unsupported: `threads <= 1`, fewer than two nodes, quiescence
+    /// detection installed (QD shares one global ledger), or the
+    /// `legacy-heap` queue feature.
+    pub fn run_parallel(&mut self, threads: u32) -> RunReport {
+        if threads <= 1 || self.qd.is_some() || sim_core::LEGACY_HEAP || self.cfg.num_nodes() < 2 {
+            return self.run_seq();
+        }
+        let nparts = threads.min(self.cfg.num_nodes());
+        let num_pes = self.cfg.num_pes;
+        let cores = self.cfg.cores_per_node;
+
+        // Contiguous node blocks; a node's PEs never split across partitions
+        // (intra-node traffic must stay partition-local — the lookahead
+        // bound only covers cross-node latency).
+        let node_ranges = partition_ranges(self.cfg.num_nodes(), nparts);
+        let mut pe_part = vec![0u32; num_pes as usize];
+        let mut parts: Vec<PartData> = Vec::with_capacity(node_ranges.len());
+        let mut all_pes = std::mem::take(&mut self.pes).into_iter();
+        for (i, r) in node_ranges.iter().enumerate() {
+            let lo = (r.start * cores).min(num_pes);
+            let hi = (r.end * cores).min(num_pes);
+            for pe in lo..hi {
+                pe_part[pe as usize] = i as u32;
+            }
+            parts.push(PartData {
+                base_pe: lo,
+                pes: all_pes.by_ref().take((hi - lo) as usize).collect(),
+                q: KeyedQueue::new(),
+                epoch: 0,
+                fx: Vec::new(),
+                trace_ops: Vec::new(),
+                cmds: Vec::new(),
+                scratch: ExecOut::default(),
+            });
+        }
+        debug_assert!(all_pes.next().is_none());
+
+        // Split the pending queue in pop order: `(time, seq)` pop order IS
+        // the canonical order, so assigning ascending Flat ordinals here
+        // seeds the keyed queues with the exact sequential tie-break.
+        let mut serial: KeyedQueue<Event> = KeyedQueue::new();
+        let mut ord = 0u64;
+        while let Some((t, ev)) = self.events.pop() {
+            let key = EvKey::flat(t, ord);
+            ord += 1;
+            match &ev {
+                Event::PeRun(pe) | Event::Deliver(pe, _) => {
+                    parts[pe_part[*pe as usize] as usize].q.push(key, ev)
+                }
+                _ => serial.push(key, ev),
+            }
+        }
+
+        let lookahead = self.layer.as_ref().expect("layer").lookahead().max(1);
+        let halt = AtomicU64::new(u64::MAX);
+        let (parts, leftovers, end_now, end_stopped) = {
+            let Cluster {
+                cfg,
+                layer,
+                handlers,
+                charm,
+                trace,
+                stats,
+                system_handlers,
+                ..
+            } = &mut *self;
+            let env = ExecEnv {
+                cfg,
+                handlers,
+                charm_reg: charm,
+                system_handlers,
+            };
+            let mut driver = ParDriver {
+                cfg,
+                handlers,
+                charm_reg: charm,
+                system_handlers,
+                layer,
+                trace,
+                stats,
+                pe_part: &pe_part,
+                serial,
+                ord,
+                now: 0,
+                stopped: false,
+                lookahead,
+                halt: &halt,
+                scratch: ExecOut::default(),
+            };
+            let parts = run_pool(
+                parts,
+                nparts as usize,
+                |part, p_end| phase_run(part, p_end, &env, &halt),
+                |parts| driver.step(parts),
+            );
+            (parts, driver.serial, driver.now, driver.stopped)
+        };
+
+        self.now = end_now;
+        self.stopped = end_stopped;
+        // Reassemble PE state (partitions are contiguous and in order) and
+        // put any still-pending events back on the sequential queue in
+        // canonical order, mirroring the state `run_seq` leaves on an early
+        // stop.
+        let mut leftovers = leftovers;
+        let mut leftover_evs: Vec<(EvKey, Event)> = leftovers.drain_sorted();
+        let mut pes = Vec::with_capacity(num_pes as usize);
+        for mut p in parts {
+            leftover_evs.extend(p.q.drain_sorted());
+            pes.append(&mut p.pes);
+        }
+        leftover_evs.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, ev) in leftover_evs {
+            self.events.push(k.t, ev);
+        }
+        self.pes = pes;
+
+        RunReport {
+            end_time: self.now,
+            stats: self.stats.clone(),
+            stopped_early: self.stopped,
+        }
+    }
+}
+
+/// Event-storage backend behind a [`MachineCtx`]: the sequential engine's
+/// single queue, or the parallel driver's partitioned queues. Layers never
+/// see the difference — pushes route by event class (PE-local `PeRun`/
+/// `Deliver` to the owning partition, layer events to the serial queue)
+/// with main-thread `Flat` ordinals, so the canonical event order is the
+/// sequential `(time, push-seq)` order in both modes.
+pub(crate) enum McBack<'a> {
+    Seq {
+        pes: &'a mut Vec<PeState>,
+        events: &'a mut EventQueue<Event>,
+    },
+    Par {
+        parts: &'a mut [PartData],
+        pe_part: &'a [u32],
+        serial: &'a mut KeyedQueue<Event>,
+        ord: &'a mut u64,
+        /// Partition of the PE whose `Cmd` is executing, when one is: its
+        /// cross-partition pushes must respect the lookahead bound (see
+        /// the debug assert in `push_par`). `None` for machine events,
+        /// whose pushes are ordered by the serial phase unconditionally.
+        cur_part: Option<u32>,
+        lookahead: Time,
+    },
 }
 
 /// What a machine layer sees of the cluster.
 pub struct MachineCtx<'a> {
     now: Time,
     cfg: &'a ClusterCfg,
-    pes: &'a mut Vec<PeState>,
-    events: &'a mut EventQueue<Event>,
+    back: McBack<'a>,
     trace: &'a mut Trace,
     stats: &'a mut ClusterStats,
 }
@@ -529,6 +738,74 @@ pub struct MachineCtx<'a> {
 impl MachineCtx<'_> {
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    fn pe_state_mut(&mut self, pe: PeId) -> &mut PeState {
+        match &mut self.back {
+            McBack::Seq { pes, .. } => &mut pes[pe as usize],
+            McBack::Par { parts, pe_part, .. } => {
+                let p = &mut parts[pe_part[pe as usize] as usize];
+                let base = p.base_pe;
+                &mut p.pes[(pe - base) as usize]
+            }
+        }
+    }
+
+    /// Route one event push through the active backend.
+    fn push_event(&mut self, at: Time, ev: Event) {
+        debug_assert!(at >= self.now);
+        match &mut self.back {
+            McBack::Seq { events, .. } => events.push(at, ev),
+            McBack::Par {
+                parts,
+                pe_part,
+                serial,
+                ord,
+                cur_part,
+                lookahead,
+            } => {
+                let key = EvKey::flat(at, **ord);
+                **ord += 1;
+                let target = match &ev {
+                    Event::PeRun(pe) | Event::Deliver(pe, _) => Some(*pe),
+                    Event::Machine(pe, _) | Event::MachineNow(pe, _) | Event::ParkedWake(pe) => {
+                        // Serial-queue events, but still subject to the
+                        // lookahead contract when pushed from a Cmd.
+                        if let Some(cp) = cur_part {
+                            if pe_part[*pe as usize] != *cp {
+                                debug_assert!(
+                                    at >= self.now + *lookahead,
+                                    "cross-partition machine event at {} violates lookahead {} (now {})",
+                                    at,
+                                    lookahead,
+                                    self.now
+                                );
+                            }
+                        }
+                        None
+                    }
+                    Event::Cmd(..) => None,
+                };
+                match target {
+                    Some(pe) => {
+                        let tp = pe_part[pe as usize];
+                        if let Some(cp) = cur_part {
+                            if tp != *cp {
+                                debug_assert!(
+                                    at >= self.now + *lookahead,
+                                    "cross-partition delivery at {} violates lookahead {} (now {})",
+                                    at,
+                                    lookahead,
+                                    self.now
+                                );
+                            }
+                        }
+                        parts[tp as usize].q.push(key, ev);
+                    }
+                    None => serial.push(key, ev),
+                }
+            }
+        }
     }
 
     pub fn num_pes(&self) -> u32 {
@@ -548,27 +825,25 @@ impl MachineCtx<'_> {
     }
 
     /// When the PE will next be free (>= now when busy).
-    pub fn pe_free_at(&self, pe: PeId) -> Time {
-        self.pes[pe as usize].busy_until
+    pub fn pe_free_at(&mut self, pe: PeId) -> Time {
+        self.pe_state_mut(pe).busy_until
     }
 
     /// Hand a fully received, decoded-ready message to a PE's scheduler,
     /// effective immediately.
     pub fn deliver_now(&mut self, pe: PeId, msg: Bytes) {
-        self.events.push(self.now, Event::Deliver(pe, msg));
+        self.push_event(self.now, Event::Deliver(pe, msg));
     }
 
     /// Deliver at a future instant (e.g. after a modeled copy completes).
     pub fn deliver_at(&mut self, at: Time, pe: PeId, msg: Bytes) {
-        debug_assert!(at >= self.now);
-        self.events.push(at, Event::Deliver(pe, msg));
+        self.push_event(at, Event::Deliver(pe, msg));
     }
 
     /// Schedule a machine-layer event for `pe` at `at` (delivered when the
     /// PE is free — use for progress-engine work like draining mailboxes).
-    pub fn schedule(&mut self, at: Time, pe: PeId, ev: Box<dyn Any>) {
-        debug_assert!(at >= self.now);
-        self.events.push(at, Event::Machine(pe, ev));
+    pub fn schedule(&mut self, at: Time, pe: PeId, ev: Box<dyn Any + Send>) {
+        self.push_event(at, Event::Machine(pe, ev));
     }
 
     /// Schedule a machine-layer event that fires at `at` even if the PE is
@@ -576,9 +851,8 @@ impl MachineCtx<'_> {
     /// ship the control message") whose CPU cost was already charged —
     /// deferring those would serialize independent transfers behind
     /// unrelated work.
-    pub fn schedule_nodefer(&mut self, at: Time, pe: PeId, ev: Box<dyn Any>) {
-        debug_assert!(at >= self.now);
-        self.events.push(at, Event::MachineNow(pe, ev));
+    pub fn schedule_nodefer(&mut self, at: Time, pe: PeId, ev: Box<dyn Any + Send>) {
+        self.push_event(at, Event::MachineNow(pe, ev));
     }
 
     /// Charge `ns` of protocol-processing time to `pe`, starting no earlier
@@ -587,8 +861,9 @@ impl MachineCtx<'_> {
         if ns == 0 {
             return;
         }
-        let st = &mut self.pes[pe as usize];
-        let start = st.busy_until.max(self.now);
+        let now = self.now;
+        let st = self.pe_state_mut(pe);
+        let start = st.busy_until.max(now);
         st.busy_until = start + ns;
         self.trace.record(pe, start, ns, Kind::Overhead);
     }
@@ -600,8 +875,9 @@ impl MachineCtx<'_> {
         if ns == 0 {
             return;
         }
-        let st = &mut self.pes[pe as usize];
-        let start = st.busy_until.max(self.now);
+        let now = self.now;
+        let st = self.pe_state_mut(pe);
+        let start = st.busy_until.max(now);
         st.busy_until = start + ns;
         self.trace.record(pe, start, ns, Kind::Recovery);
     }
@@ -613,6 +889,718 @@ impl MachineCtx<'_> {
     }
 }
 
+impl ClusterStats {
+    /// Accumulate a buffered per-event delta (all counters are sums).
+    fn add(&mut self, o: &ClusterStats) {
+        self.events += o.events;
+        for i in 0..self.event_kinds.len() {
+            self.event_kinds[i] += o.event_kinds[i];
+        }
+        self.handlers_run += o.handlers_run;
+        self.msgs_sent += o.msgs_sent;
+        self.msgs_delivered += o.msgs_delivered;
+        self.bytes_sent += o.bytes_sent;
+        self.net_msgs += o.net_msgs;
+        self.net_bytes += o.net_bytes;
+    }
+}
+
+/// Shared read-only context needed to execute a PE-local event, usable
+/// from worker threads (everything in here is `Sync`).
+struct ExecEnv<'a> {
+    cfg: &'a ClusterCfg,
+    #[allow(clippy::type_complexity)]
+    handlers: &'a [Arc<dyn Fn(&mut PeCtx, Envelope) + Send + Sync>],
+    charm_reg: &'a CharmRegistry,
+    system_handlers: &'a std::collections::HashSet<u16>,
+}
+
+/// Buffered side effects of one event execution: everything that touches
+/// state outside the owning partition. Replayed in canonical key order.
+#[derive(Default)]
+struct ExecOut {
+    stats: ClusterStats,
+    trace: Vec<TraceOp>,
+    cmds: Vec<(EvKey, Event)>,
+    stop: bool,
+}
+
+impl ExecOut {
+    fn clear(&mut self) {
+        self.stats = ClusterStats::default();
+        self.trace.clear();
+        self.cmds.clear();
+        self.stop = false;
+    }
+}
+
+/// One executed event's buffered effects, in partition execution (= key)
+/// order. The trace ops live in a per-partition stream (`trace_ops`);
+/// `trace_n` is this record's run length in it.
+struct FxRec {
+    key: Arc<EvKey>,
+    stats: ClusterStats,
+    trace_n: u32,
+    stop: bool,
+}
+
+/// Per-partition state owned by one worker during a parallel window.
+pub(crate) struct PartData {
+    base_pe: u32,
+    pes: Vec<PeState>,
+    q: KeyedQueue<Event>,
+    /// Global push-ordinal watermark at the start of the current phase
+    /// (the `epoch` of every `Child` key minted this phase).
+    epoch: u64,
+    fx: Vec<FxRec>,
+    trace_ops: Vec<TraceOp>,
+    cmds: Vec<(EvKey, Event)>,
+    scratch: ExecOut,
+}
+
+/// Execute one PE-local event (`PeRun` or `Deliver`) exactly as the
+/// sequential engine's `dispatch`/`pe_run` would, with effects buffered
+/// into `out` and pushes keyed by `mk_key(push_idx, at)`.
+///
+/// Mirrors `Cluster::dispatch` (Deliver arm) and `Cluster::pe_run` — keep
+/// the two in sync; the differential tests in `tests/` compare them
+/// bit for bit. (The sequential path stays separate so `threads = 1` pays
+/// none of the buffering cost.)
+#[allow(clippy::too_many_arguments)] // mirrors dispatch()'s full PE context
+fn exec_local_event(
+    env: &ExecEnv,
+    pes: &mut [PeState],
+    base_pe: u32,
+    q: &mut KeyedQueue<Event>,
+    t: Time,
+    ev: Event,
+    mut mk_key: impl FnMut(u32, Time) -> EvKey,
+    out: &mut ExecOut,
+) {
+    out.clear();
+    match ev {
+        Event::Deliver(pe, bytes) => {
+            out.stats.events += 1;
+            out.stats.event_kinds[1] += 1;
+            let menv = Envelope::decode(&bytes);
+            debug_assert_eq!(menv.dst_pe, pe);
+            out.stats.msgs_delivered += 1;
+            out.trace.push(TraceOp::CountMsg(pe));
+            let st = &mut pes[(pe - base_pe) as usize];
+            if !env.system_handlers.contains(&menv.handler.0) {
+                st.qd.delivered += 1;
+            }
+            let seq = st.queue_seq;
+            st.queue_seq += 1;
+            st.queue.push(std::cmp::Reverse(PrioEnv {
+                prio: menv.priority,
+                seq,
+                env: menv,
+            }));
+            if !st.run_scheduled {
+                st.run_scheduled = true;
+                let at = t.max(st.busy_until);
+                q.push(mk_key(0, at), Event::PeRun(pe));
+            }
+        }
+        Event::PeRun(pe) => {
+            out.stats.events += 1;
+            out.stats.event_kinds[0] += 1;
+            let sti = (pe - base_pe) as usize;
+            if pes[sti].busy_until > t {
+                let at = pes[sti].busy_until;
+                q.push(mk_key(0, at), Event::PeRun(pe));
+                return;
+            }
+            let Some(std::cmp::Reverse(PrioEnv { env: menv, .. })) = pes[sti].queue.pop() else {
+                pes[sti].run_scheduled = false;
+                return;
+            };
+            let handler = env
+                .handlers
+                .get(menv.handler.0 as usize)
+                .unwrap_or_else(|| panic!("unregistered handler {:?}", menv.handler))
+                .clone();
+
+            let mut outbox: Vec<(Time, Event)> = Vec::new();
+            let mut stop = false;
+            // QD forces the sequential engine; handlers here never touch it.
+            let mut no_qd: Option<QdState> = None;
+            let (charged_app, charged_ovh) = {
+                let st = &mut pes[sti];
+                let mut ctx = PeCtx {
+                    pe,
+                    start: t,
+                    charged_app: 0,
+                    charged_ovh: 0,
+                    cfg: env.cfg,
+                    user: &mut st.user,
+                    rng: &mut st.rng,
+                    charm_pe: &mut st.charm,
+                    charm_reg: env.charm_reg,
+                    outbox: &mut outbox,
+                    stop: &mut stop,
+                    next_persistent: &mut st.next_persistent,
+                    stats: &mut out.stats,
+                    qd_pe: &mut st.qd,
+                    qd_global: &mut no_qd,
+                    system_handlers: env.system_handlers,
+                };
+                handler(&mut ctx, menv);
+                (ctx.charged_app, ctx.charged_ovh)
+            };
+            out.stats.handlers_run += 1;
+
+            let total = charged_app + charged_ovh + env.cfg.sched_overhead;
+            out.trace
+                .push(TraceOp::Record(pe, t, charged_app, Kind::Busy));
+            out.trace.push(TraceOp::Record(
+                pe,
+                t + charged_app,
+                charged_ovh + env.cfg.sched_overhead,
+                Kind::Overhead,
+            ));
+
+            let mut idx = 0u32;
+            for (at, ev) in outbox {
+                let key = mk_key(idx, at);
+                idx += 1;
+                match &ev {
+                    // Handler Delivers are self-send loopback: always this PE.
+                    Event::Deliver(..) => q.push(key, ev),
+                    Event::Cmd(..) => out.cmds.push((key, ev)),
+                    _ => unreachable!("handlers only emit Deliver/Cmd"),
+                }
+            }
+            out.stop = stop;
+
+            let st = &mut pes[sti];
+            st.busy_until = t + total;
+            if st.queue.is_empty() {
+                st.run_scheduled = false;
+            } else {
+                q.push(mk_key(idx, st.busy_until), Event::PeRun(pe));
+            }
+        }
+        _ => unreachable!("partition queues hold only PeRun/Deliver"),
+    }
+}
+
+/// Upper bound on events one partition executes per parallel window, so
+/// the `max_events` safety valve is checked (on the main thread) with
+/// bounded overshoot.
+const PHASE_CAP: usize = 4096;
+
+/// One partition's parallel window: run PE-local events in canonical key
+/// order while `t < min(p_end, first own Cmd, global halt)`. Stopping
+/// early for any reason is always safe — unprocessed events simply stay
+/// queued for the next serial phase.
+fn phase_run(part: &mut PartData, p_end: Time, env: &ExecEnv, halt: &AtomicU64) {
+    // First Cmd this partition emits bounds it: the command executes later
+    // (serially, in canonical order) and may extend the issuing PE's busy
+    // window, so events at or after its timestamp must wait.
+    let mut bound = p_end;
+    let mut scratch = std::mem::take(&mut part.scratch);
+    for _ in 0..PHASE_CAP {
+        let lim = bound.min(halt.load(Ordering::Relaxed));
+        let Some(t) = part.q.peek_time() else { break };
+        if t >= lim {
+            break;
+        }
+        let (key, ev) = part.q.pop().expect("peeked");
+        let key = Arc::new(key);
+        let epoch = part.epoch;
+        {
+            let PartData {
+                base_pe, pes, q, ..
+            } = &mut *part;
+            exec_local_event(
+                env,
+                pes,
+                *base_pe,
+                q,
+                t,
+                ev,
+                |idx, at| EvKey::child(at, epoch, &key, idx),
+                &mut scratch,
+            );
+        }
+        for (k, ev) in scratch.cmds.drain(..) {
+            bound = bound.min(k.t);
+            if matches!(&ev, Event::Cmd(_, Cmd::CreatePersistent { .. })) {
+                // Persistent-channel setup charges the *remote* PE when it
+                // executes; halt every partition at its timestamp so that
+                // charge sees sequential busy state (see DESIGN.md §10).
+                halt.fetch_min(k.t, Ordering::Relaxed);
+            }
+            part.cmds.push((k, ev));
+        }
+        if scratch.stop {
+            halt.fetch_min(t, Ordering::Relaxed);
+        }
+        part.fx.push(FxRec {
+            key,
+            stats: scratch.stats.clone(),
+            trace_n: scratch.trace.len() as u32,
+            stop: scratch.stop,
+        });
+        part.trace_ops.append(&mut scratch.trace);
+    }
+    part.scratch = scratch;
+}
+
+/// Main-thread half of the parallel driver: harvests window output,
+/// executes the canonical serial frontier (machine layer, commands, ties),
+/// and decides the next window.
+struct ParDriver<'a> {
+    cfg: &'a ClusterCfg,
+    #[allow(clippy::type_complexity)]
+    handlers: &'a [Arc<dyn Fn(&mut PeCtx, Envelope) + Send + Sync>],
+    charm_reg: &'a CharmRegistry,
+    system_handlers: &'a std::collections::HashSet<u16>,
+    layer: &'a mut Option<Box<dyn MachineLayer>>,
+    trace: &'a mut Trace,
+    stats: &'a mut ClusterStats,
+    pe_part: &'a [u32],
+    serial: KeyedQueue<Event>,
+    ord: u64,
+    now: Time,
+    stopped: bool,
+    lookahead: Time,
+    halt: &'a AtomicU64,
+    scratch: ExecOut,
+}
+
+impl ParDriver<'_> {
+    fn pe_mut<'p>(&self, parts: &'p mut [PartData], pe: PeId) -> &'p mut PeState {
+        let p = &mut parts[self.pe_part[pe as usize] as usize];
+        let base = p.base_pe;
+        &mut p.pes[(pe - base) as usize]
+    }
+
+    /// The serial phase. Returns `Some(p_end)` to run a parallel window
+    /// with that bound, `None` when the run is complete.
+    fn step(&mut self, parts: &mut [PartData]) -> Option<Time> {
+        // ---- harvest the previous window ----
+        if parts.iter().any(|p| !p.fx.is_empty()) {
+            let stop_key: Option<Arc<EvKey>> = parts
+                .iter()
+                .flat_map(|p| p.fx.iter().filter(|f| f.stop).map(|f| &f.key))
+                .min_by(|a, b| a.cmp(b))
+                .cloned();
+            if let Some(kstar) = stop_key {
+                self.finish_stop(parts, &kstar);
+                return None;
+            }
+            self.replay_fx(parts);
+            for p in parts.iter_mut() {
+                for (k, ev) in p.cmds.drain(..) {
+                    self.serial.push(k, ev);
+                }
+            }
+            self.flatten(parts);
+        }
+
+        // ---- canonical serial frontier ----
+        loop {
+            if self.stats.events >= self.cfg.max_events {
+                panic!(
+                    "simulation exceeded max_events={} at t={}",
+                    self.cfg.max_events, self.now
+                );
+            }
+            let t_s = self.serial.peek_time().unwrap_or(u64::MAX);
+            let t_l = parts
+                .iter()
+                .filter_map(|p| p.q.peek_time())
+                .min()
+                .unwrap_or(u64::MAX);
+            if t_s == u64::MAX && t_l == u64::MAX {
+                return None; // drained
+            }
+            if t_l < t_s {
+                let p_end = t_s.min(t_l.saturating_add(self.lookahead));
+                let ready = parts
+                    .iter()
+                    .filter(|p| p.q.peek_time().is_some_and(|t| t < p_end))
+                    .count();
+                if ready >= 2 {
+                    // Hand off: at least two partitions have work strictly
+                    // inside the window.
+                    self.halt.store(u64::MAX, Ordering::Relaxed);
+                    for p in parts.iter_mut() {
+                        p.epoch = self.ord;
+                    }
+                    return Some(p_end);
+                }
+                // Single-partition window: run the canonical min inline
+                // (cheaper than a barrier round-trip).
+                let pi = self.min_part(parts).expect("partition head exists");
+                let (key, ev) = parts[pi].q.pop().expect("peeked");
+                // `now` is the furthest virtual time reached (harvested
+                // window effects may already sit past a pending command's
+                // timestamp, so it is a running max, not a monotone clock).
+                self.now = self.now.max(key.t);
+                self.exec_inline(&mut parts[pi], key.t, ev);
+            } else {
+                // Serial head is at or before every partition head; the
+                // canonical min is decided by full key comparison (time
+                // ties between a layer event and a PE event are real).
+                let part_min = self.min_part(parts);
+                let serial_first = match (self.serial.peek_key(), part_min) {
+                    (Some(sk), Some(pi)) => sk < parts[pi].q.peek_key().expect("head"),
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => unreachable!("checked above"),
+                };
+                if serial_first {
+                    let (key, ev) = self.serial.pop().expect("peeked");
+                    self.now = self.now.max(key.t);
+                    self.exec_serial(parts, key.t, ev);
+                } else {
+                    let pi = part_min.expect("partition head exists");
+                    let (key, ev) = parts[pi].q.pop().expect("peeked");
+                    self.now = self.now.max(key.t);
+                    self.exec_inline(&mut parts[pi], key.t, ev);
+                }
+            }
+            if self.stopped {
+                return None;
+            }
+        }
+    }
+
+    /// Index of the partition holding the smallest queue head key.
+    fn min_part(&self, parts: &[PartData]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, p) in parts.iter().enumerate() {
+            if let Some(k) = p.q.peek_key() {
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        if k < parts[b].q.peek_key().expect("head") {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Execute a PE-local event on the main thread with immediate effect
+    /// application and `Flat` push ordinals — exactly the sequential
+    /// semantics.
+    fn exec_inline(&mut self, part: &mut PartData, t: Time, ev: Event) {
+        let env = ExecEnv {
+            cfg: self.cfg,
+            handlers: self.handlers,
+            charm_reg: self.charm_reg,
+            system_handlers: self.system_handlers,
+        };
+        let mut ord = self.ord;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        {
+            let PartData {
+                base_pe, pes, q, ..
+            } = &mut *part;
+            exec_local_event(
+                &env,
+                pes,
+                *base_pe,
+                q,
+                t,
+                ev,
+                |_, at| {
+                    let k = EvKey::flat(at, ord);
+                    ord += 1;
+                    k
+                },
+                &mut scratch,
+            );
+        }
+        self.ord = ord;
+        self.stats.add(&scratch.stats);
+        for op in &scratch.trace {
+            self.trace.apply(op);
+        }
+        for (k, ev) in scratch.cmds.drain(..) {
+            self.serial.push(k, ev);
+        }
+        if scratch.stop {
+            self.stopped = true;
+        }
+        self.scratch = scratch;
+    }
+
+    /// Execute a serial-class event (machine layer, command, parked wake)
+    /// — the parallel-mode mirror of `Cluster::dispatch`'s layer arms.
+    fn exec_serial(&mut self, parts: &mut [PartData], t: Time, ev: Event) {
+        self.stats.events += 1;
+        self.stats.event_kinds[match &ev {
+            Event::PeRun(_) => 0,
+            Event::Deliver(..) => 1,
+            Event::Machine(..) | Event::ParkedWake(_) => 2,
+            Event::MachineNow(..) => 3,
+            Event::Cmd(..) => 4,
+        }] += 1;
+        match ev {
+            Event::Machine(pe, mev) => {
+                let st = self.pe_mut(parts, pe);
+                if st.busy_until > t {
+                    st.parked.push_back(mev);
+                    if !st.parked_wake {
+                        st.parked_wake = true;
+                        let at = st.busy_until;
+                        let k = EvKey::flat(at, self.ord);
+                        self.ord += 1;
+                        self.serial.push(k, Event::ParkedWake(pe));
+                    }
+                    return;
+                }
+                self.with_layer(parts, t, None, |layer, ctx| layer.on_event(ctx, pe, mev));
+            }
+            Event::MachineNow(pe, mev) => {
+                self.with_layer(parts, t, None, |layer, ctx| layer.on_event(ctx, pe, mev));
+            }
+            Event::ParkedWake(pe) => {
+                self.pe_mut(parts, pe).parked_wake = false;
+                loop {
+                    let st = self.pe_mut(parts, pe);
+                    if st.parked.is_empty() {
+                        break;
+                    }
+                    if st.busy_until > t {
+                        if !st.parked_wake {
+                            st.parked_wake = true;
+                            let at = st.busy_until;
+                            let k = EvKey::flat(at, self.ord);
+                            self.ord += 1;
+                            self.serial.push(k, Event::ParkedWake(pe));
+                        }
+                        break;
+                    }
+                    let mev = st.parked.pop_front().expect("non-empty");
+                    self.with_layer(parts, t, None, |layer, ctx| layer.on_event(ctx, pe, mev));
+                }
+            }
+            Event::Cmd(pe, cmd) => {
+                let cur = Some(self.pe_part[pe as usize]);
+                self.with_layer(parts, t, cur, |layer, ctx| match cmd {
+                    Cmd::Send { dst, msg } => layer.sync_send(ctx, pe, dst, msg),
+                    Cmd::CreatePersistent {
+                        dst,
+                        max_bytes,
+                        handle,
+                    } => layer.create_persistent(ctx, pe, dst, max_bytes, handle),
+                    Cmd::SendPersistent { handle, dst, msg } => {
+                        layer.send_persistent(ctx, handle, pe, dst, msg)
+                    }
+                });
+            }
+            Event::PeRun(_) | Event::Deliver(..) => {
+                unreachable!("PE-local events live in partition queues")
+            }
+        }
+    }
+
+    fn with_layer(
+        &mut self,
+        parts: &mut [PartData],
+        t: Time,
+        cur_part: Option<u32>,
+        f: impl FnOnce(&mut dyn MachineLayer, &mut MachineCtx),
+    ) {
+        let mut layer = self.layer.take().expect("machine layer reentrancy");
+        {
+            let mut ctx = MachineCtx {
+                now: t,
+                cfg: self.cfg,
+                back: McBack::Par {
+                    parts,
+                    pe_part: self.pe_part,
+                    serial: &mut self.serial,
+                    ord: &mut self.ord,
+                    cur_part,
+                    lookahead: self.lookahead,
+                },
+                trace: &mut *self.trace,
+                stats: &mut *self.stats,
+            };
+            f(layer.as_mut(), &mut ctx);
+        }
+        *self.layer = Some(layer);
+    }
+
+    /// Replay buffered window effects in canonical key order (k-way merge
+    /// across the per-partition, already-sorted effect streams).
+    fn replay_fx(&mut self, parts: &mut [PartData]) {
+        let n = parts.len();
+        let mut fi = vec![0usize; n];
+        let mut ti = vec![0usize; n];
+        loop {
+            let mut best: Option<usize> = None;
+            for i in 0..n {
+                if fi[i] < parts[i].fx.len() {
+                    match best {
+                        None => best = Some(i),
+                        Some(b) => {
+                            if parts[i].fx[fi[i]].key < parts[b].fx[fi[b]].key {
+                                best = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(b) = best else { break };
+            let rec = &parts[b].fx[fi[b]];
+            self.now = self.now.max(rec.key.t);
+            self.stats.add(&rec.stats);
+            for k in 0..rec.trace_n as usize {
+                self.trace.apply(&parts[b].trace_ops[ti[b] + k]);
+            }
+            ti[b] += rec.trace_n as usize;
+            fi[b] += 1;
+        }
+        for p in parts.iter_mut() {
+            p.fx.clear();
+            p.trace_ops.clear();
+        }
+    }
+
+    /// Re-key every pending event with fresh `Flat` ordinals in canonical
+    /// order, so `Child` key chains never outlive the window that minted
+    /// them (bounds comparison and drop recursion depth).
+    fn flatten(&mut self, parts: &mut [PartData]) {
+        let mut all: Vec<(EvKey, Event)> = self.serial.drain_sorted();
+        for p in parts.iter_mut() {
+            all.extend(p.q.drain_sorted());
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, ev) in all {
+            let nk = EvKey::flat(k.t, self.ord);
+            self.ord += 1;
+            match &ev {
+                Event::PeRun(pe) | Event::Deliver(pe, _) => {
+                    parts[self.pe_part[*pe as usize] as usize].q.push(nk, ev)
+                }
+                _ => self.serial.push(nk, ev),
+            }
+        }
+    }
+
+    /// A window discovered a stop at canonical key `kstar`. Events with
+    /// larger keys are discarded (the sequential engine never reaches
+    /// them); events with smaller keys that other partitions had not yet
+    /// processed (windows may end early on Cmd bounds or the event cap)
+    /// are executed here, interleaved with the buffered effect replay in
+    /// one canonical key-ordered pass.
+    fn finish_stop(&mut self, parts: &mut [PartData], kstar: &Arc<EvKey>) {
+        // Merge window commands below the stop into the serial queue and
+        // prune everything at/after the stop key.
+        for p in parts.iter_mut() {
+            for (k, ev) in p.cmds.drain(..) {
+                if k < **kstar {
+                    self.serial.push(k, ev);
+                }
+            }
+            for (k, ev) in p.q.drain_sorted() {
+                if k < **kstar {
+                    p.q.push(k, ev);
+                }
+            }
+        }
+        // (Serial-queue events all sit at/after the window bound, hence
+        // after the stop time; they are pruned by the key check below.)
+        let n = parts.len();
+        let mut fi = vec![0usize; n];
+        let mut ti = vec![0usize; n];
+        loop {
+            // Next buffered effect record at or below kstar.
+            let mut best: Option<usize> = None;
+            for i in 0..n {
+                while fi[i] < parts[i].fx.len() && parts[i].fx[fi[i]].key > *kstar {
+                    // Executed past the stop: effects discarded. (Partition
+                    // state mutated by such events is unobservable: the run
+                    // ends at the stop and suite apps are quiescent there.)
+                    ti[i] += parts[i].fx[fi[i]].trace_n as usize;
+                    fi[i] += 1;
+                }
+                if fi[i] < parts[i].fx.len() {
+                    match best {
+                        None => best = Some(i),
+                        Some(b) => {
+                            if parts[i].fx[fi[i]].key < parts[b].fx[fi[b]].key {
+                                best = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            // Next unexecuted event below kstar.
+            let qpart = self.min_part(parts);
+            let qserial = self.serial.peek_key();
+            let qkey: Option<EvKey> = match (qserial, qpart) {
+                (Some(sk), Some(pi)) => Some(sk.min(parts[pi].q.peek_key().expect("head")).clone()),
+                (Some(sk), None) => Some(sk.clone()),
+                (None, Some(pi)) => Some(parts[pi].q.peek_key().expect("head").clone()),
+                (None, None) => None,
+            };
+            let fx_key = best.map(|b| Arc::clone(&parts[b].fx[fi[b]].key));
+            match (fx_key, qkey) {
+                (None, None) => break,
+                (Some(fk), qk) if qk.as_ref().is_none_or(|q| *fk < *q) => {
+                    let b = best.expect("fx present");
+                    let rec = &parts[b].fx[fi[b]];
+                    self.now = self.now.max(rec.key.t);
+                    self.stats.add(&rec.stats);
+                    for k in 0..rec.trace_n as usize {
+                        self.trace.apply(&parts[b].trace_ops[ti[b] + k]);
+                    }
+                    ti[b] += rec.trace_n as usize;
+                    let stop_here = rec.stop;
+                    fi[b] += 1;
+                    if stop_here {
+                        break; // kstar itself: the run ends here.
+                    }
+                }
+                (_, Some(qk)) => {
+                    if qk > **kstar {
+                        // Pushed during this drain, lands after the stop.
+                        if self.serial.peek_key() == Some(&qk) {
+                            self.serial.pop();
+                        } else {
+                            let pi = self.min_part(parts).expect("head");
+                            parts[pi].q.pop();
+                        }
+                        continue;
+                    }
+                    self.now = self.now.max(qk.t);
+                    if self.serial.peek_key() == Some(&qk) {
+                        let (key, ev) = self.serial.pop().expect("head");
+                        self.exec_serial(parts, key.t, ev);
+                    } else {
+                        let pi = self.min_part(parts).expect("head");
+                        let (key, ev) = parts[pi].q.pop().expect("head");
+                        self.exec_inline(&mut parts[pi], key.t, ev);
+                    }
+                    if self.stopped {
+                        // An earlier event also stopped: it wins outright.
+                        return;
+                    }
+                }
+                (Some(_), None) => unreachable!("first guard covers fx-only"),
+            }
+        }
+        self.now = self.now.max(kstar.t);
+        self.stopped = true;
+        for p in parts.iter_mut() {
+            p.fx.clear();
+            p.trace_ops.clear();
+        }
+    }
+}
+
 /// What an application handler sees: the Converse/Charm API.
 pub struct PeCtx<'a> {
     pe: PeId,
@@ -620,7 +1608,7 @@ pub struct PeCtx<'a> {
     charged_app: Time,
     charged_ovh: Time,
     cfg: &'a ClusterCfg,
-    user: &'a mut Box<dyn Any>,
+    user: &'a mut Box<dyn Any + Send>,
     rng: &'a mut DetRng,
     pub(crate) charm_pe: &'a mut CharmPe,
     pub(crate) charm_reg: &'a CharmRegistry,
@@ -736,7 +1724,10 @@ impl PeCtx<'_> {
     /// layer binds the handle when the command reaches it (sends issued
     /// after this call on this PE are ordered behind the creation).
     pub fn create_persistent(&mut self, dst: PeId, max_bytes: u64) -> PersistentHandle {
-        let handle = PersistentHandle(*self.next_persistent);
+        // Handles are per-PE namespaced so the value does not depend on the
+        // global interleaving of create calls (identical in run and
+        // run_parallel).
+        let handle = PersistentHandle(((self.pe as u64) << 32) | *self.next_persistent);
         *self.next_persistent += 1;
         let at = self.now();
         self.outbox.push((
@@ -952,6 +1943,68 @@ mod tests {
         c.inject(0, 0, kick, Bytes::new());
         c.run();
         assert_eq!(c.user::<Vec<u16>>(0), &vec![5, 5, 100, 900]);
+    }
+
+    /// Random fan-out traffic over 4 nodes, run at a given thread count.
+    /// Returns everything the parallel engine must reproduce bit for bit.
+    fn fanout_run(threads: u32, stop_at: Option<u64>) -> (RunReport, Time, Time, u64, String) {
+        let mut cfg = ClusterCfg::new(16, 4);
+        cfg.threads = threads;
+        let mut c = Cluster::new(cfg, Box::new(IdealLayer::new(1000)));
+        c.enable_trace_log();
+        let h = c.register_handler(move |ctx, env| {
+            let n = wire::unpack_u64(&env.payload, 0);
+            ctx.charge(300 + (n % 7) * 40);
+            if stop_at == Some(n) {
+                ctx.stop();
+                return;
+            }
+            if n > 0 {
+                let dst = ctx.rng().below(16) as u32;
+                ctx.send(dst, env.handler, wire::pack_u64s(&[n - 1]));
+                if n.is_multiple_of(3) {
+                    let dst2 = ctx.rng().below(16) as u32;
+                    ctx.send(dst2, env.handler, wire::pack_u64s(&[n / 2]));
+                }
+            }
+        });
+        for pe in 0..16 {
+            c.inject(0, pe, h, wire::pack_u64s(&[24 + pe as u64]));
+        }
+        let r = c.run();
+        (
+            r,
+            c.trace().total_busy(),
+            c.trace().total_overhead(),
+            c.trace().total_msgs(),
+            c.trace().export_log(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = fanout_run(1, None);
+        for threads in [2, 4, 8] {
+            let par = fanout_run(threads, None);
+            assert_eq!(seq.0.end_time, par.0.end_time, "threads={threads}");
+            assert_eq!(seq.0.stats, par.0.stats, "threads={threads}");
+            assert_eq!(seq.1, par.1, "busy, threads={threads}");
+            assert_eq!(seq.2, par.2, "overhead, threads={threads}");
+            assert_eq!(seq.3, par.3, "msgs, threads={threads}");
+            assert_eq!(seq.4, par.4, "trace log, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_stop() {
+        let seq = fanout_run(1, Some(5));
+        assert!(seq.0.stopped_early);
+        for threads in [2, 4] {
+            let par = fanout_run(threads, Some(5));
+            assert_eq!(seq.0.end_time, par.0.end_time, "threads={threads}");
+            assert_eq!(seq.0.stats, par.0.stats, "threads={threads}");
+            assert_eq!(seq.4, par.4, "trace log, threads={threads}");
+        }
     }
 
     #[test]

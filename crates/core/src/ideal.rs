@@ -39,6 +39,11 @@ impl MachineLayer for IdealLayer {
 
     fn init(&mut self, _ctx: &mut MachineCtx) {}
 
+    fn lookahead(&self) -> Time {
+        // Every delivery lands exactly one latency after the send.
+        self.latency.max(1)
+    }
+
     fn sync_send(&mut self, ctx: &mut MachineCtx, _src_pe: PeId, dst_pe: PeId, msg: Bytes) {
         self.msgs += 1;
         self.bytes += msg.len() as u64;
@@ -46,7 +51,7 @@ impl MachineLayer for IdealLayer {
         ctx.deliver_at(ctx.now() + self.latency, dst_pe, msg);
     }
 
-    fn on_event(&mut self, _ctx: &mut MachineCtx, _pe: PeId, _ev: Box<dyn Any>) {
+    fn on_event(&mut self, _ctx: &mut MachineCtx, _pe: PeId, _ev: Box<dyn Any + Send>) {
         unreachable!("IdealLayer schedules no machine events");
     }
 }

@@ -46,7 +46,9 @@ pub mod trace;
 /// The commonly used names, for `use charm_rt::prelude::*`.
 pub mod prelude {
     pub use crate::charm::{ArrayId, EntryId, RedOp, CHARM_HANDLER};
-    pub use crate::cluster::{Cluster, ClusterCfg, MachineCtx, PeCtx, RunReport};
+    pub use crate::cluster::{
+        default_threads, set_default_threads, Cluster, ClusterCfg, MachineCtx, PeCtx, RunReport,
+    };
     pub use crate::ideal::IdealLayer;
     pub use crate::lrts::{MachineLayer, PersistentHandle};
     pub use crate::msg::{wire, Envelope, HandlerId, PeId};

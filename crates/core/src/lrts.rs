@@ -51,7 +51,16 @@ pub trait MachineLayer {
     /// Progress engine: a machine-specific event fired (SMSG arrival, CQ
     /// completion, retry timer, ...). Events are delivered when the owning
     /// PE is free, modeling progress made between handler executions.
-    fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any>);
+    fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any + Send>);
+
+    /// Conservative lookahead (ns) for parallel execution: a lower bound on
+    /// the virtual latency of any cross-node interaction this layer can
+    /// produce. The parallel driver sizes its bounded time windows with
+    /// this; correctness never depends on it (the serial phase orders all
+    /// layer work canonically), so a conservative 1 is always safe.
+    fn lookahead(&self) -> sim_core::Time {
+        1
+    }
 
     /// `LrtsCreatePersistent`: set up a persistent channel from `src_pe`
     /// to `dst_pe` with a pre-allocated receive buffer of `max_bytes`.

@@ -58,13 +58,14 @@ const QD_COORDINATOR: PeId = 0;
 /// `client_pe` when quiescence is detected. Must be called before `run`.
 pub fn register(cluster: &mut Cluster, client: HandlerId, client_pe: PeId, period: Time) -> Qd {
     // Handler: coordinator asks every PE for its counters.
-    let report_cell = std::rc::Rc::new(std::cell::Cell::new(HandlerId(u16::MAX)));
+    // thread-ok: write-once handler-id cell, set before the run starts.
+    let report_cell = std::sync::Arc::new(std::sync::OnceLock::new());
     let rc = report_cell.clone();
     let collect = cluster.register_handler(move |ctx, _env| {
         let (sent, delivered) = ctx.qd_counters();
         ctx.send(
             QD_COORDINATOR,
-            rc.get(),
+            *rc.get().expect("report handler registered"),
             wire::pack_u64s(&[sent, delivered]),
         );
     });
@@ -105,7 +106,7 @@ pub fn register(cluster: &mut Cluster, client: HandlerId, client_pe: PeId, perio
             None => {}
         }
     });
-    report_cell.set(report);
+    report_cell.set(report).expect("set once");
     cluster.install_qd(
         QdState {
             client: (client, client_pe),

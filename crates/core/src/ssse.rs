@@ -34,21 +34,21 @@ impl Ssse {
     /// The per-PE [`SsseStats`] lives alongside the user state `U`.
     pub fn register<U: 'static>(
         cluster: &mut Cluster,
-        f: impl Fn(&mut PeCtx, &Ssse, Bytes) + 'static,
+        f: impl Fn(&mut PeCtx, &Ssse, Bytes) + Send + Sync + 'static,
     ) -> Ssse {
         // Self-referential handler: the task function gets the Ssse handle
         // so it can spawn children. HandlerId is assigned before the
         // closure can run, so materialize it in a cell.
-        let cell = std::rc::Rc::new(std::cell::Cell::new(HandlerId(u16::MAX)));
+        // thread-ok: write-once handler-id cell, set before the run starts.
+        let cell = std::sync::Arc::new(std::sync::OnceLock::new());
         let cell2 = cell.clone();
         let h = cluster.register_handler(move |ctx, env| {
             let me = Ssse {
-                handler: cell2.get(),
+                handler: *cell2.get().expect("ssse handler registered"),
             };
-            debug_assert_ne!(me.handler.0, u16::MAX);
             f(ctx, &me, env.payload);
         });
-        cell.set(h);
+        cell.set(h).expect("set once");
         Ssse { handler: h }
     }
 

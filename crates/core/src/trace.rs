@@ -30,6 +30,18 @@ struct Acc {
     rec: Time,
 }
 
+/// One buffered trace mutation from a parallel-phase event execution
+/// (see `cluster.rs`). Workers cannot touch the shared [`Trace`], so they
+/// record these and the driver replays them in canonical event order at
+/// the window barrier — reproducing the exact `record`/`count_msg` call
+/// sequence of the sequential engine (which the per-PE pending-segment
+/// buffering and the raw log depend on).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TraceOp {
+    Record(PeId, Time, Time, Kind),
+    CountMsg(PeId),
+}
+
 /// One row of a rendered time profile.
 #[derive(Debug, Clone, Copy)]
 pub struct ProfileRow {
@@ -143,6 +155,14 @@ impl Trace {
 
     pub fn count_msg(&mut self, pe: PeId) {
         self.msgs[pe as usize] += 1;
+    }
+
+    /// Replay one buffered [`TraceOp`].
+    pub(crate) fn apply(&mut self, op: &TraceOp) {
+        match *op {
+            TraceOp::Record(pe, start, dur, kind) => self.record(pe, start, dur, kind),
+            TraceOp::CountMsg(pe) => self.count_msg(pe),
+        }
     }
 
     pub fn num_pes(&self) -> u32 {

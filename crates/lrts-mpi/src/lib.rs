@@ -85,6 +85,11 @@ impl MachineLayer for MpiLayer {
         self
     }
 
+    fn lookahead(&self) -> Time {
+        // MPI rides the same Gemini wires: the uGNI latency floor holds.
+        self.cfg.params.conservative_lookahead()
+    }
+
     fn init(&mut self, ctx: &mut MachineCtx) {
         self.poll_armed = vec![Time::MAX; ctx.num_pes() as usize];
         self.mpi = Some(MpiSim::new(
@@ -124,7 +129,7 @@ impl MachineLayer for MpiLayer {
         }
     }
 
-    fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any>) {
+    fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any + Send>) {
         match *ev.downcast::<Ev>().expect("foreign machine event") {
             Ev::Poll => {
                 self.poll_armed[pe as usize] = Time::MAX;

@@ -964,6 +964,10 @@ impl MachineLayer for UgniLayer {
         self
     }
 
+    fn lookahead(&self) -> Time {
+        self.cfg.params.conservative_lookahead()
+    }
+
     fn init(&mut self, ctx: &mut MachineCtx) {
         let mut gni = LGni::new(self.cfg.params.clone(), ctx.num_nodes());
         for _pe in 0..ctx.num_pes() {
@@ -1042,7 +1046,7 @@ impl MachineLayer for UgniLayer {
         ctx.schedule_nodefer(at, src_pe, Box::new(Ev::StartRendezvous { xid }));
     }
 
-    fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any>) {
+    fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any + Send>) {
         let ev = *ev.downcast::<Ev>().expect("foreign machine event");
         match ev {
             Ev::PollSmsg => self.drain_smsg(ctx, pe),

@@ -19,6 +19,7 @@
 //! assert_eq!((t, ev), (1_000, "sooner"));
 //! ```
 
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -27,3 +28,8 @@ pub mod time;
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::Time;
+
+/// True when the `legacy-heap` feature swapped [`EventQueue`] back to the
+/// single binary heap. The parallel driver forces `threads = 1` in that
+/// configuration (the legacy queue predates queue-ownership splitting).
+pub const LEGACY_HEAP: bool = cfg!(feature = "legacy-heap");

@@ -1,0 +1,563 @@
+//! Conservative parallel discrete-event execution primitives.
+//!
+//! This module is the only place in the simulation crates where OS threads
+//! and locks are allowed (enforced by the `no-thread-outside-parallel` lint
+//! rule). It provides the pieces a driver needs to run partitioned
+//! simulations with bounded time windows while reproducing the sequential
+//! engine's `(time, push-sequence)` event order bit for bit:
+//!
+//! * [`EvKey`] / [`PushOrd`] — canonical push-order keys. The sequential
+//!   engine orders same-time events by a global push counter; a parallel
+//!   phase cannot draw from a shared counter without racing, so events
+//!   pushed by worker threads carry a *structural* key `(parent, idx)`:
+//!   the key of the event whose execution pushed them, plus the push index
+//!   within that execution. Because the canonical execution order of the
+//!   parents determines the sequential push order of the children, comparing
+//!   these keys reproduces the sequential tie-break exactly (see
+//!   DESIGN.md §10 for the proof sketch).
+//! * [`KeyedQueue`] — a min-heap ordered by [`EvKey`], used for partition
+//!   queues and the serial queue during parallel runs.
+//! * [`SpinBarrier`] — a sense-reversing spin barrier for the phase
+//!   hand-offs (windows are microseconds of work; parking would dominate).
+//! * [`run_pool`] — a `std::thread::scope` worker pool alternating a
+//!   serial phase (main thread, exclusive access) with a parallel phase
+//!   (one worker per partition group).
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Canonical event key: virtual time plus push order. Total order over all
+/// events of one run; equals the sequential engine's `(time, seq)` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvKey {
+    pub t: Time,
+    pub ord: PushOrd,
+}
+
+/// Push-order component of an [`EvKey`].
+///
+/// `Flat(n)` is a position in the global push counter, assigned while the
+/// main thread has exclusive access (initial split, serial phases, barrier
+/// flattening). `Child` is assigned by a worker inside a parallel phase:
+/// `parent` is the key of the event whose execution performed the push,
+/// `idx` the zero-based push index within that execution, and `epoch` the
+/// global counter value when the phase started. All `Flat` keys below
+/// `epoch` were pushed before the phase (they sort first); all `Flat` keys
+/// at or above `epoch` are pushed by later serial phases (they sort after,
+/// because the canonical frontier only advances). Barriers re-flatten every
+/// pending key, so `Child` chains never outlive their phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushOrd {
+    Flat(u64),
+    Child {
+        epoch: u64,
+        parent: Arc<EvKey>,
+        idx: u32,
+    },
+}
+
+impl EvKey {
+    #[inline]
+    pub fn flat(t: Time, ord: u64) -> Self {
+        EvKey {
+            t,
+            ord: PushOrd::Flat(ord),
+        }
+    }
+
+    #[inline]
+    pub fn child(t: Time, epoch: u64, parent: &Arc<EvKey>, idx: u32) -> Self {
+        EvKey {
+            t,
+            ord: PushOrd::Child {
+                epoch,
+                parent: Arc::clone(parent),
+                idx,
+            },
+        }
+    }
+}
+
+impl Ord for PushOrd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        match (self, other) {
+            (PushOrd::Flat(a), PushOrd::Flat(b)) => a.cmp(b),
+            (PushOrd::Flat(n), PushOrd::Child { epoch, .. }) => {
+                // Flats below the phase epoch predate every push of the
+                // phase; flats at/above it come from later serial phases.
+                if n < epoch {
+                    Less
+                } else {
+                    Greater
+                }
+            }
+            (PushOrd::Child { epoch, .. }, PushOrd::Flat(n)) => {
+                if n < epoch {
+                    Greater
+                } else {
+                    Less
+                }
+            }
+            (
+                PushOrd::Child {
+                    parent: pa,
+                    idx: ia,
+                    ..
+                },
+                PushOrd::Child {
+                    parent: pb,
+                    idx: ib,
+                    ..
+                },
+            ) => {
+                // Push order of two in-phase pushes = canonical execution
+                // order of their parents, then the in-execution push index.
+                pa.cmp(pb).then(ia.cmp(ib))
+            }
+        }
+    }
+}
+impl PartialOrd for PushOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EvKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.t.cmp(&other.t).then_with(|| self.ord.cmp(&other.ord))
+    }
+}
+impl PartialOrd for EvKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct KEntry<E> {
+    key: EvKey,
+    ev: E,
+}
+impl<E> PartialEq for KEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for KEntry<E> {}
+impl<E> PartialOrd for KEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for KEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Min-heap of events ordered by explicit [`EvKey`]s (unlike
+/// [`crate::queue::EventQueue`], which assigns its own sequence numbers).
+pub struct KeyedQueue<E> {
+    heap: BinaryHeap<Reverse<KEntry<E>>>,
+}
+
+impl<E> Default for KeyedQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> KeyedQueue<E> {
+    pub fn new() -> Self {
+        KeyedQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, key: EvKey, ev: E) {
+        self.heap.push(Reverse(KEntry { key, ev }));
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<(EvKey, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.key, e.ev))
+    }
+
+    #[inline]
+    pub fn peek_key(&self) -> Option<&EvKey> {
+        self.heap.peek().map(|Reverse(e)| &e.key)
+    }
+
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.key.t)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain every pending event in canonical key order (used by barrier
+    /// flattening).
+    pub fn drain_sorted(&mut self) -> Vec<(EvKey, E)> {
+        std::mem::take(&mut self.heap)
+            .into_sorted_vec()
+            .into_iter()
+            .rev()
+            .map(|Reverse(e)| (e.key, e.ev))
+            .collect()
+    }
+}
+
+/// Contiguous, balanced ranges: split `0..units` into `parts` blocks whose
+/// sizes differ by at most one. `parts` is clamped to `units`.
+pub fn partition_ranges(units: u32, parts: u32) -> Vec<std::ops::Range<u32>> {
+    let parts = parts.clamp(1, units.max(1));
+    (0..parts)
+        .map(|p| {
+            let lo = (p as u64 * units as u64 / parts as u64) as u32;
+            let hi = ((p as u64 + 1) * units as u64 / parts as u64) as u32;
+            lo..hi
+        })
+        .collect()
+}
+
+/// Spin barrier for tight phase hand-offs. Tickets increase monotonically,
+/// so there is no reset race between consecutive barrier rounds: the
+/// arrival ticket identifies the round, and `gen` counts completed rounds.
+pub struct SpinBarrier {
+    n: usize,
+    tickets: AtomicUsize,
+    gen: AtomicUsize,
+}
+
+impl SpinBarrier {
+    pub fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            tickets: AtomicUsize::new(0),
+            gen: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn wait(&self) {
+        let ticket = self.tickets.fetch_add(1, Ordering::AcqRel);
+        let round = ticket / self.n;
+        if (ticket + 1).is_multiple_of(self.n) {
+            // Last arriver of this round: release everyone waiting on it.
+            self.gen.store(round + 1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.gen.load(Ordering::Acquire) <= round {
+            spins += 1;
+            if spins < 1 << 12 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Alternate serial and parallel phases over partitioned state `P`.
+///
+/// `serial(&mut parts)` runs on the calling thread with exclusive access to
+/// every partition; it returns the next window end `Some(p_end)` or `None`
+/// when the run is finished. `phase(&mut p, p_end)` then runs once per
+/// partition on a `std::thread::scope` worker pool (partitions are
+/// distributed round-robin over `workers` threads; with `workers <= 1`
+/// everything runs inline). Worker panics are re-raised on the caller.
+pub fn run_pool<P: Send>(
+    parts: Vec<P>,
+    workers: usize,
+    phase: impl Fn(&mut P, Time) + Sync,
+    mut serial: impl FnMut(&mut Vec<P>) -> Option<Time>,
+) -> Vec<P> {
+    let mut parts = parts;
+    if workers <= 1 || parts.len() <= 1 {
+        while let Some(p_end) = serial(&mut parts) {
+            for p in parts.iter_mut() {
+                phase(p, p_end);
+            }
+        }
+        return parts;
+    }
+
+    let n = parts.len();
+    let workers = workers.min(n);
+    let slots: Vec<Mutex<Option<P>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let barrier = SpinBarrier::new(workers + 1);
+    let p_end_cell = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let mut out: Vec<P> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let slots = &slots;
+            let barrier = &barrier;
+            let p_end_cell = &p_end_cell;
+            let done = &done;
+            let panic_box = &panic_box;
+            let phase = &phase;
+            s.spawn(move || loop {
+                barrier.wait();
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let p_end = p_end_cell.load(Ordering::Acquire);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for slot in slots.iter().skip(w).step_by(workers) {
+                        let mut g = slot.lock().unwrap_or_else(|e| e.into_inner());
+                        if let Some(p) = g.as_mut() {
+                            phase(p, p_end);
+                        }
+                    }
+                }));
+                if let Err(e) = r {
+                    let mut g = panic_box.lock().unwrap_or_else(|e| e.into_inner());
+                    if g.is_none() {
+                        *g = Some(e);
+                    }
+                }
+                barrier.wait();
+            });
+        }
+
+        loop {
+            // Serial phase: take every partition out of its slot so the
+            // main thread has plain `&mut` access with no locks held.
+            // A panicking worker poisons its slot; the partition is still
+            // there and the payload is re-raised below, so poison is not an
+            // error here.
+            let mut parts: Vec<P> = slots
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("partition present")
+                })
+                .collect();
+            if panic_box
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_some()
+            {
+                out = parts;
+                done.store(true, Ordering::Release);
+                barrier.wait();
+                break;
+            }
+            let next = serial(&mut parts);
+            match next {
+                None => {
+                    out = parts;
+                    done.store(true, Ordering::Release);
+                    barrier.wait();
+                    break;
+                }
+                Some(p_end) => {
+                    for (slot, p) in slots.iter().zip(parts) {
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(p);
+                    }
+                    p_end_cell.store(p_end, Ordering::Release);
+                    barrier.wait(); // release workers into the phase
+                    barrier.wait(); // wait for the phase to finish
+                }
+            }
+        }
+    });
+    if let Some(e) = panic_box.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        std::panic::resume_unwind(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_keys_order_by_counter() {
+        let a = EvKey::flat(5, 0);
+        let b = EvKey::flat(5, 1);
+        let c = EvKey::flat(4, 9);
+        assert!(a < b);
+        assert!(c < a);
+    }
+
+    #[test]
+    fn child_keys_interleave_with_flats_by_epoch() {
+        // Phase starts at epoch 10: flats 0..10 predate it, flats >= 10
+        // come from later serial phases.
+        let parent = Arc::new(EvKey::flat(3, 7));
+        let child = EvKey::child(5, 10, &parent, 0);
+        assert!(EvKey::flat(5, 9) < child, "pre-phase flat sorts first");
+        assert!(child < EvKey::flat(5, 10), "post-phase flat sorts after");
+        // Time still dominates.
+        assert!(EvKey::flat(4, 99) < child);
+        assert!(child < EvKey::flat(6, 0));
+    }
+
+    #[test]
+    fn sibling_children_order_by_parent_then_idx() {
+        let pa = Arc::new(EvKey::flat(3, 1));
+        let pb = Arc::new(EvKey::flat(3, 2));
+        let a0 = EvKey::child(9, 10, &pa, 0);
+        let a1 = EvKey::child(9, 10, &pa, 1);
+        let b0 = EvKey::child(9, 10, &pb, 0);
+        assert!(a0 < a1);
+        assert!(a1 < b0, "earlier parent's pushes all precede later's");
+        // Parents at different times: parent time decides.
+        let pc = Arc::new(EvKey::flat(2, 50));
+        let c0 = EvKey::child(9, 10, &pc, 0);
+        assert!(c0 < a0);
+    }
+
+    #[test]
+    fn keyed_queue_pops_in_key_order() {
+        let mut q = KeyedQueue::new();
+        q.push(EvKey::flat(5, 2), "c");
+        q.push(EvKey::flat(5, 1), "b");
+        q.push(EvKey::flat(3, 9), "a");
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drain_sorted_is_canonical_order() {
+        let mut q = KeyedQueue::new();
+        for (t, o, v) in [(9, 1, 3), (2, 5, 0), (9, 0, 2), (4, 0, 1)] {
+            q.push(EvKey::flat(t, o), v);
+        }
+        let vals: Vec<i32> = q.drain_sorted().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn partition_ranges_are_contiguous_and_balanced() {
+        for units in 1..40u32 {
+            for parts in 1..10u32 {
+                let rs = partition_ranges(units, parts);
+                assert_eq!(rs[0].start, 0);
+                assert_eq!(rs.last().unwrap().end, units);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let sizes: Vec<u32> = rs.iter().map(|r| r.end - r.start).collect();
+                let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(mx - mn <= 1, "unbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_pool_alternates_serial_and_parallel_phases() {
+        // Each partition accumulates the window ends it saw; the serial
+        // closure drives three windows then stops.
+        let parts: Vec<(u32, Vec<Time>)> = (0..5).map(|i| (i, Vec::new())).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let mut windows = vec![10u64, 20, 30];
+            let out = run_pool(
+                parts.clone(),
+                workers,
+                |p, end| p.1.push(end),
+                move |_parts| {
+                    if windows.is_empty() {
+                        None
+                    } else {
+                        Some(windows.remove(0))
+                    }
+                },
+            );
+            assert_eq!(out.len(), 5);
+            for (i, seen) in &out {
+                assert_eq!(seen, &vec![10, 20, 30], "partition {i} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_pool_serial_phase_sees_parallel_mutations() {
+        // Workers increment; serial sums and stops at a threshold.
+        let parts: Vec<u64> = vec![0; 4];
+        let out = run_pool(
+            parts,
+            3,
+            |p, _end| *p += 1,
+            |parts| {
+                let total: u64 = parts.iter().sum();
+                if total >= 12 {
+                    None
+                } else {
+                    Some(total)
+                }
+            },
+        );
+        assert_eq!(out.iter().sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn run_pool_propagates_worker_panics() {
+        let r = std::panic::catch_unwind(|| {
+            run_pool(
+                vec![0u32, 1, 2],
+                2,
+                |p, _end| {
+                    if *p == 1 {
+                        panic!("boom from partition 1");
+                    }
+                },
+                {
+                    let mut rounds = 0;
+                    move |_parts| {
+                        rounds += 1;
+                        if rounds > 3 {
+                            None
+                        } else {
+                            Some(rounds)
+                        }
+                    }
+                },
+            )
+        });
+        let err = r.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom"), "got: {msg}");
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes() {
+        let b = SpinBarrier::new(4);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    b.wait();
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                });
+            }
+            b.wait();
+            b.wait();
+            assert_eq!(hits.load(Ordering::SeqCst), 3);
+        });
+    }
+}

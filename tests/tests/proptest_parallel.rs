@@ -1,0 +1,139 @@
+//! Property-based validation of the conservative parallel driver's
+//! lookahead contract: over random torus topologies, fault plans, and
+//! app-shaped traffic mixes, no cross-partition event may ever be
+//! scheduled closer than the derived lookahead — the driver asserts the
+//! bound on every cross-partition push in debug builds (which is what
+//! `cargo test` runs), so simply completing a parallel run under this
+//! traffic is the property. Each case additionally cross-checks the
+//! parallel run against the sequential engine bit for bit, making this a
+//! randomized extension of the pinned differential suite.
+
+use bytes::Bytes;
+use charm_apps::LayerKind;
+use charm_rt::prelude::set_default_threads;
+use gemini_net::{FaultPlan, LinkDownWindow};
+use lrts_ugni::UgniConfig;
+use proptest::prelude::*;
+
+/// App-shaped traffic: a scatter burst from PE 0 (mixed sizes straddling
+/// the eager/rendezvous switch), then a neighbor-ring echo wave — enough
+/// fan-out to keep several partitions busy inside one window.
+fn traffic(layer: &LayerKind, pes: u32, cores: u32, sizes: &[usize]) -> (u64, u64, u64) {
+    let mut c = layer.cluster(pes, cores);
+    #[derive(Default)]
+    struct St {
+        seen: u64,
+        xor: u64,
+    }
+    c.init_user(|_| St::default());
+    let echo = c.register_handler(|ctx, env| {
+        let st = ctx.user::<St>();
+        st.seen += 1;
+        for (i, b) in env.payload.iter().enumerate() {
+            st.xor ^= (*b as u64) << (8 * (i % 8));
+        }
+        ctx.charge(200);
+    });
+    let recv = c.register_handler(move |ctx, env| {
+        let st = ctx.user::<St>();
+        st.seen += 1;
+        for (i, b) in env.payload.iter().enumerate() {
+            st.xor ^= (*b as u64) << (8 * (i % 8));
+        }
+        // Ring hop: bounce a small echo to the next PE over.
+        let dst = (ctx.pe() + 1) % ctx.num_pes();
+        ctx.send(dst, echo, env.payload.slice(0..env.payload.len().min(32)));
+    });
+    let sizes_owned: Vec<usize> = sizes.to_vec();
+    let kick = c.register_handler(move |ctx, _| {
+        for (i, &s) in sizes_owned.iter().enumerate() {
+            let dst = 1 + (i as u32 % (ctx.num_pes() - 1));
+            let payload: Vec<u8> = (0..s).map(|j| ((i * 131 + j * 7) % 251) as u8).collect();
+            ctx.send(dst, recv, Bytes::from(payload));
+        }
+    });
+    c.inject(0, 0, kick, Bytes::new());
+    let rep = c.run();
+    let mut xor = 0u64;
+    let mut seen = 0u64;
+    for pe in 0..pes {
+        let st = c.user::<St>(pe);
+        seen += st.seen;
+        xor ^= st.xor;
+    }
+    (rep.end_time, seen, xor)
+}
+
+fn make_layer(
+    dims: (u32, u32, u32),
+    cores: u32,
+    drop_p: f64,
+    down: Option<(u32, u8, u64)>,
+) -> (LayerKind, u32) {
+    let mut cfg = UgniConfig::optimized();
+    cfg.params.torus_dims = dims;
+    cfg.params.cores_per_node = cores;
+    let mut fault = if drop_p > 0.0 {
+        FaultPlan::uniform_drop(0xBEEF, drop_p)
+    } else {
+        FaultPlan::none()
+    };
+    if let Some((node, dim, from)) = down {
+        fault.link_down.push(LinkDownWindow {
+            node: node % cfg.params.num_nodes(),
+            dim: dim % 3,
+            plus: true,
+            from_ns: from,
+            until_ns: from + 300_000,
+        });
+    }
+    cfg.params.fault = fault;
+    let pes = cfg.params.num_pes();
+    (LayerKind::Ugni(cfg), pes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random topology + random traffic, fault-free: the parallel run
+    /// must complete without tripping the lookahead assert and land on
+    /// the sequential timestamps exactly.
+    #[test]
+    fn lookahead_bound_holds_on_random_topologies(
+        dx in 2u32..4, dy in 1u32..3, dz in 1u32..3,
+        cores in 1u32..4,
+        sizes in proptest::collection::vec(1usize..100_000, 2..10),
+        threads in 2u32..6,
+    ) {
+        let (layer, pes) = make_layer((dx, dy, dz), cores, 0.0, None);
+        prop_assume!(pes > 2);
+        set_default_threads(1);
+        let seq = traffic(&layer, pes, cores, &sizes);
+        set_default_threads(threads);
+        let par = traffic(&layer, pes, cores, &sizes);
+        set_default_threads(1);
+        prop_assert_eq!(seq, par, "threads={} diverged", threads);
+    }
+
+    /// Same property under an active fault plan: drops force retries and
+    /// a link-down window degrades the derived lookahead mid-run.
+    #[test]
+    fn lookahead_bound_holds_under_fault_plans(
+        dx in 2u32..4, dy in 1u32..3,
+        cores in 1u32..3,
+        drop_p in 0.0f64..0.01,
+        down_node in 0u32..8, down_dim in 0u8..3,
+        down_from in 10_000u64..200_000,
+        sizes in proptest::collection::vec(1usize..60_000, 2..8),
+    ) {
+        let (layer, pes) =
+            make_layer((dx, dy, 1), cores, drop_p, Some((down_node, down_dim, down_from)));
+        prop_assume!(pes > 2);
+        set_default_threads(1);
+        let seq = traffic(&layer, pes, cores, &sizes);
+        set_default_threads(4);
+        let par = traffic(&layer, pes, cores, &sizes);
+        set_default_threads(1);
+        prop_assert_eq!(seq, par, "faulty parallel run diverged");
+    }
+}

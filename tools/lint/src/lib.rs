@@ -33,6 +33,15 @@
 //!   cost the zero-copy fast path removed. Deliberate copies (e.g.
 //!   framing a small mailbox message) carry a `// copy-ok: <why>`
 //!   comment on the same line.
+//! * **thread-outside-parallel** — no `std::thread` / `std::sync`
+//!   concurrency (spawns, locks, atomics, channels) in the simulation
+//!   crates outside `sim-core/src/parallel.rs`. All parallelism flows
+//!   through the conservative windowed driver, whose determinism proof
+//!   depends on it being the *only* source of cross-thread interleaving;
+//!   an ad-hoc lock or atomic elsewhere reintroduces scheduling
+//!   nondeterminism the differential tests cannot see. Deliberate uses
+//!   (e.g. a lock-free stat counter that provably never feeds back into
+//!   virtual time) carry a `// thread-ok: <why>` comment on the line.
 //!
 //! Test modules (`#[cfg(test)]`, by repo convention at the end of the
 //! file) are exempt from all rules.
@@ -69,6 +78,26 @@ const COPY_PATTERNS: &[&str] = &[
 
 /// Marker comment that exempts one line from `hot-path-copy`.
 pub const COPY_OK_MARKER: &str = "copy-ok:";
+
+/// Threading/synchronization constructs banned in simulation crates
+/// outside the parallel driver (see `thread-outside-parallel`).
+const THREAD_PATTERNS: &[&str] = &[
+    "std::thread",
+    "thread::spawn",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "mpsc",
+    "Atomic",
+];
+
+/// Marker comment that exempts one line from `thread-outside-parallel`.
+pub const THREAD_OK_MARKER: &str = "thread-ok:";
+
+/// The one file where threads, locks, and atomics are legitimate: the
+/// conservative parallel driver itself.
+pub const PARALLEL_DRIVER_FILE: &str = "sim-core/src/parallel.rs";
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -461,6 +490,44 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
                     msg: format!(
                         "`{pat}` in per-message path `{name}` — payloads travel as \
                          refcounted Bytes; mark a deliberate copy with `// copy-ok: <why>`"
+                    ),
+                });
+            }
+        }
+        // thread-outside-parallel: the parallel driver file itself is the
+        // sanctioned home for every one of these constructs.
+        if !file.replace('\\', "/").ends_with(PARALLEL_DRIVER_FILE) {
+            let raw_lines: Vec<&str> = src.lines().collect();
+            for (idx, line) in lines[..cutoff].iter().enumerate() {
+                let Some(pat) = THREAD_PATTERNS.iter().find(|p| {
+                    let mut from = 0;
+                    while let Some(pos) = line[from..].find(**p) {
+                        let at = from + pos;
+                        from = at + p.len();
+                        // Identifier boundary on the left, so e.g.
+                        // `SpinBarrier` doesn't double-fire via `Barrier`.
+                        if at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap()) {
+                            return true;
+                        }
+                    }
+                    false
+                }) else {
+                    continue;
+                };
+                if raw_lines
+                    .get(idx)
+                    .is_some_and(|r| r.contains(THREAD_OK_MARKER))
+                {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "thread-outside-parallel",
+                    file: file.to_string(),
+                    line: idx + 1,
+                    msg: format!(
+                        "`{pat}` in a simulation crate outside the parallel driver — \
+                         all concurrency lives in sim-core/src/parallel.rs; mark a \
+                         deliberate exception with `// thread-ok: <why>`"
                     ),
                 });
             }

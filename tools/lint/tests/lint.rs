@@ -92,6 +92,45 @@ fn hot_path_copy_only_applies_to_sim_crates() {
 }
 
 #[test]
+fn thread_spawn_fixture_fires() {
+    let src = fixture("thread_spawn.rs");
+    let f = lint_source("gemini-net", "fixtures/thread_spawn.rs", &src);
+    assert_eq!(rules(&f), ["thread-outside-parallel"], "findings: {f:?}");
+    // spawn, Mutex, AtomicU64, Barrier, mpsc — but NOT the thread-ok:
+    // counter and NOT the SpinBarrier identifier (left boundary).
+    assert_eq!(f.len(), 5, "findings: {f:?}");
+    assert!(f.iter().any(|x| x.msg.contains("std::thread")));
+    assert!(f.iter().any(|x| x.msg.contains("`Mutex`")));
+    assert!(f.iter().any(|x| x.msg.contains("`Atomic`")));
+    assert!(f.iter().any(|x| x.msg.contains("`Barrier`")));
+    assert!(f.iter().any(|x| x.msg.contains("`mpsc`")));
+}
+
+#[test]
+fn thread_rule_exempts_the_parallel_driver() {
+    let src = fixture("thread_spawn.rs");
+    let f = lint_source("sim-core", "crates/sim-core/src/parallel.rs", &src);
+    assert!(
+        !f.iter().any(|x| x.rule == "thread-outside-parallel"),
+        "findings: {f:?}"
+    );
+}
+
+#[test]
+fn thread_rule_only_applies_to_sim_crates() {
+    let src = fixture("thread_spawn.rs");
+    // The driver crate (`core`) coordinates the worker pool and may hold
+    // atomics; benches and apps thread freely.
+    for crate_dir in ["core", "apps", "bench"] {
+        let f = lint_source(crate_dir, "fixtures/thread_spawn.rs", &src);
+        assert!(
+            !f.iter().any(|x| x.rule == "thread-outside-parallel"),
+            "{crate_dir} findings: {f:?}"
+        );
+    }
+}
+
+#[test]
 fn test_modules_are_exempt() {
     let src = "use std::collections::HashMap;\n\
                pub struct S { m: HashMap<u32, u32> }\n\
