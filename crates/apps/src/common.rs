@@ -93,6 +93,12 @@ impl LayerKind {
     /// integration-tests crate turns verification on and every app run
     /// doubles as a contract check.
     pub fn assert_contract_clean(&self, c: &mut Cluster) {
+        // A crashed endpoint dies mid-protocol by design: its half-open
+        // transactions are exactly what the FT layer exists to absorb, so
+        // contract verification is meaningless under a node-crash plan.
+        if self.fault().has_node_crash() {
+            return;
+        }
         let report = match self {
             LayerKind::Ugni(_) => c.layer_mut::<UgniLayer>().contract_report(),
             LayerKind::Mpi(_) => c.layer_mut::<MpiLayer>().contract_report(),

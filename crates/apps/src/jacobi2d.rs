@@ -60,6 +60,84 @@ struct BlockState {
     edges_expected: u32,
 }
 
+/// Flat little-endian serialization for the checkpoint layer: seven u64
+/// header words (`bs bx by nb has_go edges_got edges_expected`) followed
+/// by the cell grid. `next` is scratch recomputed every sweep, so it
+/// restores as zeros.
+impl Checkpoint for BlockState {
+    fn save(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7 * 8 + self.cells.len() * 8);
+        for v in [
+            self.bs as u64,
+            self.bx as u64,
+            self.by as u64,
+            self.nb as u64,
+            self.has_go as u64,
+            self.edges_got as u64,
+            self.edges_expected as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for c in &self.cells {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    fn restore(bytes: &[u8]) -> Self {
+        let word = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            u64::from_le_bytes(b)
+        };
+        let bs = word(0) as usize;
+        let w = bs + 2;
+        let cells: Vec<f64> = (0..w * w).map(|i| f64::from_bits(word(7 + i))).collect();
+        BlockState {
+            next: vec![0.0; cells.len()],
+            cells,
+            bs,
+            bx: word(1) as u32,
+            by: word(2) as u32,
+            nb: word(3) as u32,
+            has_go: word(4) != 0,
+            edges_got: word(5) as u32,
+            edges_expected: word(6) as u32,
+        }
+    }
+}
+
+/// Per-PE control state; only the copy on PE 0 (the reduction client)
+/// ever changes.
+struct Ctl {
+    iters_left: u32,
+    iters_run: u32,
+    residual: f64,
+}
+
+impl Checkpoint for Ctl {
+    fn save(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&(self.iters_left as u64).to_le_bytes());
+        out.extend_from_slice(&(self.iters_run as u64).to_le_bytes());
+        out.extend_from_slice(&self.residual.to_le_bytes());
+        out
+    }
+
+    fn restore(bytes: &[u8]) -> Self {
+        let word = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            u64::from_le_bytes(b)
+        };
+        Ctl {
+            iters_left: word(0) as u32,
+            iters_run: word(1) as u32,
+            residual: f64::from_bits(word(2)),
+        }
+    }
+}
+
 impl BlockState {
     fn idx(&self, x: usize, y: usize) -> usize {
         y * (self.bs + 2) + x
@@ -205,10 +283,61 @@ pub fn run_jacobi(
     cores_per_node: u32,
     cfg: &JacobiConfig,
 ) -> JacobiResult {
+    run_jacobi_inner(layer, num_pes, cores_per_node, cfg, None).0
+}
+
+/// Run the parallel solver with fault tolerance: in-memory buddy
+/// checkpoints on `ft.ckpt_period` cadence, crash windows from the
+/// layer's [`FaultPlan`] detected and recovered mid-run. The returned
+/// grid is bit-identical to the fault-free run's.
+pub fn run_jacobi_ft(
+    layer: &LayerKind,
+    num_pes: u32,
+    cores_per_node: u32,
+    cfg: &JacobiConfig,
+    ft: FtConfig,
+) -> (JacobiResult, FtReport) {
+    let (r, rep, _) = run_jacobi_inner(layer, num_pes, cores_per_node, cfg, Some(ft));
+    (r, rep)
+}
+
+/// PE-time the trace charged to the FT machinery during a run:
+/// `Kind::Checkpoint` (buddy snapshot waves) and `Kind::Recovery`
+/// (restore + rollback-replay), in virtual ns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtCharge {
+    pub checkpoint_ns: Time,
+    pub recovery_ns: Time,
+}
+
+/// Like [`run_jacobi_ft`], additionally reporting what the fault
+/// tolerance cost: the trace's checkpoint/recovery charge totals (the
+/// bench crate's crash sweep plots these against the cadence).
+pub fn run_jacobi_ft_traced(
+    layer: &LayerKind,
+    num_pes: u32,
+    cores_per_node: u32,
+    cfg: &JacobiConfig,
+    ft: FtConfig,
+) -> (JacobiResult, FtReport, FtCharge) {
+    run_jacobi_inner(layer, num_pes, cores_per_node, cfg, Some(ft))
+}
+
+fn run_jacobi_inner(
+    layer: &LayerKind,
+    num_pes: u32,
+    cores_per_node: u32,
+    cfg: &JacobiConfig,
+    ft: Option<FtConfig>,
+) -> (JacobiResult, FtReport, FtCharge) {
     assert_eq!(cfg.n % cfg.blocks, 0, "blocks must divide n");
     let bs = (cfg.n / cfg.blocks) as usize;
     let nb = cfg.blocks;
     let mut c = layer.cluster(num_pes, cores_per_node);
+    let ft_on = ft.is_some();
+    if let Some(ftc) = ft {
+        c.enable_ft(ftc);
+    }
 
     let aid = c.create_array("jacobi", (nb * nb) as u64, |idx| {
         let bx = (idx as u32) % nb;
@@ -242,6 +371,10 @@ pub fn run_jacobi(
         st.apply_boundary();
         st
     });
+    if ft_on {
+        c.ft_array::<BlockState>(aid);
+        c.ft_user::<Ctl>();
+    }
 
     // Entry 0: receive a ghost edge [dir, values...].
     // Entry 1: go (start iteration: send edges).
@@ -306,12 +439,10 @@ pub fn run_jacobi(
     });
     entry_cell.set((recv_edge, go)).expect("set once");
 
-    // Reduction client: iterate or stop.
-    struct Ctl {
-        iters_left: u32,
-        iters_run: u32,
-        residual: f64,
-    }
+    // Reduction client: iterate or stop. The reduction instant is a
+    // quiescent point for the array — every block has contributed and the
+    // next iteration's `go` is still queued locally — so it is also where
+    // the FT layer is offered a checkpoint (a no-op when FT is off).
     c.init_user(|_| Ctl {
         iters_left: cfg.iters,
         iters_run: 0,
@@ -327,9 +458,21 @@ pub fn run_jacobi(
             ctx.stop();
         } else {
             ctx.charm_broadcast(aid, go, Bytes::new());
+            ctx.ft_maybe_checkpoint();
         }
     });
     c.set_reduction_client(aid, client, 0);
+    if ft_on {
+        // Post-recovery: every block is back at the last checkpoint with
+        // `has_go` clear, so re-broadcasting `go` replays the interrupted
+        // iteration from scratch.
+        let ec3 = entry_cell.clone();
+        let resume = c.register_handler(move |ctx, _env| {
+            let (_, go) = *ec3.get().expect("entries registered");
+            ctx.charm_broadcast(aid, go, Bytes::new());
+        });
+        c.ft_on_resume(resume, 0);
+    }
 
     c.inject_broadcast(0, aid, go, Bytes::new());
     let report = c.run();
@@ -375,14 +518,22 @@ pub fn run_jacobi(
             }
         }
     }
+    let charge = FtCharge {
+        checkpoint_ns: c.trace().total_checkpoint(),
+        recovery_ns: c.trace().total_recovery(),
+    };
     let ctl = c.user::<Ctl>(0);
-    JacobiResult {
-        residual: ctl.residual,
-        time_ns: report.end_time,
-        grid,
-        iterations_run: ctl.iters_run,
-        events: report.stats.events,
-    }
+    (
+        JacobiResult {
+            residual: ctl.residual,
+            time_ns: report.end_time,
+            grid,
+            iterations_run: ctl.iters_run,
+            events: report.stats.events,
+        },
+        c.ft_report(),
+        charge,
+    )
 }
 
 #[cfg(test)]
@@ -439,6 +590,41 @@ mod tests {
             "residual must shrink: {} -> {}",
             r1.residual,
             r2.residual
+        );
+    }
+
+    #[test]
+    fn ft_crash_restart_matches_fault_free_grid() {
+        use gemini_net::{FaultPlan, NodeCrashWindow};
+        let cfg = JacobiConfig {
+            n: 24,
+            blocks: 4,
+            iters: 20,
+        };
+        let mut plan = FaultPlan::default();
+        plan.node_crash.push(NodeCrashWindow {
+            node: 1,
+            at_ns: 80_000,
+            restart_after_ns: Some(40_000),
+        });
+        let layer = LayerKind::ugni().with_fault(plan);
+        // Jacobi saturates its PEs in ~30us bursts: the suspicion timeout
+        // must sit well above that or load reads as death.
+        let ftc = FtConfig {
+            hb_period: 20_000,
+            hb_timeout: 150_000,
+            ckpt_period: 60_000,
+            ..FtConfig::default()
+        };
+        let (r, ft) = run_jacobi_ft(&layer, 8, 4, &cfg, ftc);
+        assert_eq!(ft.recoveries, 1, "the crash was never recovered");
+        assert_eq!(r.iterations_run, 20);
+        let clean = run_jacobi(&LayerKind::ugni(), 8, 4, &cfg);
+        assert_eq!(r.grid, clean.grid, "recovery perturbed the arithmetic");
+        assert_eq!(r.residual, clean.residual);
+        assert!(
+            r.time_ns > clean.time_ns,
+            "losing a node for 40us must cost virtual time"
         );
     }
 

@@ -216,6 +216,85 @@ pub fn charm_one_way_report(
     (lat, if work > 0.0 { rec / work } else { 0.0 }, report)
 }
 
+/// One ping-pong endpoint as a chare element: `count` completed rounds.
+struct PpSt {
+    count: u64,
+}
+
+impl Checkpoint for PpSt {
+    fn save(&self) -> Vec<u8> {
+        self.count.to_le_bytes().to_vec()
+    }
+
+    fn restore(bytes: &[u8]) -> Self {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[..8]);
+        PpSt {
+            count: u64::from_le_bytes(b),
+        }
+    }
+}
+
+/// Fault-tolerant Charm-level ping-pong: element 0 (node 0) rallies with
+/// the element homed on node 1's first PE, checkpointing on the FT
+/// cadence, surviving any crash window in the layer's fault plan that
+/// spares node 0. Returns the rounds completed by each endpoint (both
+/// must equal `rounds` — the exactly-once check), the virtual end time,
+/// and the FT activity report.
+pub fn run_pingpong_ft(
+    layer: &LayerKind,
+    num_pes: u32,
+    cores_per_node: u32,
+    bytes: usize,
+    rounds: u64,
+    ft: FtConfig,
+) -> (u64, u64, Time, FtReport) {
+    assert!(num_pes > cores_per_node, "need a second node to rally with");
+    let peer = cores_per_node as u64;
+    let mut c = layer.cluster(num_pes, cores_per_node);
+    c.enable_ft(ft);
+    let aid = c.create_array("pp", num_pes as u64, |_| PpSt { count: 0 });
+    c.ft_array::<PpSt>(aid);
+
+    let rally_cell: std::sync::Arc<std::sync::OnceLock<EntryId>> =
+        std::sync::Arc::new(std::sync::OnceLock::new());
+    let rc = rally_cell.clone();
+    let rally = c.register_entry::<PpSt>(aid, move |ctx, st, idx, payload| {
+        let rally = *rc.get().expect("entry registered");
+        ctx.charge(100);
+        st.count += 1;
+        if idx == 0 {
+            // A pong landed: one round done.
+            if st.count >= rounds {
+                ctx.stop();
+                return;
+            }
+            ctx.charm_send(aid, peer, rally, payload.clone());
+            ctx.ft_maybe_checkpoint();
+        } else {
+            ctx.charm_send(aid, 0, rally, payload.clone());
+        }
+    });
+    rally_cell.set(rally).expect("set once");
+    // Element 0's serve: fires at start and after every recovery (the
+    // in-flight ball died with the old epoch; the restored count says
+    // which round to replay).
+    let serve = c.register_entry::<PpSt>(aid, move |ctx, _st, _idx, payload| {
+        ctx.charm_send(aid, peer, rally, payload.clone());
+    });
+    let resume = c.register_handler(move |ctx, _env| {
+        ctx.charm_send(aid, 0, serve, Bytes::from(vec![0u8; bytes]));
+    });
+    c.ft_on_resume(resume, 0);
+
+    c.inject_entry(0, aid, 0, serve, Bytes::from(vec![0u8; bytes]));
+    let report = c.run();
+    layer.assert_contract_clean(&mut c);
+    let c0 = c.element::<PpSt>(aid, 0).count;
+    let cp = c.element::<PpSt>(aid, peer).count;
+    (c0, cp, report.end_time, c.ft_report())
+}
+
 /// Charm-level streaming bandwidth in MB/s: `window` messages of `bytes`
 /// in flight from PE 0 to PE 1, acked in bulk (Fig. 9b).
 pub fn charm_bandwidth(layer: &LayerKind, bytes: usize, window: u32, rounds: u32) -> f64 {
@@ -368,6 +447,34 @@ mod tests {
         let u = charm_one_way(&LayerKind::ugni(), 1, 65536, 30, false);
         let m = charm_one_way(&LayerKind::mpi(), 1, 65536, 30, false);
         assert!(u < m, "charm-uGNI {u:.0}ns !< charm-MPI {m:.0}ns");
+    }
+
+    #[test]
+    fn ft_pingpong_survives_crash_exactly_once() {
+        use gemini_net::{FaultPlan, NodeCrashWindow};
+        // Restart and gone-for-good (redistribute) modes both finish with
+        // exactly `rounds` on each endpoint — no lost or doubled rounds.
+        for restart in [Some(30_000), None] {
+            let mut plan = FaultPlan::default();
+            plan.node_crash.push(NodeCrashWindow {
+                node: 1,
+                at_ns: 50_000,
+                restart_after_ns: restart,
+            });
+            let layer = LayerKind::ugni().with_fault(plan);
+            // Detector sized above the layer's startup transient (the
+            // first-touch mempool slab registration stalls each PE ~22us
+            // once) so suspicion only fires on the real crash.
+            let ftc = FtConfig {
+                hb_period: 20_000,
+                hb_timeout: 150_000,
+                ckpt_period: 40_000,
+                ..FtConfig::default()
+            };
+            let (c0, cp, _t, ft) = run_pingpong_ft(&layer, 4, 2, 256, 100, ftc);
+            assert_eq!(ft.recoveries, 1, "restart={restart:?}");
+            assert_eq!((c0, cp), (100, 100), "restart={restart:?}");
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn main() {
         charm_bench::render_table2(&charm_bench::table2(&e))
     });
     timed("fault_sweep", &|| charm_bench::fault_sweep(&e).render());
+    timed("crash_sweep", &|| charm_bench::crash_sweep(&e).render());
 
     println!("## Regeneration wall-clock\n");
     println!("figure       wall_s");

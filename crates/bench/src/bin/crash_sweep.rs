@@ -1,0 +1,6 @@
+//! Crash sweep: recovery latency and checkpoint overhead of a mid-run
+//! node crash on Jacobi2D, vs buddy-checkpoint cadence. See DESIGN.md §11.
+fn main() {
+    let e = charm_bench::Effort::default();
+    println!("{}", charm_bench::crash_sweep(&e).render());
+}

@@ -474,6 +474,68 @@ pub fn fault_sweep(e: &Effort) -> Figure {
     f
 }
 
+/// Crash sweep (beyond the paper): Jacobi2D with a mid-run node crash and
+/// restart, swept over the buddy-checkpoint cadence. Reports the recovery
+/// latency (extra virtual time the crashed run pays over the fault-free
+/// one: detection + restore + rollback-replay + checkpoint waves), the
+/// PE-time charged to checkpoint waves, and how many waves completed. The
+/// tension the sweep shows is the classic one: tighter cadence costs more
+/// checkpoint time but leaves less work to replay after the crash.
+pub fn crash_sweep(e: &Effort) -> Figure {
+    use charm_apps::jacobi2d::{run_jacobi, run_jacobi_ft_traced, JacobiConfig};
+    use charm_rt::prelude::FtConfig;
+    use gemini_net::{FaultPlan, NodeCrashWindow};
+
+    let cfg = if e.full_scale {
+        JacobiConfig {
+            n: 32,
+            blocks: 4,
+            iters: 40,
+        }
+    } else {
+        JacobiConfig {
+            n: 24,
+            blocks: 4,
+            iters: 20,
+        }
+    };
+    let clean = run_jacobi(&LayerKind::ugni(), 8, 4, &cfg);
+    let mut f = Figure::new(
+        "Crash sweep: Jacobi2D node crash + restart vs checkpoint cadence",
+        "checkpoint cadence (us)",
+        "us / waves",
+    );
+    let mut lat = Series::new("recovery latency vs fault-free (us)");
+    let mut cost = Series::new("checkpoint PE-time (us)");
+    let mut waves = Series::new("checkpoint waves completed");
+    for &period in &[30_000u64, 60_000, 120_000] {
+        let mut plan = FaultPlan::default();
+        plan.node_crash.push(NodeCrashWindow {
+            node: 1,
+            at_ns: 80_000,
+            restart_after_ns: Some(40_000),
+        });
+        let layer = LayerKind::ugni().with_fault(plan);
+        let ftc = FtConfig {
+            hb_period: 20_000,
+            hb_timeout: 150_000,
+            ckpt_period: period,
+            ..FtConfig::default()
+        };
+        let (r, rep, charge) = run_jacobi_ft_traced(&layer, 8, 4, &cfg, ftc);
+        debug_assert_eq!(rep.recoveries, 1);
+        debug_assert_eq!(r.grid, clean.grid);
+        let x = period as f64 / 1000.0;
+        lat.push(x, r.time_ns.saturating_sub(clean.time_ns) as f64 / 1000.0);
+        cost.push(x, charge.checkpoint_ns as f64 / 1000.0);
+        waves.push(x, rep.ckpts as f64);
+    }
+    f.add(lat);
+    f.add(cost);
+    f.add(waves);
+    f
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +575,23 @@ mod tests {
         // 1% faults must both cost latency and show up as recovery time.
         assert!(rec.last().unwrap().1 > 0.0);
         assert!(lat.last().unwrap().1 > lat[0].1);
+    }
+
+    #[test]
+    fn crash_sweep_shapes_hold() {
+        let f = crash_sweep(&Effort::quick());
+        let lat = &f.series[0].points;
+        let cost = &f.series[1].points;
+        let waves = &f.series[2].points;
+        // Every cadence recovers, and the crash always costs virtual time.
+        assert!(lat.iter().all(|&(_, us)| us > 0.0), "lat: {lat:?}");
+        // At least one wave completes at every cadence (there is always a
+        // rollback point), and the tightest cadence both runs the most
+        // waves and charges the most checkpoint PE-time.
+        assert!(waves.iter().all(|&(_, w)| w >= 1.0), "waves: {waves:?}");
+        assert!(waves.first().unwrap().1 >= waves.last().unwrap().1);
+        assert!(cost.iter().all(|&(_, us)| us > 0.0), "cost: {cost:?}");
+        assert!(cost.first().unwrap().1 >= cost.last().unwrap().1);
     }
 
     #[test]

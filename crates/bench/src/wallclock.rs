@@ -223,6 +223,13 @@ const PINS: &[(&str, &str, bool, u64)] = &[
     ("jacobi2d_seed", "mpi", false, 314_200),
     ("jacobi2d_seed", "ugni", true, 242_228),
     ("jacobi2d_seed", "mpi", true, 314_200),
+    // Same seed shape behind an inert `FaultPlan::none()`: the chaos and
+    // crash machinery must be free when the plan never fires, so these
+    // pin to the exact plain-run numbers above.
+    ("jacobi2d_inert", "ugni", false, 242_228),
+    ("jacobi2d_inert", "mpi", false, 314_200),
+    ("jacobi2d_inert", "ugni", true, 242_228),
+    ("jacobi2d_inert", "mpi", true, 314_200),
     ("pingpong_sweep", "ugni", false, 30_337_820),
     ("pingpong_sweep", "mpi", false, 66_978_602),
     ("pingpong_sweep", "ugni", true, 4_078_160),
@@ -375,6 +382,17 @@ fn wallclock_suite_inner(e: &Effort, threads: u32) -> WallSuite {
     for (tag, layer) in layers() {
         runs.push(measure("jacobi2d_seed", tag, quick, || {
             let r = run_jacobi(&layer, 8, 4, &seed_cfg);
+            (r.events, r.time_ns)
+        }));
+    }
+
+    // The seed shape again, gated behind an inert fault plan: keyed proof
+    // that the fault-injection fast path costs nothing when no window is
+    // live — same pins as the plain runs, bit for bit.
+    for (tag, layer) in layers() {
+        let gated = layer.with_fault(gemini_net::FaultPlan::none());
+        runs.push(measure("jacobi2d_inert", tag, quick, || {
+            let r = run_jacobi(&gated, 8, 4, &seed_cfg);
             (r.events, r.time_ns)
         }));
     }

@@ -92,6 +92,30 @@ struct EntryDef {
 pub struct CharmRegistry {
     arrays: Vec<ArrayDef>,
     entries: Vec<EntryDef>,
+    /// Element routing indirection: an element whose round-robin home is
+    /// PE `h` currently lives on `route[h]`. Identity until a
+    /// redistribute-mode crash recovery folds a dead PE's elements onto
+    /// the PE holding their buddy checkpoint.
+    pub(crate) route: Vec<PeId>,
+    /// True once any element has moved off its home PE: broadcasts then
+    /// switch from the PE spanning tree (which may contain dead PEs) to
+    /// direct sends from the root.
+    pub(crate) relocated: bool,
+}
+
+impl CharmRegistry {
+    /// Fold every participant list through [`CharmRegistry::route`] after a
+    /// redistribute recovery: dead PEs' entries collapse onto the PEs that
+    /// adopted their elements.
+    pub(crate) fn remap_participants(&mut self) {
+        for a in &mut self.arrays {
+            for p in &mut a.participants {
+                *p = self.route[*p as usize];
+            }
+            a.participants.sort_unstable();
+            a.participants.dedup();
+        }
+    }
 }
 
 /// Per-PE Charm runtime state.
@@ -120,6 +144,61 @@ impl CharmPe {
     pub fn local_elements(&self, aid: ArrayId) -> u64 {
         self.local_count.get(&aid.0).copied().unwrap_or(0)
     }
+
+    /// Drop all volatile Charm state (node crash, or rollback before a
+    /// checkpoint restore).
+    pub(crate) fn wipe(&mut self) {
+        self.elements.clear();
+        self.local_count.clear();
+        self.reductions.clear();
+        self.local_wave.clear();
+    }
+
+    /// Sorted `(array, index)` keys of every element on this PE
+    /// (checkpoint order must not depend on hash order).
+    pub(crate) fn element_keys(&self) -> Vec<(u16, u64)> {
+        let mut keys: Vec<(u16, u64)> = self.elements.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Borrow an element's state for checkpoint serialization.
+    pub(crate) fn element_state(&self, key: (u16, u64)) -> &dyn Any {
+        match self.elements.get(&key) {
+            Some(Some(state)) => state.as_ref(),
+            _ => panic!("checkpoint of missing element {key:?}"),
+        }
+    }
+
+    /// Install (or adopt) an element restored from a checkpoint.
+    pub(crate) fn insert_element(&mut self, key: (u16, u64), state: Box<dyn Any + Send>) {
+        if self.elements.insert(key, Some(state)).is_none() {
+            *self.local_count.entry(key.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Sorted per-array local reduction wave counters (the app-level
+    /// in-flight sequence numbers a checkpoint must capture).
+    pub(crate) fn wave_snapshot(&self) -> Vec<(u16, u64)> {
+        let mut waves: Vec<(u16, u64)> =
+            self.local_wave.iter().map(|(aid, w)| (*aid, *w)).collect();
+        waves.sort_unstable();
+        waves
+    }
+
+    /// Merge a checkpointed wave counter back in. Max-merge: when a PE
+    /// adopts a dead PE's elements their counters agree at the checkpoint's
+    /// quiescent point, and max keeps a later local value from regressing.
+    pub(crate) fn merge_wave(&mut self, aid: u16, wave: u64) {
+        let w = self.local_wave.entry(aid).or_insert(0);
+        *w = (*w).max(wave);
+    }
+
+    /// Discard in-flight reduction partials (rollback: contributions will
+    /// be regenerated by replay from the checkpoint).
+    pub(crate) fn clear_reductions(&mut self) {
+        self.reductions.clear();
+    }
 }
 
 /// Round-robin element placement.
@@ -141,6 +220,10 @@ fn tree_children(pe: PeId, num_pes: u32) -> impl Iterator<Item = PeId> {
 const OP_ENTRY: u8 = 0;
 const OP_BCAST: u8 = 1;
 const OP_REDUCE: u8 = 2;
+/// Broadcast leg sent point-to-point from the root to one participating
+/// PE (no tree forwarding at the receiver). Used after a redistribute
+/// recovery, when the PE spanning tree may run through dead PEs.
+const OP_BCAST_DIRECT: u8 = 3;
 
 fn enc_entry(aid: ArrayId, entry: EntryId, idx: u64, user: &Bytes) -> Bytes {
     let mut b = BytesMut::with_capacity(13 + user.len());
@@ -155,6 +238,15 @@ fn enc_entry(aid: ArrayId, entry: EntryId, idx: u64, user: &Bytes) -> Bytes {
 fn enc_bcast(aid: ArrayId, entry: EntryId, user: &Bytes) -> Bytes {
     let mut b = BytesMut::with_capacity(5 + user.len());
     b.put_u8(OP_BCAST);
+    b.put_u16(aid.0);
+    b.put_u16(entry.0);
+    b.put_slice(user);
+    b.freeze()
+}
+
+fn enc_bcast_direct(aid: ArrayId, entry: EntryId, user: &Bytes) -> Bytes {
+    let mut b = BytesMut::with_capacity(5 + user.len());
+    b.put_u8(OP_BCAST_DIRECT);
     b.put_u16(aid.0);
     b.put_u16(entry.0);
     b.put_slice(user);
@@ -242,7 +334,7 @@ impl Cluster {
         entry: EntryId,
         payload: Bytes,
     ) {
-        let pe = home_pe(idx, self.cfg.num_pes);
+        let pe = self.charm.route[home_pe(idx, self.cfg.num_pes) as usize];
         self.inject(at, pe, CHARM_HANDLER, enc_entry(aid, entry, idx, &payload));
     }
 
@@ -259,7 +351,7 @@ impl Cluster {
 
     /// Read an element's state after a run.
     pub fn element<T: 'static>(&self, aid: ArrayId, idx: u64) -> &T {
-        let pe = home_pe(idx, self.cfg.num_pes);
+        let pe = self.charm.route[home_pe(idx, self.cfg.num_pes) as usize];
         self.pes[pe as usize]
             .charm
             .elements
@@ -275,7 +367,7 @@ impl Cluster {
 impl PeCtx<'_> {
     /// Asynchronous entry-method invocation on element `idx` of `aid`.
     pub fn charm_send(&mut self, aid: ArrayId, idx: u64, entry: EntryId, payload: Bytes) {
-        let pe = home_pe(idx, self.num_pes());
+        let pe = self.charm_reg.route[home_pe(idx, self.num_pes()) as usize];
         self.send(pe, CHARM_HANDLER, enc_entry(aid, entry, idx, &payload));
     }
 
@@ -392,25 +484,33 @@ pub fn dispatch(ctx: &mut PeCtx, env: Envelope) {
             let aid = ArrayId(u16::from_be_bytes([p[1], p[2]]));
             let eid = EntryId(u16::from_be_bytes([p[3], p[4]]));
             let user = env.payload.slice(5..);
-            // Forward down the PE spanning tree.
-            let pe = ctx.pe();
-            let num_pes = ctx.num_pes();
-            for child in tree_children(pe, num_pes) {
-                ctx.send(child, CHARM_HANDLER, env.payload.clone());
+            if ctx.charm_reg.relocated {
+                // After a redistribute recovery the PE spanning tree may
+                // run through dead PEs: fan out directly to every
+                // participating PE instead.
+                let me = ctx.pe();
+                let parts = ctx.charm_reg.arrays[aid.0 as usize].participants.clone();
+                let direct = enc_bcast_direct(aid, eid, &user);
+                for pe in parts {
+                    if pe != me {
+                        ctx.send(pe, CHARM_HANDLER, direct.clone());
+                    }
+                }
+            } else {
+                // Forward down the PE spanning tree.
+                let pe = ctx.pe();
+                let num_pes = ctx.num_pes();
+                for child in tree_children(pe, num_pes) {
+                    ctx.send(child, CHARM_HANDLER, env.payload.clone());
+                }
             }
-            // Invoke on each local element.
-            let local: Vec<u64> = ctx
-                .charm_pe
-                .elements
-                .keys()
-                .filter(|(a, _)| *a == aid.0)
-                .map(|(_, i)| *i)
-                .collect();
-            let mut local = local;
-            local.sort_unstable();
-            for idx in local {
-                invoke_entry(ctx, aid, eid, idx, user.clone());
-            }
+            bcast_local(ctx, aid, eid, user);
+        }
+        OP_BCAST_DIRECT => {
+            let aid = ArrayId(u16::from_be_bytes([p[1], p[2]]));
+            let eid = EntryId(u16::from_be_bytes([p[3], p[4]]));
+            let user = env.payload.slice(5..);
+            bcast_local(ctx, aid, eid, user);
         }
         OP_REDUCE => {
             let aid = ArrayId(u16::from_be_bytes([p[1], p[2]]));
@@ -422,6 +522,21 @@ pub fn dispatch(ctx: &mut PeCtx, env: Envelope) {
             red_accumulate(ctx, aid, wave, op, &vals, false);
         }
         op => panic!("bad charm opcode {op}"),
+    }
+}
+
+/// Invoke a broadcast entry on each element living on this PE.
+fn bcast_local(ctx: &mut PeCtx, aid: ArrayId, eid: EntryId, user: Bytes) {
+    let mut local: Vec<u64> = ctx
+        .charm_pe
+        .elements
+        .keys()
+        .filter(|(a, _)| *a == aid.0)
+        .map(|(_, i)| *i)
+        .collect();
+    local.sort_unstable();
+    for idx in local {
+        invoke_entry(ctx, aid, eid, idx, user.clone());
     }
 }
 

@@ -12,6 +12,7 @@
 //! the paper's Fig. 10 and Fig. 12 observations.
 
 use crate::charm::{CharmPe, CharmRegistry};
+use crate::ft::{FtCore, FtSnapshot};
 use crate::lrts::{MachineLayer, PersistentHandle};
 use crate::msg::{Envelope, HandlerId, PeId};
 use crate::qd::{QdPe, QdState};
@@ -124,21 +125,28 @@ pub enum Event {
     ParkedWake(PeId),
     /// Application command issued from a handler on `PeId`.
     Cmd(PeId, Cmd),
+    /// A node goes down (`up = false`, volatile state lost) or a fresh
+    /// incarnation boots (`up = true`). Scheduled from the fault plan's
+    /// crash windows at cluster construction.
+    NodeLife(NodeId, bool),
+    /// Enact crash recovery for a declared-dead node (scheduled by the
+    /// failure detector; waits for the node's restart when one is coming).
+    FtRecover(NodeId),
 }
 
 pub(crate) struct PeState {
     /// Prioritized Converse scheduler queue: (priority, seq) ordering,
     /// FIFO within a priority (Charm++'s prioritized execution).
-    queue: std::collections::BinaryHeap<std::cmp::Reverse<PrioEnv>>,
+    pub(crate) queue: std::collections::BinaryHeap<std::cmp::Reverse<PrioEnv>>,
     queue_seq: u64,
-    busy_until: Time,
-    run_scheduled: bool,
+    pub(crate) busy_until: Time,
+    pub(crate) run_scheduled: bool,
     /// Machine events deferred while this PE was busy, drained by a single
     /// ParkedWake event (re-queueing each one individually is quadratic
     /// under load).
     parked: VecDeque<Box<dyn Any + Send>>,
     parked_wake: bool,
-    user: Box<dyn Any + Send>,
+    pub(crate) user: Box<dyn Any + Send>,
     rng: DetRng,
     pub(crate) charm: CharmPe,
     qd: QdPe,
@@ -146,13 +154,18 @@ pub(crate) struct PeState {
     /// PE (`pe << 32 | local`) so allocation is identical no matter which
     /// thread executes the PE in parallel mode.
     next_persistent: u64,
+    /// This PE's own latest checkpoint (survivors roll back to it).
+    pub(crate) ft_local: Option<Arc<FtSnapshot>>,
+    /// Buddy copies this PE holds for remote PEs (keyed by owner PE;
+    /// BTreeMap so recovery scans are deterministic).
+    pub(crate) ft_buddy: std::collections::BTreeMap<PeId, Arc<FtSnapshot>>,
 }
 
 /// Queue entry ordered by (priority, arrival sequence).
 pub(crate) struct PrioEnv {
     prio: u16,
     seq: u64,
-    env: Envelope,
+    pub(crate) env: Envelope,
 }
 
 impl PartialEq for PrioEnv {
@@ -176,7 +189,8 @@ impl Ord for PrioEnv {
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ClusterStats {
     pub events: u64,
-    /// Event-type breakdown: [PeRun, Deliver, Machine, MachineNow, Cmd].
+    /// Event-type breakdown: [PeRun, Deliver, Machine, MachineNow, Cmd]
+    /// (NodeLife/FtRecover count under the Machine bucket).
     pub event_kinds: [u64; 5],
     pub handlers_run: u64,
     pub msgs_sent: u64,
@@ -186,6 +200,12 @@ pub struct ClusterStats {
     /// Converse self-send loopback).
     pub net_msgs: u64,
     pub net_bytes: u64,
+    /// Events discarded because their target node was inside a crash
+    /// window (its cores and NIC were dead).
+    pub ft_dead_drops: u64,
+    /// Messages discarded because they were sent in a pre-recovery
+    /// membership epoch (rollback-replay exactly-once).
+    pub ft_stale_drops: u64,
 }
 
 /// Result of [`Cluster::run`].
@@ -201,23 +221,37 @@ pub struct RunReport {
 pub struct Cluster {
     pub cfg: ClusterCfg,
     now: Time,
-    events: EventQueue<Event>,
+    pub(crate) events: EventQueue<Event>,
     pub(crate) pes: Vec<PeState>,
     layer: Option<Box<dyn MachineLayer>>,
     #[allow(clippy::type_complexity)]
     handlers: Vec<Arc<dyn Fn(&mut PeCtx, Envelope) + Send + Sync>>,
     pub(crate) charm: CharmRegistry,
-    trace: Trace,
+    pub(crate) trace: Trace,
     stats: ClusterStats,
     stopped: bool,
-    /// Handlers whose traffic is excluded from quiescence counting (QD's
-    /// own control messages and the QD client notification).
-    system_handlers: std::collections::HashSet<u16>,
+    /// Handlers whose traffic is excluded from quiescence counting and
+    /// from the membership-epoch gate (QD's control messages and the FT
+    /// control plane — heartbeats and detector ticks are epoch-agnostic).
+    pub(crate) system_handlers: std::collections::HashSet<u16>,
     qd: Option<QdState>,
+    /// Per-node liveness under the fault plan's crash windows: a down
+    /// node's events are discarded at dispatch (its cores are dead).
+    pub(crate) node_down: Vec<bool>,
+    /// True when any crash-window machinery is armed (crash windows in the
+    /// plan or the FT subsystem installed): gates the per-event liveness
+    /// and epoch checks so crash-free runs pay nothing.
+    pub(crate) crash_gate: bool,
+    /// Fault-tolerance subsystem state (heartbeat failure detector + buddy
+    /// checkpointing), installed by [`Cluster::enable_ft`].
+    pub(crate) ft: Option<FtCore>,
 }
 
 impl Cluster {
     pub fn new(cfg: ClusterCfg, layer: Box<dyn MachineLayer>) -> Self {
+        if let Err(e) = cfg.fault.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         let trace = Trace::new(cfg.num_pes, cfg.trace_bucket);
         let pes = (0..cfg.num_pes)
             .map(|pe| PeState {
@@ -232,8 +266,12 @@ impl Cluster {
                 charm: CharmPe::default(),
                 qd: QdPe::default(),
                 next_persistent: 0,
+                ft_local: None,
+                ft_buddy: std::collections::BTreeMap::new(),
             })
             .collect();
+        let node_down = vec![false; cfg.num_nodes() as usize];
+        let crash_gate = cfg.fault.has_node_crash();
         let mut c = Cluster {
             cfg,
             now: 0,
@@ -247,11 +285,28 @@ impl Cluster {
             stopped: false,
             system_handlers: std::collections::HashSet::new(),
             qd: None,
+            node_down,
+            crash_gate,
+            ft: None,
         };
+        c.charm.route = (0..c.cfg.num_pes).collect();
         // Handler 0 is reserved for the Charm dispatch (arrays, broadcast,
         // reductions — see charm.rs).
         let h = c.register_handler(crate::charm::dispatch);
         debug_assert_eq!(h, crate::charm::CHARM_HANDLER);
+        // Schedule the plan's crash windows as first-class events.
+        for w in c.cfg.fault.node_crash.clone() {
+            assert!(
+                w.node < c.cfg.num_nodes(),
+                "crash window names node {} but the job has {} nodes",
+                w.node,
+                c.cfg.num_nodes()
+            );
+            c.events.push(w.at_ns, Event::NodeLife(w.node, false));
+            if let Some(r) = w.restart_at() {
+                c.events.push(r, Event::NodeLife(w.node, true));
+            }
+        }
         // Give the machine layer its LrtsInit call at t=0.
         let mut layer = c.layer.take().expect("layer");
         {
@@ -359,6 +414,25 @@ impl Cluster {
     /// or `max_events` is hit. With `cfg.threads > 1` this dispatches to
     /// [`Cluster::run_parallel`]; results are bit-identical either way.
     pub fn run(&mut self) -> RunReport {
+        if self.ft.is_some() {
+            assert!(
+                self.qd.is_none(),
+                "fault tolerance and quiescence detection cannot be combined \
+                 (QD's global ledger has no rollback story)"
+            );
+            self.ft_bootstrap();
+        } else {
+            assert!(
+                !self
+                    .cfg
+                    .fault
+                    .node_crash
+                    .iter()
+                    .any(|w| w.restart_after_ns.is_some()),
+                "a restart window without fault tolerance rejoins an empty node: \
+                 call enable_ft() or drop restart_after_ns"
+            );
+        }
         if self.cfg.threads > 1 {
             self.run_parallel(self.cfg.threads)
         } else {
@@ -387,8 +461,15 @@ impl Cluster {
                 Event::Machine(..) | Event::ParkedWake(_) => 2,
                 Event::MachineNow(..) => 3,
                 Event::Cmd(..) => 4,
+                Event::NodeLife(..) | Event::FtRecover(_) => 2,
             }] += 1;
             self.dispatch(t, ev);
+            // Handlers queue FT work (checkpoints, failure declarations)
+            // instead of mutating global state mid-event; enact it here so
+            // every snapshot/restore sees a consistent cluster.
+            if self.ft.is_some() {
+                self.ft_pump(t);
+            }
         }
         RunReport {
             end_time: self.now,
@@ -397,12 +478,42 @@ impl Cluster {
         }
     }
 
+    /// Is `pe`'s node currently inside a crash window? (Cheap gate first:
+    /// crash-free runs never index the liveness table.)
+    fn pe_node_down(&self, pe: PeId) -> bool {
+        self.crash_gate && self.node_down[(pe / self.cfg.cores_per_node) as usize]
+    }
+
     fn dispatch(&mut self, t: Time, ev: Event) {
         match ev {
-            Event::PeRun(pe) => self.pe_run(t, pe),
+            Event::PeRun(pe) => {
+                if self.pe_node_down(pe) {
+                    self.stats.ft_dead_drops += 1;
+                    return;
+                }
+                self.pe_run(t, pe)
+            }
             Event::Deliver(pe, bytes) => {
                 let env = Envelope::decode(&bytes);
                 debug_assert_eq!(env.dst_pe, pe);
+                if self.crash_gate {
+                    if self.node_down[(pe / self.cfg.cores_per_node) as usize] {
+                        // The destination's cores are dead: the message is
+                        // lost with the node (rollback-replay regenerates
+                        // it in the next epoch).
+                        self.stats.ft_dead_drops += 1;
+                        return;
+                    }
+                    let cur = self.ft.as_ref().map_or(0, |f| f.epoch);
+                    if env.epoch < cur && !self.system_handlers.contains(&env.handler.0) {
+                        // Sent before the last recovery rolled the
+                        // membership epoch: the replay already (or will)
+                        // re-send it, so delivering this copy would break
+                        // exactly-once.
+                        self.stats.ft_stale_drops += 1;
+                        return;
+                    }
+                }
                 self.stats.msgs_delivered += 1;
                 self.trace.count_msg(pe);
                 let st = &mut self.pes[pe as usize];
@@ -423,6 +534,11 @@ impl Cluster {
                 }
             }
             Event::Machine(pe, mev) => {
+                if self.pe_node_down(pe) {
+                    // Dead NIC: the progress engine on this node is gone.
+                    self.stats.ft_dead_drops += 1;
+                    return;
+                }
                 let st = &mut self.pes[pe as usize];
                 if st.busy_until > t {
                     // Progress only happens when the PE is free: park the
@@ -438,9 +554,17 @@ impl Cluster {
                 self.with_layer(t, |layer, ctx| layer.on_event(ctx, pe, mev));
             }
             Event::MachineNow(pe, mev) => {
+                if self.pe_node_down(pe) {
+                    self.stats.ft_dead_drops += 1;
+                    return;
+                }
                 self.with_layer(t, |layer, ctx| layer.on_event(ctx, pe, mev));
             }
             Event::ParkedWake(pe) => {
+                if self.pe_node_down(pe) {
+                    self.stats.ft_dead_drops += 1;
+                    return;
+                }
                 self.pes[pe as usize].parked_wake = false;
                 loop {
                     let st = &mut self.pes[pe as usize];
@@ -460,6 +584,14 @@ impl Cluster {
                 }
             }
             Event::Cmd(pe, cmd) => {
+                if self.pe_node_down(pe) {
+                    // A command issued by a PE that has since crashed; its
+                    // send dies with the node. (Commands from live PEs to
+                    // dead destinations still reach the layer — the fabric
+                    // surfaces NodeDown and the retry machinery reacts.)
+                    self.stats.ft_dead_drops += 1;
+                    return;
+                }
                 self.with_layer(t, |layer, ctx| match cmd {
                     Cmd::Send { dst, msg } => layer.sync_send(ctx, pe, dst, msg),
                     Cmd::CreatePersistent {
@@ -472,10 +604,61 @@ impl Cluster {
                     }
                 });
             }
+            Event::NodeLife(node, up) => self.node_life(t, node, up),
+            Event::FtRecover(node) => self.ft_recover(t, node),
         }
     }
 
-    fn with_layer(&mut self, t: Time, f: impl FnOnce(&mut dyn MachineLayer, &mut MachineCtx)) {
+    /// Enact a crash-window edge: take the node's volatile state down, or
+    /// record its fresh (empty) incarnation.
+    fn node_life(&mut self, t: Time, node: NodeId, up: bool) {
+        if !up {
+            self.node_down[node as usize] = true;
+            // The machine layer loses the node's NIC state too (armed
+            // polls, backlogs): without this the layer would keep
+            // coalescing onto progress events that were dropped with the
+            // node, wedging its connections after a restart.
+            self.with_layer(t, |layer, ctx| layer.node_fault(ctx, node));
+            let lo = node * self.cfg.cores_per_node;
+            let hi = (lo + self.cfg.cores_per_node).min(self.cfg.num_pes);
+            for pe in lo..hi {
+                let st = &mut self.pes[pe as usize];
+                // Volatile state is lost with the node. Scheduler queues,
+                // parked machine events, user state, chare elements, and
+                // even the node's own checkpoint copies (they live in its
+                // memory) — only the buddy copies on other nodes survive.
+                st.queue.clear();
+                st.run_scheduled = false;
+                st.parked.clear();
+                st.parked_wake = false;
+                st.user = Box::new(());
+                st.charm.wipe();
+                st.ft_local = None;
+                st.ft_buddy.clear();
+            }
+            return;
+        }
+        match &mut self.ft {
+            Some(ft) => {
+                // Stay gated (node_down remains true) until recovery
+                // restores the PEs from their buddy checkpoints: the empty
+                // incarnation must not consume application messages.
+                ft.restarted.insert(node);
+            }
+            None => {
+                // Without FT a restart would rejoin an empty node; run()
+                // rejects such plans up front, so this is unreachable in
+                // practice but harmless: the node simply reports back up.
+                self.node_down[node as usize] = false;
+            }
+        }
+    }
+
+    pub(crate) fn with_layer(
+        &mut self,
+        t: Time,
+        f: impl FnOnce(&mut dyn MachineLayer, &mut MachineCtx),
+    ) {
         let mut layer = self.layer.take().expect("machine layer reentrancy");
         {
             let mut ctx = MachineCtx {
@@ -512,6 +695,7 @@ impl Cluster {
 
         let mut outbox: Vec<(Time, Event)> = Vec::new();
         let mut stop = false;
+        let epoch = self.ft.as_ref().map_or(0, |f| f.epoch);
         let (charged_app, charged_ovh) = {
             let st = &mut self.pes[pe as usize];
             let mut ctx = PeCtx {
@@ -531,6 +715,8 @@ impl Cluster {
                 qd_pe: &mut st.qd,
                 qd_global: &mut self.qd,
                 system_handlers: &self.system_handlers,
+                ft_global: &mut self.ft,
+                epoch,
             };
             handler(&mut ctx, env);
             (ctx.charged_app, ctx.charged_ovh)
@@ -577,10 +763,19 @@ impl Cluster {
     ///
     /// Falls back to the sequential engine when parallelism cannot help or
     /// is unsupported: `threads <= 1`, fewer than two nodes, quiescence
-    /// detection installed (QD shares one global ledger), or the
-    /// `legacy-heap` queue feature.
+    /// detection installed (QD shares one global ledger), the `legacy-heap`
+    /// queue feature, or node-crash chaos (crash enactment and checkpoint/
+    /// recovery mutate PE state across every partition at one instant,
+    /// which the windowed engine cannot interleave — forcing serial keeps
+    /// crash runs bit-identical at any thread count).
     pub fn run_parallel(&mut self, threads: u32) -> RunReport {
-        if threads <= 1 || self.qd.is_some() || sim_core::LEGACY_HEAP || self.cfg.num_nodes() < 2 {
+        if threads <= 1
+            || self.qd.is_some()
+            || sim_core::LEGACY_HEAP
+            || self.cfg.num_nodes() < 2
+            || self.ft.is_some()
+            || self.cfg.fault.has_node_crash()
+        {
             return self.run_seq();
         }
         let nparts = threads.min(self.cfg.num_nodes());
@@ -785,6 +980,11 @@ impl MachineCtx<'_> {
                         None
                     }
                     Event::Cmd(..) => None,
+                    // Node-crash plans force the sequential engine, so
+                    // these never reach the parallel backend.
+                    Event::NodeLife(..) | Event::FtRecover(_) => {
+                        unreachable!("crash events in the parallel backend")
+                    }
                 };
                 match target {
                     Some(pe) => {
@@ -902,6 +1102,8 @@ impl ClusterStats {
         self.bytes_sent += o.bytes_sent;
         self.net_msgs += o.net_msgs;
         self.net_bytes += o.net_bytes;
+        self.ft_dead_drops += o.ft_dead_drops;
+        self.ft_stale_drops += o.ft_stale_drops;
     }
 }
 
@@ -1024,8 +1226,10 @@ fn exec_local_event(
 
             let mut outbox: Vec<(Time, Event)> = Vec::new();
             let mut stop = false;
-            // QD forces the sequential engine; handlers here never touch it.
+            // QD and FT both force the sequential engine; handlers here
+            // never touch either.
             let mut no_qd: Option<QdState> = None;
+            let mut no_ft: Option<FtCore> = None;
             let (charged_app, charged_ovh) = {
                 let st = &mut pes[sti];
                 let mut ctx = PeCtx {
@@ -1045,6 +1249,8 @@ fn exec_local_event(
                     qd_pe: &mut st.qd,
                     qd_global: &mut no_qd,
                     system_handlers: env.system_handlers,
+                    ft_global: &mut no_ft,
+                    epoch: 0,
                 };
                 handler(&mut ctx, menv);
                 (ctx.charged_app, ctx.charged_ovh)
@@ -1343,6 +1549,7 @@ impl ParDriver<'_> {
             Event::Machine(..) | Event::ParkedWake(_) => 2,
             Event::MachineNow(..) => 3,
             Event::Cmd(..) => 4,
+            Event::NodeLife(..) | Event::FtRecover(_) => 2,
         }] += 1;
         match ev {
             Event::Machine(pe, mev) => {
@@ -1400,6 +1607,9 @@ impl ParDriver<'_> {
             }
             Event::PeRun(_) | Event::Deliver(..) => {
                 unreachable!("PE-local events live in partition queues")
+            }
+            Event::NodeLife(..) | Event::FtRecover(_) => {
+                unreachable!("node-crash plans force the sequential engine")
             }
         }
     }
@@ -1619,6 +1829,11 @@ pub struct PeCtx<'a> {
     qd_pe: &'a mut QdPe,
     qd_global: &'a mut Option<QdState>,
     system_handlers: &'a std::collections::HashSet<u16>,
+    /// FT subsystem state (None when FT is off — FT forces the sequential
+    /// engine, so parallel execution always sees None here).
+    ft_global: &'a mut Option<FtCore>,
+    /// Membership epoch stamped on every send from this handler.
+    epoch: u32,
 }
 
 impl PeCtx<'_> {
@@ -1666,7 +1881,7 @@ impl PeCtx<'_> {
             self.qd_pe.sent += 1;
         }
         let at = self.now();
-        let env = Envelope::new(self.pe, dst, handler, payload);
+        let env = Envelope::new(self.pe, dst, handler, payload).with_epoch(self.epoch);
         let bytes = env.encode();
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
@@ -1688,7 +1903,9 @@ impl PeCtx<'_> {
             self.qd_pe.sent += 1;
         }
         let at = self.now();
-        let env = Envelope::new(self.pe, dst, handler, payload).with_priority(priority);
+        let env = Envelope::new(self.pe, dst, handler, payload)
+            .with_priority(priority)
+            .with_epoch(self.epoch);
         let bytes = env.encode();
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
@@ -1703,11 +1920,28 @@ impl PeCtx<'_> {
     /// Deferred send (timer): like [`PeCtx::send`] but leaving after
     /// `delay` ns of additional virtual time.
     pub fn send_after(&mut self, delay: Time, dst: PeId, handler: HandlerId, payload: Bytes) {
+        self.send_after_prio(delay, dst, handler, payload, crate::msg::DEFAULT_PRIO)
+    }
+
+    /// [`PeCtx::send_after`] with an explicit scheduling priority. The FT
+    /// heartbeat chains use priority 0: a timer that queues behind a
+    /// saturated PE's application backlog drifts by the backlog depth,
+    /// which would turn scheduler pressure into false failure suspicions.
+    pub fn send_after_prio(
+        &mut self,
+        delay: Time,
+        dst: PeId,
+        handler: HandlerId,
+        payload: Bytes,
+        priority: u16,
+    ) {
         if !self.system_handlers.contains(&handler.0) {
             self.qd_pe.sent += 1;
         }
         let at = self.now() + delay;
-        let env = Envelope::new(self.pe, dst, handler, payload);
+        let env = Envelope::new(self.pe, dst, handler, payload)
+            .with_priority(priority)
+            .with_epoch(self.epoch);
         let bytes = env.encode();
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
@@ -1757,7 +1991,7 @@ impl PeCtx<'_> {
             self.qd_pe.sent += 1;
         }
         let at = self.now();
-        let env = Envelope::new(self.pe, dst, h, payload);
+        let env = Envelope::new(self.pe, dst, h, payload).with_epoch(self.epoch);
         let bytes = env.encode();
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
@@ -1791,6 +2025,38 @@ impl PeCtx<'_> {
         self.qd_global
             .as_mut()
             .expect("quiescence detection not installed")
+    }
+
+    /// The fault-tolerance core state (panics when FT is not enabled; only
+    /// the FT system handlers call this).
+    pub(crate) fn ft_state(&mut self) -> &mut FtCore {
+        self.ft_global
+            .as_mut()
+            .expect("fault tolerance not enabled")
+    }
+
+    /// The current membership epoch (0 when fault tolerance is off).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Request a checkpoint if the configured cadence has elapsed since the
+    /// last one. Apps call this from a quiescent point (e.g. a reduction
+    /// client); the snapshot itself is taken by the driver between events,
+    /// after this handler returns. Returns whether a checkpoint was queued.
+    /// No-op (false) when fault tolerance is off, so apps can call it
+    /// unconditionally.
+    pub fn ft_maybe_checkpoint(&mut self) -> bool {
+        let now = self.now();
+        let Some(ft) = self.ft_global.as_mut() else {
+            return false;
+        };
+        if now < ft.last_ckpt.saturating_add(ft.cfg.ckpt_period) {
+            return false;
+        }
+        ft.last_ckpt = now;
+        ft.pending.push(crate::ft::FtAction::Checkpoint);
+        true
     }
 }
 

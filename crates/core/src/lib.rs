@@ -36,6 +36,7 @@
 
 pub mod charm;
 pub mod cluster;
+pub mod ft;
 pub mod ideal;
 pub mod lrts;
 pub mod msg;
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use crate::cluster::{
         default_threads, set_default_threads, Cluster, ClusterCfg, MachineCtx, PeCtx, RunReport,
     };
+    pub use crate::ft::{Checkpoint, FtConfig, FtReport};
     pub use crate::ideal::IdealLayer;
     pub use crate::lrts::{MachineLayer, PersistentHandle};
     pub use crate::msg::{wire, Envelope, HandlerId, PeId};

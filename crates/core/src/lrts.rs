@@ -88,4 +88,12 @@ pub trait MachineLayer {
     ) {
         self.sync_send(ctx, src_pe, dst_pe, msg);
     }
+
+    /// A node entered a crash window: its NIC-side state (armed progress
+    /// polls, outbound backlogs, half-open transactions rooted on its PEs)
+    /// dies with the node's memory. Without this the layer's poll
+    /// coalescing can point at progress events the runtime dropped on the
+    /// dead node's floor, wedging the connection after a restart. Layers
+    /// with no per-node progress state can keep the no-op default.
+    fn node_fault(&mut self, _ctx: &mut MachineCtx, _node: gemini_net::NodeId) {}
 }

@@ -41,6 +41,12 @@ pub struct Envelope {
     pub handler: HandlerId,
     /// Scheduling priority: smaller runs first; FIFO within a priority.
     pub priority: u16,
+    /// Membership epoch the message was sent in. Rolls forward on every
+    /// crash recovery; the driver discards messages from earlier epochs so
+    /// rollback-replay stays exactly-once. Always 0 when fault tolerance is
+    /// off — the wire bytes are then identical to the pre-epoch format
+    /// (this field occupies previously zero-padded header bytes).
+    pub epoch: u32,
     pub payload: Bytes,
 }
 
@@ -51,12 +57,18 @@ impl Envelope {
             dst_pe,
             handler,
             priority: DEFAULT_PRIO,
+            epoch: 0,
             payload,
         }
     }
 
     pub fn with_priority(mut self, priority: u16) -> Self {
         self.priority = priority;
+        self
+    }
+
+    pub fn with_epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
         self
     }
 
@@ -97,8 +109,9 @@ impl Envelope {
         b.put_u32(self.dst_pe);
         b.put_u32(self.payload.len() as u32);
         b.put_u16(self.priority);
+        b.put_u32(self.epoch);
         // Pad the header to its fixed size.
-        b.put_bytes(0, HEADER_BYTES - 18);
+        b.put_bytes(0, HEADER_BYTES - 22);
     }
 
     /// Deserialize from the wire format. Panics on a malformed buffer —
@@ -116,6 +129,7 @@ impl Envelope {
         let dst_pe = u32::from_be_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]);
         let len = u32::from_be_bytes([hdr[12], hdr[13], hdr[14], hdr[15]]) as usize;
         let priority = u16::from_be_bytes([hdr[16], hdr[17]]);
+        let epoch = u32::from_be_bytes([hdr[18], hdr[19], hdr[20], hdr[21]]);
         assert_eq!(
             buf.len(),
             HEADER_BYTES + len,
@@ -128,6 +142,7 @@ impl Envelope {
             dst_pe,
             handler,
             priority,
+            epoch,
             payload: buf.slice(HEADER_BYTES..),
         }
     }
@@ -219,6 +234,20 @@ mod tests {
         let d = Envelope::decode(&e.encode());
         assert_eq!(d.priority, 7);
         assert_eq!(d, e);
+    }
+
+    #[test]
+    fn epoch_survives_the_wire_and_zero_matches_legacy_padding() {
+        let e = Envelope::new(1, 2, HandlerId(3), Bytes::from_static(b"p")).with_epoch(5);
+        let d = Envelope::decode(&e.encode());
+        assert_eq!(d.epoch, 5);
+        assert_eq!(d, e);
+        // Epoch 0 occupies bytes that used to be header zero-padding: the
+        // encoded buffer of a non-FT message is byte-identical to the
+        // pre-epoch wire format.
+        let legacy = Envelope::new(1, 2, HandlerId(3), Bytes::from_static(b"p"));
+        let wire = legacy.encode();
+        assert!(wire[18..HEADER_BYTES].iter().all(|&b| b == 0));
     }
 
     #[test]

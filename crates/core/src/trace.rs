@@ -17,10 +17,15 @@ pub enum Kind {
     /// Runtime overhead: scheduling, protocol processing, copies.
     Overhead,
     /// Fault-recovery work: transaction retries, CQ overrun resyncs,
-    /// registration fallbacks. Zero in fault-free runs; splitting it from
-    /// ordinary overhead makes chaos-mode profiles show what robustness
-    /// costs.
+    /// registration fallbacks, crash-recovery restores and replays. Zero in
+    /// fault-free runs; splitting it from ordinary overhead makes
+    /// chaos-mode profiles show what robustness costs.
     Recovery,
+    /// Checkpoint work: serializing PE state and shipping it to the buddy
+    /// node. Proactive (it runs in fault-free time too, unlike
+    /// [`Kind::Recovery`]), so it gets its own bucket — the cadence sweep
+    /// reads checkpoint overhead directly from here.
+    Checkpoint,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -28,6 +33,7 @@ struct Acc {
     busy: Time,
     ovh: Time,
     rec: Time,
+    ckpt: Time,
 }
 
 /// One buffered trace mutation from a parallel-phase event execution
@@ -50,6 +56,7 @@ pub struct ProfileRow {
     pub busy_frac: f64,
     pub overhead_frac: f64,
     pub recovery_frac: f64,
+    pub checkpoint_frac: f64,
     pub idle_frac: f64,
 }
 
@@ -111,6 +118,7 @@ impl Trace {
             Kind::Busy => acc.busy += dur,
             Kind::Overhead => acc.ovh += dur,
             Kind::Recovery => acc.rec += dur,
+            Kind::Checkpoint => acc.ckpt += dur,
         }
         self.end = self.end.max(start + dur);
         if self.bucket_ns.is_none() {
@@ -148,6 +156,7 @@ impl Trace {
                 Kind::Busy => self.buckets[b].busy += d,
                 Kind::Overhead => self.buckets[b].ovh += d,
                 Kind::Recovery => self.buckets[b].rec += d,
+                Kind::Checkpoint => self.buckets[b].ckpt += d,
             }
             t = seg_end;
         }
@@ -186,6 +195,10 @@ impl Trace {
         self.per_pe.iter().map(|a| a.rec).sum()
     }
 
+    pub fn total_checkpoint(&self) -> Time {
+        self.per_pe.iter().map(|a| a.ckpt).sum()
+    }
+
     pub fn total_msgs(&self) -> u64 {
         self.msgs.iter().sum()
     }
@@ -208,11 +221,14 @@ impl Trace {
     }
 
     /// Whole-run utilization fractions `(busy, overhead, recovery, idle)`.
+    /// Checkpoint time is folded into the overhead fraction (it is
+    /// proactive runtime work); read [`Trace::total_checkpoint`] for the
+    /// split.
     pub fn utilization_with_recovery(&self, span: Option<Time>) -> (f64, f64, f64, f64) {
         let span = span.unwrap_or(self.end).max(1);
         let cap = (span as f64) * self.per_pe.len() as f64;
         let busy = self.total_busy() as f64 / cap;
-        let ovh = self.total_overhead() as f64 / cap;
+        let ovh = (self.total_overhead() + self.total_checkpoint()) as f64 / cap;
         let rec = self.total_recovery() as f64 / cap;
         (busy, ovh, rec, (1.0 - busy - ovh - rec).max(0.0))
     }
@@ -243,6 +259,7 @@ impl Trace {
                     Kind::Busy => buckets[b].busy += d,
                     Kind::Overhead => buckets[b].ovh += d,
                     Kind::Recovery => buckets[b].rec += d,
+                    Kind::Checkpoint => buckets[b].ckpt += d,
                 }
                 t = seg_end;
             }
@@ -255,12 +272,14 @@ impl Trace {
                 let busy = a.busy as f64 / cap;
                 let ovh = a.ovh as f64 / cap;
                 let rec = a.rec as f64 / cap;
+                let ckpt = a.ckpt as f64 / cap;
                 ProfileRow {
                     t: i as Time * w,
                     busy_frac: busy,
                     overhead_frac: ovh,
                     recovery_frac: rec,
-                    idle_frac: (1.0 - busy - ovh - rec).max(0.0),
+                    checkpoint_frac: ckpt,
+                    idle_frac: (1.0 - busy - ovh - rec - ckpt).max(0.0),
                 }
             })
             .collect()
@@ -280,6 +299,7 @@ impl Trace {
                 Kind::Busy => "busy",
                 Kind::Overhead => "ovhd",
                 Kind::Recovery => "rcvy",
+                Kind::Checkpoint => "ckpt",
             };
             out.push_str(&format!("{pe} {start} {dur} {k}\n"));
         }
@@ -289,14 +309,15 @@ impl Trace {
     /// ASCII rendering of the profile, one row per bucket.
     pub fn render_profile(&self) -> String {
         let mut out = String::new();
-        out.push_str("      t        busy%   ovhd%   rcvy%   idle%\n");
+        out.push_str("      t        busy%   ovhd%   rcvy%   ckpt%   idle%\n");
         for r in self.profile() {
             out.push_str(&format!(
-                "{:>10}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}\n",
+                "{:>10}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}\n",
                 time::fmt(r.t),
                 r.busy_frac * 100.0,
                 r.overhead_frac * 100.0,
                 r.recovery_frac * 100.0,
+                r.checkpoint_frac * 100.0,
                 r.idle_frac * 100.0
             ));
         }
@@ -435,6 +456,25 @@ mod tests {
         assert!((p[0].recovery_frac - 0.5).abs() < 1e-9);
         assert!((p[0].idle_frac - 0.5).abs() < 1e-9);
         assert!(t.render_profile().contains("rcvy%"));
+    }
+
+    #[test]
+    fn checkpoint_is_tracked_separately_and_folds_into_overhead() {
+        let mut t = Trace::new(1, Some(100));
+        t.enable_log();
+        t.record(0, 0, 300, Kind::Busy);
+        t.record(0, 300, 100, Kind::Checkpoint);
+        assert_eq!(t.total_checkpoint(), 100);
+        assert_eq!(t.total_overhead(), 0);
+        let (b, o, r, i) = t.utilization_with_recovery(Some(1000));
+        assert!((b - 0.3).abs() < 1e-9);
+        assert!((o - 0.1).abs() < 1e-9, "checkpoint folds into overhead");
+        assert_eq!(r, 0.0);
+        assert!((b + o + r + i - 1.0).abs() < 1e-9);
+        assert!(t.export_log().contains("0 300 100 ckpt"));
+        let p = t.profile();
+        assert!((p[3].checkpoint_frac - 1.0).abs() < 1e-9);
+        assert!(t.render_profile().contains("ckpt%"));
     }
 
     #[test]

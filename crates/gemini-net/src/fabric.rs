@@ -82,6 +82,9 @@ pub struct FabricStats {
     /// Transactions refused because every minimal route crossed a downed
     /// link.
     pub faults_link_down: u64,
+    /// Transactions refused because an endpoint node was inside a crash
+    /// window: its NIC was not servicing any engine.
+    pub faults_node_down: u64,
     /// Injected `GNI_MemRegister` resource failures.
     pub faults_reg: u64,
 }
@@ -194,6 +197,15 @@ impl Fabric {
         (r, down)
     }
 
+    /// Is either endpoint of a transaction inside a node-crash window at
+    /// `at`? Purely schedule-driven — never touches the fault RNG, so plans
+    /// whose only entries are crash windows leave every surviving
+    /// transaction's timing and fault stream untouched.
+    fn endpoint_down(&self, a: NodeId, b: NodeId, at: Time) -> bool {
+        let f = &self.params.fault;
+        !f.node_crash.is_empty() && (f.node_is_down(a, at) || f.node_is_down(b, at))
+    }
+
     /// Roll the fault dice for one transaction. Draws from the fault RNG
     /// only when a probability is actually nonzero.
     fn fault_decide(&mut self, drop_p: f64, corrupt_p: f64) -> Option<FaultKind> {
@@ -258,6 +270,19 @@ impl Fabric {
 
         let route = self.topo.route(src, dst);
         let cpu = self.params.smsg_send_cpu;
+        // Crashed endpoint: the NIC on one side is dead, so nothing is
+        // transmitted and no fault RNG is consulted.
+        if self.endpoint_down(src, dst, now) {
+            self.stats.faults_node_down += 1;
+            let error_at =
+                now + cpu + self.params.injection_latency + self.links.control_latency(&route);
+            return Err(SmsgError::TransactionError {
+                kind: FaultKind::NodeDown,
+                cpu,
+                error_at,
+                delivered_at: None,
+            });
+        }
         // Link outage: nothing is transmitted; the sending NIC learns of
         // the dead path after a control round-trip.
         if self.params.fault.route_is_down(&route, now) {
@@ -346,6 +371,17 @@ impl Fabric {
 
         let route = self.topo.route(src, dst);
         let cpu = self.params.smsg_send_cpu + self.params.msgq_extra_cpu;
+        if self.endpoint_down(src, dst, now) {
+            self.stats.faults_node_down += 1;
+            let error_at =
+                now + cpu + self.params.injection_latency + self.links.control_latency(&route);
+            return Err(SmsgError::TransactionError {
+                kind: FaultKind::NodeDown,
+                cpu,
+                error_at,
+                delivered_at: None,
+            });
+        }
         if self.params.fault.route_is_down(&route, now) {
             self.stats.faults_link_down += 1;
             let error_at =
@@ -438,6 +474,17 @@ impl Fabric {
         // transaction fails without touching the wire — the NIC raises an
         // error CQ event after the dead path is discovered.
         let (route, route_down) = self.pick_route(data_src, data_dst, now);
+        if self.endpoint_down(data_src, data_dst, now) {
+            self.stats.faults_node_down += 1;
+            let error_at =
+                now + cpu + startup + p.injection_latency + self.links.control_latency(&route);
+            return RdmaOutcome {
+                cpu,
+                local_cq_at: error_at,
+                data_at: error_at,
+                fault: Some(FaultKind::NodeDown),
+            };
+        }
         if route_down {
             self.stats.faults_link_down += 1;
             let error_at =

@@ -25,7 +25,7 @@ pub mod reg;
 pub mod topology;
 
 pub use fabric::{near_cubic, Fabric, FabricStats, RdmaOutcome, SmsgError, SmsgOutcome};
-pub use fault::{FaultKind, FaultPlan, LinkDownWindow};
+pub use fault::{FaultKind, FaultPlan, FaultPlanError, LinkDownWindow, NodeCrashWindow};
 pub use params::{GeminiParams, Mechanism, RdmaOp, PAGE};
 pub use reg::{Addr, DeregError, MemHandle, RegCache, RegTable};
 pub use topology::{LinkId, NodeId, Torus};

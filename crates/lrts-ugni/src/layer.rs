@@ -179,6 +179,10 @@ pub struct UgniStats {
     /// Duplicate small-path messages suppressed by the receiver (resends
     /// after a corrupted-completion delivery).
     pub dup_drops: u64,
+    /// Sends and re-posts abandoned because the peer's node is inside a
+    /// crash window it never leaves (retrying forever would wedge the
+    /// connection; the FT layer above re-drives delivery after recovery).
+    pub dead_peer_drops: u64,
     /// Total CPU time charged as fault recovery.
     pub recovery_ns: Time,
 }
@@ -532,6 +536,19 @@ impl UgniLayer {
                     e.backoff
                 };
                 let at = error_at.max(now) + backoff;
+                if self
+                    .cfg
+                    .params
+                    .fault
+                    .node_dead_forever(ctx.node_of(dst_pe), at)
+                {
+                    // The peer is gone and never coming back: retrying
+                    // forever would wedge the connection. Give up; with FT
+                    // enabled the rollback-replay path regenerates the
+                    // message for whichever PE adopts the destination.
+                    self.stats.dead_peer_drops += 1;
+                    return false;
+                }
                 self.park_and_arm(ctx, src_pe, dst_pe, tag, data, at, front);
                 false
             }
@@ -715,6 +732,20 @@ impl UgniLayer {
                 };
                 r.backoff = next_backoff(r.backoff);
                 let at = ctx.now() + r.backoff;
+                // The GET pulls from the sender's memory: a sender node
+                // that is down for good can never serve it. Abandon the
+                // transfer instead of re-posting forever.
+                let peer = r.src_pe;
+                if self
+                    .cfg
+                    .params
+                    .fault
+                    .node_dead_forever(ctx.node_of(peer), at)
+                {
+                    self.stats.dead_peer_drops += 1;
+                    self.recvs.remove(&xid);
+                    return;
+                }
                 ctx.schedule_nodefer(at, pe, Box::new(Ev::PostGet { xid }));
             }
             RdmaOp::Put => {
@@ -723,6 +754,18 @@ impl UgniLayer {
                 };
                 p.backoff = next_backoff(p.backoff);
                 let at = ctx.now() + p.backoff;
+                let peer = p.dst_pe;
+                if self
+                    .cfg
+                    .params
+                    .fault
+                    .node_dead_forever(ctx.node_of(peer), at)
+                {
+                    self.stats.dead_peer_drops += 1;
+                    self.persist_pending.remove(&xid);
+                    self.persist_data.remove(&xid);
+                    return;
+                }
                 ctx.schedule_nodefer(at, pe, Box::new(Ev::RepostPut { xid }));
             }
         }
@@ -1173,6 +1216,37 @@ impl MachineLayer for UgniLayer {
             self.schedule_poll(ctx, ok.local_cq_at, src_pe, Ev::PollCq);
         } else {
             ctx.schedule_nodefer(ok.local_cq_at, src_pe, Box::new(Ev::PersistPutDone { xid }));
+        }
+    }
+
+    fn node_fault(&mut self, ctx: &mut MachineCtx, node: gemini_net::NodeId) {
+        // The node's NIC died with its memory. Armed polls point at
+        // progress events the runtime will drop for the dead PEs; left
+        // set, they would suppress every poll the node's fresh
+        // incarnation needs, wedging its connections forever.
+        for pe in 0..ctx.num_pes() {
+            if ctx.node_of(pe) == node {
+                self.poll_armed[pe as usize] = [Time::MAX; 3];
+            }
+        }
+        // Outbound backlogs and half-open transactions rooted on the dead
+        // PEs die too (their retry timers are dropped with the node, so
+        // keeping the entries would strand armed-but-dead connections).
+        // Peers' transactions TOWARD the node stay: the fabric surfaces
+        // NodeDown errors and their retry machinery reacts.
+        let cores = ctx.cores_per_node();
+        self.backlog.retain(|(src, _), _| src / cores != node);
+        self.sends.retain(|_, p| p.src_pe / cores != node);
+        self.recvs.retain(|_, r| r.dst_pe / cores != node);
+        let dead_puts: Vec<u64> = self
+            .persist_pending
+            .iter()
+            .filter(|(_, p)| p.src_pe / cores == node)
+            .map(|(xid, _)| *xid)
+            .collect();
+        for xid in dead_puts {
+            self.persist_pending.remove(&xid);
+            self.persist_data.remove(&xid);
         }
     }
 }

@@ -61,8 +61,16 @@ pub const SIM_CRATES: &[&str] = &[
 ];
 
 /// Function-name fragments that mark fault-recovery code paths.
-pub const RECOVERY_KEYWORDS: &[&str] =
-    &["retry", "resync", "repost", "recover", "fallback", "reap"];
+pub const RECOVERY_KEYWORDS: &[&str] = &[
+    "retry",
+    "resync",
+    "repost",
+    "recover",
+    "fallback",
+    "reap",
+    "restore",
+    "checkpoint",
+];
 
 /// Function-name fragments that mark per-message hot paths: code that
 /// runs once per simulated message and must not copy payload bytes.

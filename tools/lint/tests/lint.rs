@@ -51,6 +51,19 @@ fn unwrap_in_recovery_fixture_fires() {
 }
 
 #[test]
+fn unwrap_in_restore_fixture_fires() {
+    let src = fixture("unwrap_in_restore.rs");
+    let f = lint_source("lrts-ugni", "fixtures/unwrap_in_restore.rs", &src);
+    assert_eq!(rules(&f), ["unwrap-in-recovery"], "findings: {f:?}");
+    // The FT restore/checkpoint keywords are recovery paths too; the
+    // unwrap in fresh_wave stays out of scope.
+    assert_eq!(f.len(), 2, "findings: {f:?}");
+    assert!(f.iter().any(|x| x.msg.contains("restore_snapshot")));
+    assert!(f.iter().any(|x| x.msg.contains("take_checkpoint")));
+    assert!(!f.iter().any(|x| x.msg.contains("fresh_wave")));
+}
+
+#[test]
 fn std_time_fixture_fires() {
     let src = fixture("std_time.rs");
     let f = lint_source("gemini-net", "fixtures/std_time.rs", &src);
