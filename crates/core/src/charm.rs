@@ -166,6 +166,7 @@ impl CharmPe {
     pub(crate) fn element_state(&self, key: (u16, u64)) -> &dyn Any {
         match self.elements.get(&key) {
             Some(Some(state)) => state.as_ref(),
+            // panic-ok: checkpointing an unregistered element is a code bug
             _ => panic!("checkpoint of missing element {key:?}"),
         }
     }

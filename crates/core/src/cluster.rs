@@ -659,6 +659,7 @@ impl Cluster {
         t: Time,
         f: impl FnOnce(&mut dyn MachineLayer, &mut MachineCtx),
     ) {
+        // panic-ok: reentrancy guard — with_layer never nests
         let mut layer = self.layer.take().expect("machine layer reentrancy");
         {
             let mut ctx = MachineCtx {
@@ -947,6 +948,7 @@ impl MachineCtx<'_> {
     }
 
     /// Route one event push through the active backend.
+    // serial-only: mutates shared queues
     fn push_event(&mut self, at: Time, ev: Event) {
         debug_assert!(at >= self.now);
         match &mut self.back {
@@ -983,6 +985,8 @@ impl MachineCtx<'_> {
                     // Node-crash plans force the sequential engine, so
                     // these never reach the parallel backend.
                     Event::NodeLife(..) | Event::FtRecover(_) => {
+                        // run_parallel forces the serial engine whenever the
+                        // fault plan schedules crashes. panic-ok: see above.
                         unreachable!("crash events in the parallel backend")
                     }
                 };
@@ -1031,17 +1035,20 @@ impl MachineCtx<'_> {
 
     /// Hand a fully received, decoded-ready message to a PE's scheduler,
     /// effective immediately.
+    // serial-only: applies an effect
     pub fn deliver_now(&mut self, pe: PeId, msg: Bytes) {
         self.push_event(self.now, Event::Deliver(pe, msg));
     }
 
     /// Deliver at a future instant (e.g. after a modeled copy completes).
+    // serial-only: applies an effect
     pub fn deliver_at(&mut self, at: Time, pe: PeId, msg: Bytes) {
         self.push_event(at, Event::Deliver(pe, msg));
     }
 
     /// Schedule a machine-layer event for `pe` at `at` (delivered when the
     /// PE is free — use for progress-engine work like draining mailboxes).
+    // serial-only: applies an effect
     pub fn schedule(&mut self, at: Time, pe: PeId, ev: Box<dyn Any + Send>) {
         self.push_event(at, Event::Machine(pe, ev));
     }
@@ -1051,12 +1058,14 @@ impl MachineCtx<'_> {
     /// ship the control message") whose CPU cost was already charged —
     /// deferring those would serialize independent transfers behind
     /// unrelated work.
+    // serial-only: applies an effect
     pub fn schedule_nodefer(&mut self, at: Time, pe: PeId, ev: Box<dyn Any + Send>) {
         self.push_event(at, Event::MachineNow(pe, ev));
     }
 
     /// Charge `ns` of protocol-processing time to `pe`, starting no earlier
     /// than now. Extends the PE's busy window and records overhead.
+    // serial-only: writes trace + busy windows
     pub fn charge_overhead(&mut self, pe: PeId, ns: Time) {
         if ns == 0 {
             return;
@@ -1071,6 +1080,7 @@ impl MachineCtx<'_> {
     /// Charge `ns` of fault-recovery time to `pe` (retries, CQ resyncs,
     /// registration fallbacks). Same busy-window semantics as
     /// [`MachineCtx::charge_overhead`], accounted separately in the trace.
+    // serial-only: writes trace + busy windows
     pub fn charge_recovery(&mut self, pe: PeId, ns: Time) {
         if ns == 0 {
             return;
@@ -1083,6 +1093,7 @@ impl MachineCtx<'_> {
     }
 
     /// Count a message the machine layer actually put on the wire.
+    // serial-only: writes shared stats
     pub fn count_send(&mut self, bytes: u64) {
         self.stats.net_msgs += 1;
         self.stats.net_bytes += bytes;
@@ -1301,6 +1312,8 @@ const PHASE_CAP: usize = 4096;
 /// order while `t < min(p_end, first own Cmd, global halt)`. Stopping
 /// early for any reason is always safe — unprocessed events simply stay
 /// queued for the next serial phase.
+// The halt flag is the sanctioned cross-window early-stop channel (DESIGN.md
+// §10) — monotone fetch_min, never read back into event state. worker-ok: see above.
 fn phase_run(part: &mut PartData, p_end: Time, env: &ExecEnv, halt: &AtomicU64) {
     // First Cmd this partition emits bounds it: the command executes later
     // (serially, in canonical order) and may extend the issuing PE's busy
@@ -1621,6 +1634,7 @@ impl ParDriver<'_> {
         cur_part: Option<u32>,
         f: impl FnOnce(&mut dyn MachineLayer, &mut MachineCtx),
     ) {
+        // panic-ok: reentrancy guard — with_layer never nests
         let mut layer = self.layer.take().expect("machine layer reentrancy");
         {
             let mut ctx = MachineCtx {

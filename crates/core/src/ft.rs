@@ -408,6 +408,8 @@ impl Cluster {
                 for (aid, idx) in keys {
                     let save = match ft.savers.get(&aid) {
                         Some((s, _)) => s.clone(),
+                        // A populated array without a Checkpoint registration
+                        // cannot be saved — config bug. panic-ok: by design.
                         None => panic!(
                             "array {aid} has elements but no Checkpoint \
                              registration (call ft_array)"
@@ -476,6 +478,7 @@ impl Cluster {
     pub(crate) fn ft_recover(&mut self, t: Time, node: NodeId) {
         let mut ft = match self.ft.take() {
             Some(f) => f,
+            // panic-ok: a crash with FT disabled is unrecoverable by design
             None => panic!("crash recovery without fault tolerance enabled"),
         };
         self.ft_recover_inner(t, node, &mut ft);
@@ -507,6 +510,8 @@ impl Cluster {
             }
             match found {
                 Some((holder, s)) => orphans.push((dead, holder, s)),
+                // Both replicas lost — unrecoverable with buddy (double)
+                // checkpointing. panic-ok: by design.
                 None => panic!("no surviving checkpoint for PE {dead} (its buddy also died)"),
             }
         }
@@ -660,6 +665,8 @@ fn restore_snapshot(st: &mut crate::cluster::PeState, ft: &FtCore, snap: &FtSnap
     for (aid, idx, data) in &snap.elements {
         let load = match ft.savers.get(aid) {
             Some((_, l)) => l.clone(),
+            // A snapshot without its loader cannot be restored — a
+            // registration lifetime bug. panic-ok: unrecoverable by design.
             None => panic!("checkpointed array {aid} lost its Checkpoint registration"),
         };
         st.charm.insert_element((*aid, *idx), load(data));
@@ -678,6 +685,8 @@ fn adopt_snapshot(st: &mut crate::cluster::PeState, ft: &FtCore, snap: &FtSnapsh
     for (aid, idx, data) in &snap.elements {
         let load = match ft.savers.get(aid) {
             Some((_, l)) => l.clone(),
+            // A snapshot without its loader cannot be restored — a
+            // registration lifetime bug. panic-ok: unrecoverable by design.
             None => panic!("checkpointed array {aid} lost its Checkpoint registration"),
         };
         st.charm.insert_element((*aid, *idx), load(data));

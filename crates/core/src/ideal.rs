@@ -47,8 +47,8 @@ impl MachineLayer for IdealLayer {
     fn sync_send(&mut self, ctx: &mut MachineCtx, _src_pe: PeId, dst_pe: PeId, msg: Bytes) {
         self.msgs += 1;
         self.bytes += msg.len() as u64;
-        ctx.count_send(msg.len() as u64);
-        ctx.deliver_at(ctx.now() + self.latency, dst_pe, msg);
+        ctx.count_send(msg.len() as u64); // charge-ok: ideal layer is zero-cost
+        ctx.deliver_at(ctx.now() + self.latency, dst_pe, msg); // charge-ok: zero-cost by design
     }
 
     fn on_event(&mut self, _ctx: &mut MachineCtx, _pe: PeId, _ev: Box<dyn Any + Send>) {

@@ -106,6 +106,7 @@ impl Trace {
     }
 
     /// Record `dur` ns of `kind` work on `pe` starting at `start`.
+    // serial-only: appends to the shared timeline
     pub fn record(&mut self, pe: PeId, start: Time, dur: Time, kind: Kind) {
         if dur == 0 {
             return;
@@ -142,6 +143,7 @@ impl Trace {
     /// Split one segment across the timeline buckets (the flush side of
     /// the per-PE buffering in [`Trace::record`]).
     fn apply_to_buckets(&mut self, start: Time, dur: Time, kind: Kind) {
+        // panic-ok: only called from timeline mode, where bucket_ns is set
         let w = self.bucket_ns.expect("timeline mode");
         let mut t = start;
         let end = start + dur;

@@ -193,6 +193,7 @@ impl Fabric {
                 _ => best = Some((down, busy, r)),
             }
         }
+        // panic-ok: the torus always yields at least one candidate route
         let (down, _, r) = best.expect("at least one candidate route");
         (r, down)
     }
@@ -264,6 +265,7 @@ impl Fabric {
         }
         if conn.in_flight.len() >= credits as usize {
             self.stats.credit_stalls += 1;
+            // panic-ok: nonempty — in_flight.len() >= credits >= 1 just above
             let retry_at = *conn.in_flight.front().unwrap();
             return Err(SmsgError::NoCredits { retry_at });
         }
@@ -314,6 +316,7 @@ impl Fabric {
 
         self.stats.smsg_sends += 1;
         self.stats.smsg_bytes += bytes;
+        // panic-ok: entry materialized by or_default at the top of this fn
         let conn = self.conns.get_mut(&conn_key).unwrap();
         conn.in_flight.push_back(release);
         match fault {
@@ -365,6 +368,7 @@ impl Fabric {
         }
         if conn.in_flight.len() >= credits as usize {
             self.stats.credit_stalls += 1;
+            // panic-ok: nonempty — in_flight.len() >= credits >= 1 just above
             let retry_at = *conn.in_flight.front().unwrap();
             return Err(SmsgError::NoCredits { retry_at });
         }
@@ -406,6 +410,7 @@ impl Fabric {
 
         let back = self.links.control_latency(&route);
         let release = deliver_at + p.smsg_recv_cpu + p.msgq_extra_cpu + back + p.injection_latency;
+        // panic-ok: entry materialized by or_default at the top of this fn
         let conn = self.conns.get_mut(&(u32::MAX, dst)).unwrap();
         conn.in_flight.push_back(release);
 

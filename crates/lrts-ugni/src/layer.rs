@@ -292,6 +292,7 @@ impl UgniLayer {
             Ev::PollSmsg => 0,
             Ev::PollMsgq => 1,
             Ev::PollCq => 2,
+            // panic-ok: callers pass poll events only — a misuse is a code bug
             _ => unreachable!("schedule_poll on a non-poll event"),
         };
         let armed = &mut self.poll_armed[pe as usize][kind];
@@ -328,6 +329,7 @@ impl UgniLayer {
     }
 
     fn gni_mut(&mut self) -> &mut LGni {
+        // panic-ok: init() runs before any traffic; absence is a harness bug
         self.gni.as_mut().expect("layer not initialized")
     }
 
@@ -340,6 +342,7 @@ impl UgniLayer {
         let ep = self
             .gni_mut()
             .ep_create_inst(sn, src_pe, dn, dst_pe, cq)
+            // panic-ok: CQ handles and node ids are fixed at init
             .expect("ep bind: CQ and nodes fixed at init");
         self.eps.insert((src_pe, dst_pe), ep);
         ep
@@ -552,6 +555,7 @@ impl UgniLayer {
                 self.park_and_arm(ctx, src_pe, dst_pe, tag, data, at, front);
                 false
             }
+            // panic-ok: non-credit smsg errors are protocol bugs, not faults
             Err(e) => panic!("small-path send failed: {e:?}"),
         }
     }

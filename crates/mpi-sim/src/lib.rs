@@ -342,9 +342,10 @@ impl MpiSim {
                     Some(t) if t > at => at = t,
                     // The completion for `user_id` is always pushed (queued
                     // or into the overrun-lost set), so an empty CQ here is
-                    // a protocol bug, not a fabric fault.
+                    // a protocol bug, not a fabric fault. panic-ok: see above.
                     _ => panic!("completion for post {user_id} vanished"),
                 },
+                // panic-ok: poll errors other than NotDone are protocol bugs
                 Err(e) => panic!("CQ poll failed: {e:?}"),
             }
         }

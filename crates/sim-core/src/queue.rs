@@ -264,6 +264,7 @@ impl<E> TwoLevelQueue<E> {
                 .far
                 .peek()
                 .map(|Reverse(e)| e.time)
+                // panic-ok: pop() guards with is_empty before advancing
                 .expect("advance called on empty queue");
             t & !(BUCKET_NS - 1)
         };
@@ -289,6 +290,7 @@ impl<E> TwoLevelQueue<E> {
             .peek()
             .is_some_and(|Reverse(e)| e.time - self.base < HORIZON_NS)
         {
+            // panic-ok: the loop condition just peeked this entry
             let Reverse(entry) = self.far.pop().expect("peeked");
             self.place(entry);
         }
@@ -303,6 +305,7 @@ impl<E> TwoLevelQueue<E> {
         if self.active.is_empty() {
             self.advance();
         }
+        // panic-ok: advance() always refills active when len > 0
         let Reverse(e) = self.active.pop().expect("advance refills active");
         self.len -= 1;
         Some((e.time, e.event))

@@ -455,6 +455,7 @@ impl CheckedGni {
 
     fn record(&self, v: Violation) {
         if self.strict {
+            // panic-ok: strict mode aborts on contract violation by design
             panic!("uGNI contract violation: {v}");
         }
         self.violations.borrow_mut().push(v);

@@ -1,0 +1,38 @@
+// Fixture: violates the charge-coverage graph rule — `on_event` reaches
+// a delivery through `forward` with no `charge_*` anywhere on the path,
+// while `sync_send`'s path is covered. Never compiled.
+pub trait MachineLayer {
+    fn sync_send(&mut self, ctx: &mut Ctx);
+    fn on_event(&mut self, ctx: &mut Ctx);
+}
+
+pub struct Ctx;
+
+impl Ctx {
+    pub fn deliver_at(&mut self, _at: u64) {}
+    pub fn count_send(&mut self, _bytes: u64) {}
+    pub fn charge_wire(&mut self, _ns: u64) {}
+}
+
+pub struct ToyLayer;
+
+impl ToyLayer {
+    fn forward(&mut self, ctx: &mut Ctx) {
+        ctx.deliver_at(5);
+    }
+
+    fn covered_send(&mut self, ctx: &mut Ctx) {
+        ctx.charge_wire(3);
+        ctx.count_send(8);
+    }
+}
+
+impl MachineLayer for ToyLayer {
+    fn sync_send(&mut self, ctx: &mut Ctx) {
+        self.covered_send(ctx);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx) {
+        self.forward(ctx);
+    }
+}

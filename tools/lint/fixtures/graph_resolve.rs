@@ -1,0 +1,48 @@
+// Fixture: exercises every call-resolution form (free, self-method,
+// qualified, unknown-receiver method, trait-default dispatch) for the
+// call-graph unit tests. Never compiled.
+pub struct Widget {
+    n: u64,
+}
+
+pub trait Runner {
+    fn go(&mut self);
+
+    fn run_twice(&mut self) {
+        self.go();
+        self.go();
+    }
+}
+
+impl Widget {
+    pub fn new(n: u64) -> Widget {
+        Widget { n }
+    }
+
+    fn step(&mut self) {
+        self.n += bump(self.n);
+    }
+
+    pub fn tick(&mut self) {
+        self.step();
+        Widget::reset(self);
+    }
+
+    fn reset(&mut self) {
+        self.n = 0;
+    }
+}
+
+impl Runner for Widget {
+    fn go(&mut self) {
+        self.step();
+    }
+}
+
+fn bump(x: u64) -> u64 {
+    x + 1
+}
+
+pub fn drive(w: &mut Widget) {
+    w.tick();
+}

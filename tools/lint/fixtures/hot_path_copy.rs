@@ -21,3 +21,14 @@ pub fn setup_buffers(&mut self) {
     // Not a hot-path function name: copies at init time are fine.
     self.pool = self.seed.to_vec();
 }
+
+pub fn send_count_report(&self) -> Vec<u64> {
+    // `send_count` is a counter compound, not a per-message verb: the
+    // `send` keyword segment is excluded when a counter noun follows it.
+    self.send_counts.to_vec()
+}
+
+pub fn resend_window(&self) -> Vec<u8> {
+    // `resend` does not contain `send` as a `_`-separated segment.
+    self.window.to_vec()
+}

@@ -28,3 +28,9 @@ pub fn spin_barrier_name_is_bounded(sb: SpinBarrier) {
     // match inside it (left boundary check).
     let _ = sb;
 }
+
+pub fn barrier_stats_name_is_bounded(bs: BarrierStats, ch: mpscish) {
+    // Right boundaries too: `Barrier` must not fire inside
+    // `BarrierStats`, nor `mpsc` inside `mpscish`.
+    let _ = (bs, ch);
+}

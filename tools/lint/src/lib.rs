@@ -1,53 +1,69 @@
-//! Project-invariant lints the compiler can't express (DESIGN.md §8).
+//! Project-invariant lints the compiler can't express (DESIGN.md §8, §12).
 //!
 //! Run as `cargo run -p lint-pass`. Exit status is nonzero when any rule
-//! fires, so CI can gate on it. The pass is a hand-rolled lexical
-//! analysis (the build environment is offline, so no `syn`): sources are
-//! sanitized — comments and string/char literal *contents* blanked,
-//! line structure preserved — and then scanned line-by-line with brace
-//! tracking for function spans.
+//! fires, so CI can gate on it. The pass is a hand-rolled analysis (the
+//! build environment is offline, so no `syn`): sources are sanitized —
+//! comments and string/char literal *contents* blanked, line structure
+//! preserved — and then scanned with brace tracking for function spans.
 //!
-//! Rules:
+//! Two layers of analysis:
+//!
+//! * **Lexical rules** (this module) look at one function or one line at a
+//!   time.
+//! * **Graph rules** ([`graph`]) parse every `fn`/`impl` in the workspace
+//!   into a call graph resolved by a conservative name+receiver heuristic
+//!   and check *transitive* properties — worker purity, recovery
+//!   panic-freedom, charge coverage — reporting witness call-chains.
+//!
+//! Lexical rules:
 //!
 //! * **hashmap-iter** — no `HashMap`/`HashSet` iteration in the
 //!   simulation crates (`sim-core`, `gemini-net`, `ugni`, `lrts-ugni`,
-//!   `lrts-mpi`, `mpi-sim`). Hash iteration order is arbitrary; one
+//!   `lrts-mpi`, `mpi-sim`) nor in the self-hosted tool crates
+//!   (`ugni-verify`, `lint`). Hash iteration order is arbitrary; one
 //!   nondeterministically ordered event loop breaks the bit-for-bit
-//!   replay guarantee every figure rests on. Use `BTreeMap` or a
+//!   replay guarantee every figure rests on, and a hash-ordered lint
+//!   report breaks CI artifact diffing. Use `BTreeMap` or a
 //!   `Vec`-indexed table when order can leak into behavior.
+//!   Escape: `// hash-ok: <why>`.
 //! * **unwrap-in-recovery** — no `.unwrap()` / `.expect(` inside
-//!   fault-recovery functions (name contains `retry`, `resync`,
-//!   `repost`, `recover`, `fallback` or `reap`). Recovery code runs
-//!   precisely when invariants are shaken; it must degrade, not abort.
+//!   fault-recovery functions (name has a `_`-segment equal to `retry`,
+//!   `resync`, `repost`, `recover`, `recovery`, `fallback`, `reap`,
+//!   `restore` or `checkpoint`). Recovery code runs precisely when
+//!   invariants are shaken; it must degrade, not abort. The graph pass
+//!   upgrades this rule to full reachability (`recovery-panic-freedom`).
+//!   Escape: `// panic-ok: <why>`.
 //! * **std-time** — no `std::time` / `Instant` / `SystemTime` in
 //!   simulation crates. Virtual time is the only clock; a wall-clock
-//!   read is nondeterminism by definition.
+//!   read is nondeterminism by definition. Escape: `// time-ok: <why>`.
 //! * **charge-category** — every `fn charge_<x>` definition in
 //!   `crates/core` must record the matching `Kind::<X>` trace category,
 //!   so cost accounting and the trace stay in sync.
 //! * **hot-path-copy** — no `.to_vec()` / `.to_owned()` /
 //!   `copy_from_slice(` / `Bytes::from(vec!` inside per-message
-//!   functions (name contains `send`, `deliver`, `recv`, `post`,
-//!   `progress` or `drain`) of the simulation crates. Payloads travel
-//!   as refcounted `Bytes`; a host-side copy per message is exactly the
-//!   cost the zero-copy fast path removed. Deliberate copies (e.g.
-//!   framing a small mailbox message) carry a `// copy-ok: <why>`
-//!   comment on the same line.
+//!   functions (name has a `_`-segment equal to `send`, `deliver`,
+//!   `recv`, `post`, `progress` or `drain`, and the segment is not a
+//!   counter compound like `send_count`) of the simulation crates.
+//!   Payloads travel as refcounted `Bytes`; a host-side copy per message
+//!   is exactly the cost the zero-copy fast path removed. Deliberate
+//!   copies carry a `// copy-ok: <why>` comment on the same line.
 //! * **thread-outside-parallel** — no `std::thread` / `std::sync`
 //!   concurrency (spawns, locks, atomics, channels) in the simulation
 //!   crates outside `sim-core/src/parallel.rs`. All parallelism flows
 //!   through the conservative windowed driver, whose determinism proof
-//!   depends on it being the *only* source of cross-thread interleaving;
-//!   an ad-hoc lock or atomic elsewhere reintroduces scheduling
-//!   nondeterminism the differential tests cannot see. Deliberate uses
-//!   (e.g. a lock-free stat counter that provably never feeds back into
-//!   virtual time) carry a `// thread-ok: <why>` comment on the line.
+//!   depends on it being the *only* source of cross-thread interleaving.
+//!   Patterns match on identifier boundaries, so `SpinBarrier` or a
+//!   `BarrierStats` type never fires via `Barrier`. Deliberate uses
+//!   carry a `// thread-ok: <why>` comment on the line.
 //!
-//! Test modules (`#[cfg(test)]`, by repo convention at the end of the
-//! file) are exempt from all rules.
+//! `#[cfg(test)]` regions are exempt from all rules. The exemption is
+//! brace-accurate: it covers exactly the item (module, fn, impl) the
+//! attribute is attached to, not "everything to the end of the file".
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod graph;
 
 /// Directory names (under `crates/`) of the deterministic simulation
 /// crates: everything that executes during a simulated run.
@@ -60,12 +76,21 @@ pub const SIM_CRATES: &[&str] = &[
     "mpi-sim",
 ];
 
-/// Function-name fragments that mark fault-recovery code paths.
+/// Crates the pass self-hosts over: the lint tool itself and the uGNI
+/// contract verifier. Both must themselves be deterministic (the verifier
+/// runs inside simulated jobs; the linter's finding order feeds a CI
+/// artifact), so the order-sensitive lexical rules apply to them too.
+pub const SELF_HOST_CRATES: &[&str] = &["ugni-verify", "lint"];
+
+/// Function-name fragments that mark fault-recovery code paths. Matched
+/// against `_`-separated name segments (`repost_after_error` matches
+/// `repost`; `sender_loop` does not match `send`).
 pub const RECOVERY_KEYWORDS: &[&str] = &[
     "retry",
     "resync",
     "repost",
     "recover",
+    "recovery",
     "fallback",
     "reap",
     "restore",
@@ -75,6 +100,13 @@ pub const RECOVERY_KEYWORDS: &[&str] = &[
 /// Function-name fragments that mark per-message hot paths: code that
 /// runs once per simulated message and must not copy payload bytes.
 pub const HOT_PATH_KEYWORDS: &[&str] = &["send", "deliver", "recv", "post", "progress", "drain"];
+
+/// Segments that turn a matched keyword into a *counter/reporting* name
+/// rather than a hot-path verb: `send_count`, `recv_stats` and friends
+/// read accounting, they do not move a message.
+const COUNTER_SEGMENTS: &[&str] = &[
+    "count", "counts", "counter", "stat", "stats", "total", "totals", "rate", "len",
+];
 
 /// Payload-copying constructs banned in hot paths (see `hot-path-copy`).
 const COPY_PATTERNS: &[&str] = &[
@@ -87,17 +119,32 @@ const COPY_PATTERNS: &[&str] = &[
 /// Marker comment that exempts one line from `hot-path-copy`.
 pub const COPY_OK_MARKER: &str = "copy-ok:";
 
+/// Marker comment that exempts one line from `hashmap-iter`.
+pub const HASH_OK_MARKER: &str = "hash-ok:";
+
+/// Marker comment that exempts one line from `std-time`.
+pub const TIME_OK_MARKER: &str = "time-ok:";
+
+/// Marker comment that exempts one line from `unwrap-in-recovery` and the
+/// graph pass's `recovery-panic-freedom`.
+pub const PANIC_OK_MARKER: &str = "panic-ok:";
+
 /// Threading/synchronization constructs banned in simulation crates
-/// outside the parallel driver (see `thread-outside-parallel`).
-const THREAD_PATTERNS: &[&str] = &[
-    "std::thread",
-    "thread::spawn",
-    "Mutex",
-    "RwLock",
-    "Condvar",
-    "Barrier",
-    "mpsc",
-    "Atomic",
+/// outside the parallel driver (see `thread-outside-parallel`). The
+/// `bool` is `true` when the pattern is a complete identifier that must
+/// match on both boundaries (`Barrier` must not fire inside
+/// `SpinBarrier` or `BarrierStats`); prefix patterns (`Atomic` covering
+/// `AtomicU64`/`AtomicBool`/..., the `std::thread` paths) only require a
+/// left identifier boundary.
+pub(crate) const THREAD_PATTERNS: &[(&str, bool)] = &[
+    ("std::thread", false),
+    ("thread::spawn", false),
+    ("Mutex", true),
+    ("RwLock", true),
+    ("Condvar", true),
+    ("Barrier", true),
+    ("mpsc", true),
+    ("Atomic", false),
 ];
 
 /// Marker comment that exempts one line from `thread-outside-parallel`.
@@ -114,6 +161,21 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     pub msg: String,
+    /// Witness call chain for graph rules (root first), empty for lexical
+    /// rules. Each entry is a pre-rendered `name (file:line)` hop.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, file: &str, line: usize, msg: String) -> Self {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+            chain: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -122,14 +184,55 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.msg
-        )
+        )?;
+        for (i, hop) in self.chain.iter().enumerate() {
+            write!(f, "\n    {}{}", if i == 0 { "via " } else { " -> " }, hop)?;
+        }
+        Ok(())
     }
+}
+
+/// Serialize findings as a machine-readable JSON report (CI artifact).
+/// Hand-rolled — the build environment is offline, so no serde here.
+pub fn report_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut o = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => o.push_str("\\\""),
+                '\\' => o.push_str("\\\\"),
+                '\n' => o.push_str("\\n"),
+                '\t' => o.push_str("\\t"),
+                c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
+                c => o.push(c),
+            }
+        }
+        o
+    }
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\", \"chain\": [{}]}}{}\n",
+            esc(f.rule),
+            esc(&f.file),
+            f.line,
+            esc(&f.msg),
+            f.chain
+                .iter()
+                .map(|h| format!("\"{}\"", esc(h)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"count\": {}\n}}\n", findings.len()));
+    out
 }
 
 /// Blank comments and string/char literal contents, preserving line
 /// structure, so later passes can match tokens and count braces without
 /// being fooled by `"}"` or `// HashMap.iter()`.
-fn sanitize(src: &str) -> String {
+pub(crate) fn sanitize(src: &str) -> String {
     let b: Vec<char> = src.chars().collect();
     let mut out = String::with_capacity(src.len());
     let mut i = 0;
@@ -241,7 +344,7 @@ fn sanitize(src: &str) -> String {
     out
 }
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
@@ -260,6 +363,43 @@ fn ident_ending_at(line: &str, end: usize) -> Option<&str> {
     }
 }
 
+/// Does snake_case `name` contain `kw` as a complete `_`-separated
+/// segment? Substrings never match (`sender` vs `send`, `resend` vs
+/// `send`), and a keyword segment directly followed by a counter noun
+/// (`send_count`) is treated as accounting, not a hot-path verb.
+pub fn name_has_keyword(name: &str, kw: &str) -> bool {
+    let segs: Vec<&str> = name.split('_').collect();
+    segs.iter().enumerate().any(|(i, s)| {
+        *s == kw
+            && segs
+                .get(i + 1)
+                .is_none_or(|next| !COUNTER_SEGMENTS.contains(next))
+    })
+}
+
+/// Does `line` contain `pat` starting at an identifier boundary (and, for
+/// whole-word patterns, ending at one)?
+pub(crate) fn boundary_match(line: &str, pat: &str, whole_word: bool) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(pat) {
+        let at = from + pos;
+        from = at + pat.len();
+        let left_ok = line[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let right_ok = !whole_word
+            || line[at + pat.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !is_ident_char(c));
+        if left_ok && right_ok {
+            return true;
+        }
+    }
+    false
+}
+
 /// Names in this file bound to a `HashMap`/`HashSet` (fields, lets,
 /// params): `name: HashMap<..>` and `let name = HashMap::new()` forms.
 fn hash_bound_names(lines: &[&str]) -> Vec<String> {
@@ -270,34 +410,29 @@ fn hash_bound_names(lines: &[&str]) -> Vec<String> {
             while let Some(pos) = line[from..].find(ty) {
                 let at = from + pos;
                 from = at + ty.len();
-                // `name: HashMap<` (possibly through a path prefix).
-                let before = line[..at].trim_end_matches(|c: char| {
-                    is_ident_char(c) || c == ':' || c == '<' || c == ' '
-                });
-                // Walk back over `: path::` to the binding `name:`.
-                if let Some(colon) = line[..at].rfind(':') {
-                    let lhs = line[..colon].trim_end();
-                    // Skip `::` path separators: binding colon is single.
-                    if !lhs.ends_with(':') && !line[colon..].starts_with("::") {
-                        if let Some(id) = ident_ending_at(line, lhs.len() + (colon - lhs.len())) {
-                            if !matches!(id, "use" | "collections" | "std") {
-                                names.push(id.to_string());
-                            }
-                        }
+                let head = &line[..at];
+                // `name: HashMap<` — the *binding* colon is single; the
+                // `::` of a path prefix (`std::collections::HashMap`) is
+                // not. Scan right-to-left for the rightmost single colon.
+                let bind_colon = head
+                    .char_indices()
+                    .rev()
+                    .filter(|&(_, c)| c == ':')
+                    .find(|&(i, _)| !head[..i].ends_with(':') && !head[i + 1..].starts_with(':'))
+                    .map(|(i, _)| i);
+                if let Some(colon) = bind_colon {
+                    let lhs = head[..colon].trim_end();
+                    if let Some(id) = ident_ending_at(line, lhs.len()) {
+                        names.push(id.to_string());
                     }
                 }
                 // `let [mut] name = HashMap::new()` / `with_capacity`.
-                if let Some(eq) = line[..at].rfind('=') {
-                    let lhs = line[..eq].trim_end();
+                if let Some(eq) = head.rfind('=') {
+                    let lhs = head[..eq].trim_end();
                     if let Some(id) = ident_ending_at(line, lhs.len()) {
-                        if id != "mut" {
-                            names.push(id.to_string());
-                        } else if let Some(id2) = ident_ending_at(lhs, lhs.len()) {
-                            names.push(id2.to_string());
-                        }
+                        names.push(id.to_string());
                     }
                 }
-                let _ = before;
             }
         }
     }
@@ -325,9 +460,7 @@ fn iterates(line: &str, name: &str) -> bool {
     while let Some(pos) = line[from..].find(name) {
         let at = from + pos;
         from = at + name.len();
-        let pre_ok = at == 0
-            || !is_ident_char(line[..at].chars().next_back().unwrap())
-                && !line[..at].ends_with("Kind::");
+        let pre_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap());
         if !pre_ok {
             continue;
         }
@@ -420,7 +553,7 @@ fn fn_spans(lines: &[&str]) -> Vec<(String, usize, usize)> {
     spans
 }
 
-fn find_fn_kw(line: &str) -> Option<usize> {
+pub(crate) fn find_fn_kw(line: &str) -> Option<usize> {
     let mut from = 0;
     while let Some(pos) = line[from..].find("fn ") {
         let at = from + pos;
@@ -433,125 +566,165 @@ fn find_fn_kw(line: &str) -> Option<usize> {
     None
 }
 
-/// Line index of the first `#[cfg(test)]` (test modules sit at the end
-/// of files by repo convention); findings from there on are exempt.
-fn test_mod_start(lines: &[&str]) -> usize {
-    lines
-        .iter()
-        .position(|l| l.contains("#[cfg(test)]"))
-        .unwrap_or(lines.len())
+/// Brace-accurate `#[cfg(test)]` regions: each attribute exempts exactly
+/// the item it is attached to (through the matching close brace, or the
+/// terminating `;` for brace-less items), not everything to the end of
+/// the file. Returns inclusive `(start, end)` line-index ranges.
+pub(crate) fn test_ranges(lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(attr) = line.find("#[cfg(test)]") else {
+            continue;
+        };
+        if ranges.iter().any(|&(a, b)| i >= a && i <= b) {
+            continue; // nested attribute inside an exempt item
+        }
+        // Walk forward from just past the attribute to the item body.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut j = i;
+        let mut col = attr + "#[cfg(test)]".len();
+        'outer: while j < lines.len() {
+            let scan = &lines[j][col.min(lines[j].len())..];
+            for c in scan.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            break 'outer;
+                        }
+                    }
+                    ';' if !opened => break 'outer, // `#[cfg(test)] use ...;`
+                    _ => {}
+                }
+            }
+            j += 1;
+            col = 0;
+        }
+        ranges.push((i, j.min(lines.len() - 1)));
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], idx: usize) -> bool {
+    ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
+}
+
+/// Does the raw source line carry this escape marker (inside a comment)?
+fn escaped(raw_lines: &[&str], idx: usize, marker: &str) -> bool {
+    raw_lines.get(idx).is_some_and(|r| r.contains(marker))
 }
 
 /// Lint one source file. `crate_dir` is the directory name under
-/// `crates/` (e.g. `sim-core`, `core`); `file` is the path used in
-/// findings.
+/// `crates/` (e.g. `sim-core`, `core`) or a self-host name (`lint`,
+/// `ugni-verify`); `file` is the path used in findings.
 pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
     let clean = sanitize(src);
     let lines: Vec<&str> = clean.lines().collect();
-    let cutoff = test_mod_start(&lines);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let tests = test_ranges(&lines);
     let mut out = Vec::new();
     let sim = SIM_CRATES.contains(&crate_dir);
+    let self_host = SELF_HOST_CRATES.contains(&crate_dir);
 
-    if sim {
+    if sim || self_host {
         // hashmap-iter
-        let names = hash_bound_names(&lines[..cutoff]);
-        for (idx, line) in lines[..cutoff].iter().enumerate() {
+        let prod_lines: Vec<&str> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| if in_ranges(&tests, i) { "" } else { *l })
+            .collect();
+        let names = hash_bound_names(&prod_lines);
+        for (idx, line) in lines.iter().enumerate() {
+            if in_ranges(&tests, idx) || escaped(&raw_lines, idx, HASH_OK_MARKER) {
+                continue;
+            }
             for name in &names {
                 if iterates(line, name) {
-                    out.push(Finding {
-                        rule: "hashmap-iter",
-                        file: file.to_string(),
-                        line: idx + 1,
-                        msg: format!(
+                    out.push(Finding::new(
+                        "hashmap-iter",
+                        file,
+                        idx + 1,
+                        format!(
                             "iteration over hash-ordered `{name}` — order is \
-                             nondeterministic; use BTreeMap/Vec indexing"
+                             nondeterministic; use BTreeMap/Vec indexing, or mark a \
+                             provably order-free use with `// hash-ok: <why>`"
                         ),
-                    });
+                    ));
                 }
             }
         }
-        // hot-path-copy: the marker lives in a comment, so it must be
-        // looked up on the raw (unsanitized) line.
-        let raw_lines: Vec<&str> = src.lines().collect();
+    }
+
+    if sim {
+        // hot-path-copy
         for (name, a, b) in fn_spans(&lines) {
-            if a >= cutoff {
+            if in_ranges(&tests, a) {
                 continue;
             }
-            if !HOT_PATH_KEYWORDS.iter().any(|k| name.contains(k)) {
+            if !HOT_PATH_KEYWORDS.iter().any(|k| name_has_keyword(&name, k)) {
                 continue;
             }
-            let end = b.min(cutoff.saturating_sub(1));
-            for (idx, line) in lines.iter().enumerate().take(end + 1).skip(a) {
+            for (idx, line) in lines.iter().enumerate().take(b + 1).skip(a) {
                 let Some(pat) = COPY_PATTERNS.iter().find(|p| line.contains(**p)) else {
                     continue;
                 };
-                if raw_lines
-                    .get(idx)
-                    .is_some_and(|r| r.contains(COPY_OK_MARKER))
-                {
+                if escaped(&raw_lines, idx, COPY_OK_MARKER) {
                     continue;
                 }
-                out.push(Finding {
-                    rule: "hot-path-copy",
-                    file: file.to_string(),
-                    line: idx + 1,
-                    msg: format!(
+                out.push(Finding::new(
+                    "hot-path-copy",
+                    file,
+                    idx + 1,
+                    format!(
                         "`{pat}` in per-message path `{name}` — payloads travel as \
                          refcounted Bytes; mark a deliberate copy with `// copy-ok: <why>`"
                     ),
-                });
+                ));
             }
         }
         // thread-outside-parallel: the parallel driver file itself is the
         // sanctioned home for every one of these constructs.
         if !file.replace('\\', "/").ends_with(PARALLEL_DRIVER_FILE) {
-            let raw_lines: Vec<&str> = src.lines().collect();
-            for (idx, line) in lines[..cutoff].iter().enumerate() {
-                let Some(pat) = THREAD_PATTERNS.iter().find(|p| {
-                    let mut from = 0;
-                    while let Some(pos) = line[from..].find(**p) {
-                        let at = from + pos;
-                        from = at + p.len();
-                        // Identifier boundary on the left, so e.g.
-                        // `SpinBarrier` doesn't double-fire via `Barrier`.
-                        if at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap()) {
-                            return true;
-                        }
-                    }
-                    false
-                }) else {
-                    continue;
-                };
-                if raw_lines
-                    .get(idx)
-                    .is_some_and(|r| r.contains(THREAD_OK_MARKER))
-                {
+            for (idx, line) in lines.iter().enumerate() {
+                if in_ranges(&tests, idx) || escaped(&raw_lines, idx, THREAD_OK_MARKER) {
                     continue;
                 }
-                out.push(Finding {
-                    rule: "thread-outside-parallel",
-                    file: file.to_string(),
-                    line: idx + 1,
-                    msg: format!(
+                let Some((pat, _)) = THREAD_PATTERNS
+                    .iter()
+                    .find(|(p, whole)| boundary_match(line, p, *whole))
+                else {
+                    continue;
+                };
+                out.push(Finding::new(
+                    "thread-outside-parallel",
+                    file,
+                    idx + 1,
+                    format!(
                         "`{pat}` in a simulation crate outside the parallel driver — \
                          all concurrency lives in sim-core/src/parallel.rs; mark a \
                          deliberate exception with `// thread-ok: <why>`"
                     ),
-                });
+                ));
             }
         }
         // std-time
-        for (idx, line) in lines[..cutoff].iter().enumerate() {
+        for (idx, line) in lines.iter().enumerate() {
+            if in_ranges(&tests, idx) || escaped(&raw_lines, idx, TIME_OK_MARKER) {
+                continue;
+            }
             for pat in ["std::time", "Instant::now", "SystemTime"] {
                 if line.contains(pat) {
-                    out.push(Finding {
-                        rule: "std-time",
-                        file: file.to_string(),
-                        line: idx + 1,
-                        msg: format!(
-                            "`{pat}` in a simulation crate — virtual time is the only clock"
-                        ),
-                    });
+                    out.push(Finding::new(
+                        "std-time",
+                        file,
+                        idx + 1,
+                        format!("`{pat}` in a simulation crate — virtual time is the only clock"),
+                    ));
                     break;
                 }
             }
@@ -561,23 +734,26 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
     if sim || crate_dir == "core" {
         // unwrap-in-recovery
         for (name, a, b) in fn_spans(&lines) {
-            if a >= cutoff {
+            if in_ranges(&tests, a) {
                 continue;
             }
-            if !RECOVERY_KEYWORDS.iter().any(|k| name.contains(k)) {
+            if !RECOVERY_KEYWORDS.iter().any(|k| name_has_keyword(&name, k)) {
                 continue;
             }
-            for (idx, line) in lines.iter().enumerate().take(b.min(cutoff - 1) + 1).skip(a) {
+            for (idx, line) in lines.iter().enumerate().take(b + 1).skip(a) {
+                if in_ranges(&tests, idx) || escaped(&raw_lines, idx, PANIC_OK_MARKER) {
+                    continue;
+                }
                 if line.contains(".unwrap()") || line.contains(".expect(") {
-                    out.push(Finding {
-                        rule: "unwrap-in-recovery",
-                        file: file.to_string(),
-                        line: idx + 1,
-                        msg: format!(
+                    out.push(Finding::new(
+                        "unwrap-in-recovery",
+                        file,
+                        idx + 1,
+                        format!(
                             "unwrap/expect inside recovery path `{name}` — recovery \
-                             code must degrade, not abort"
+                             code must degrade, not abort (or `// panic-ok: <why>`)"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -586,7 +762,7 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
     if crate_dir == "core" {
         // charge-category
         for (name, a, b) in fn_spans(&lines) {
-            if a >= cutoff {
+            if in_ranges(&tests, a) {
                 continue;
             }
             let Some(suffix) = name.strip_prefix("charge_") else {
@@ -598,12 +774,12 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
             let want = format!("Kind::{}", camel(suffix));
             let body = lines[a..=b.min(lines.len() - 1)].join("\n");
             if !body.contains(&want) {
-                out.push(Finding {
-                    rule: "charge-category",
-                    file: file.to_string(),
-                    line: a + 1,
-                    msg: format!("`fn {name}` does not record trace category `{want}`"),
-                });
+                out.push(Finding::new(
+                    "charge-category",
+                    file,
+                    a + 1,
+                    format!("`fn {name}` does not record trace category `{want}`"),
+                ));
             }
         }
     }
@@ -627,13 +803,25 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lint every simulation crate (plus `core`) under `<root>/crates`.
-pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+/// The `(crate_dir, src_dir)` scan roots: simulation crates plus `core`,
+/// plus the self-hosted tool crates.
+fn scan_roots(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut dirs: Vec<(String, PathBuf)> = Vec::new();
+    for d in SIM_CRATES {
+        dirs.push((d.to_string(), root.join("crates").join(d).join("src")));
+    }
+    dirs.push(("core".into(), root.join("crates/core/src")));
+    dirs.push(("mempool".into(), root.join("crates/mempool/src")));
+    dirs.push(("ugni-verify".into(), root.join("crates/ugni-verify/src")));
+    dirs.push(("lint".into(), root.join("tools/lint/src")));
+    dirs
+}
+
+/// Read every scanned source file as `(crate_dir, repo-relative path,
+/// text)` triples — the shared input of the lexical and graph passes.
+pub fn workspace_sources(root: &Path) -> Vec<(String, String, String)> {
     let mut out = Vec::new();
-    let mut dirs: Vec<&str> = SIM_CRATES.to_vec();
-    dirs.push("core");
-    for dir in dirs {
-        let src = root.join("crates").join(dir).join("src");
+    for (dir, src) in scan_roots(root) {
         let mut files = Vec::new();
         rs_files(&src, &mut files);
         for f in files {
@@ -644,9 +832,88 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
                 .strip_prefix(root)
                 .unwrap_or(&f)
                 .to_string_lossy()
-                .into_owned();
-            out.extend(lint_source(dir, &rel, &text));
+                .replace('\\', "/");
+            out.push((dir.clone(), rel, text));
         }
     }
     out
+}
+
+/// Lint every simulation crate (plus `core` and the self-hosted tool
+/// crates) under `root` with the lexical rules.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (dir, rel, text) in workspace_sources(root) {
+        out.extend(lint_source(&dir, &rel, &text));
+    }
+    out
+}
+
+/// Run the lexical pass AND the call-graph pass over the workspace.
+/// `recovery-panic-freedom` strictly subsumes `unwrap-in-recovery`
+/// (reachability vs the root fn's own body), so lexical findings that
+/// reappear under the graph rule are dropped in favor of the graph
+/// finding and its witness chain.
+pub fn lint_workspace_full(root: &Path) -> Vec<Finding> {
+    let sources = workspace_sources(root);
+    let mut out = Vec::new();
+    for (dir, rel, text) in &sources {
+        out.extend(lint_source(dir, rel, text));
+    }
+    let graph_findings = graph::analyze(&sources);
+    let graph_lines: std::collections::BTreeSet<(String, usize)> = graph_findings
+        .iter()
+        .filter(|f| f.rule == "recovery-panic-freedom")
+        .map(|f| (f.file.clone(), f.line))
+        .collect();
+    out.retain(|f| {
+        f.rule != "unwrap-in-recovery" || !graph_lines.contains(&(f.file.clone(), f.line))
+    });
+    out.extend(graph_findings);
+    out
+}
+
+/// One-line descriptions of every rule, for `--list-rules`.
+pub fn rule_descriptions() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "hashmap-iter",
+            "no HashMap/HashSet iteration in sim or self-hosted crates (escape: hash-ok:)",
+        ),
+        (
+            "unwrap-in-recovery",
+            "no unwrap/expect lexically inside recovery-named fns (escape: panic-ok:)",
+        ),
+        (
+            "std-time",
+            "no wall-clock reads in simulation crates (escape: time-ok:)",
+        ),
+        (
+            "charge-category",
+            "fn charge_<x> in core must record Kind::<X>",
+        ),
+        (
+            "hot-path-copy",
+            "no payload copies in per-message fns (escape: copy-ok:)",
+        ),
+        (
+            "thread-outside-parallel",
+            "no threads/locks/atomics outside sim-core/src/parallel.rs (escape: thread-ok:)",
+        ),
+        (
+            "worker-purity",
+            "[graph] nothing reachable from parallel worker entry points may touch statics, \
+             thread primitives, or serial-only APIs (escape: worker-ok:)",
+        ),
+        (
+            "recovery-panic-freedom",
+            "[graph] nothing reachable from recovery/restore/checkpoint/repost roots may \
+             panic (escape: panic-ok:)",
+        ),
+        (
+            "charge-coverage",
+            "[graph] every MachineLayer path that sends or delivers must record a Kind::* \
+             charge (escape: charge-ok:)",
+        ),
+    ]
 }

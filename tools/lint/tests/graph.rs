@@ -1,0 +1,243 @@
+//! Graph-pass tests: each reachability rule must fire on its seeded
+//! fixture with a witness chain, go quiet under the documented escape (or
+//! when the violation is mutated away), and the real workspace must scan
+//! clean under the full lexical+graph pass.
+
+use lint_pass::graph::{self, Graph};
+use lint_pass::{lint_workspace_full, report_json, Finding};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn analyze_src(name: &str, src: &str) -> Vec<Finding> {
+    graph::analyze(&[(
+        "core".to_string(),
+        format!("fixtures/{name}"),
+        src.to_string(),
+    )])
+}
+
+fn rules(findings: &[Finding]) -> Vec<&str> {
+    let mut r: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    r.sort();
+    r.dedup();
+    r
+}
+
+fn chain_of<'a>(findings: &'a [Finding], msg_part: &str) -> &'a [String] {
+    &findings
+        .iter()
+        .find(|f| f.msg.contains(msg_part))
+        .unwrap_or_else(|| panic!("no finding mentioning {msg_part:?}: {findings:?}"))
+        .chain
+}
+
+// ---------------------------------------------------------------- worker
+
+#[test]
+fn worker_purity_fixture_fires() {
+    let src = fixture("graph_worker_impure.rs");
+    let f = analyze_src("graph_worker_impure.rs", &src);
+    assert_eq!(rules(&f), ["worker-purity"], "findings: {f:?}");
+    assert_eq!(f.len(), 3, "findings: {f:?}");
+
+    // Thread primitive two calls below the entry point, witness chain
+    // from the root through the helper.
+    let chain = chain_of(&f, "`Mutex`");
+    assert!(chain[0].contains("exec_local_event"), "chain: {chain:?}");
+    assert!(
+        chain.last().unwrap().contains("log_stat"),
+        "chain: {chain:?}"
+    );
+    assert!(
+        chain.iter().any(|h| h.contains("helper")),
+        "chain: {chain:?}"
+    );
+
+    // Serial-only marker on the callee, flagged at the worker's call site.
+    assert!(f.iter().any(|x| x.msg.contains("apply_effect")));
+    // Static touched inside a worker-reachable helper.
+    assert!(f.iter().any(|x| x.msg.contains("WORKER_SEED")));
+}
+
+#[test]
+fn worker_purity_escapes_and_mutations_go_quiet() {
+    let src = fixture("graph_worker_impure.rs");
+
+    // Escape every offending line with `// worker-ok:`.
+    let escaped = src
+        .replace(
+            "let m = Mutex::new(x);",
+            "let m = Mutex::new(x); // worker-ok: test escape",
+        )
+        .replace(
+            "let b = apply_effect(a);",
+            "let b = apply_effect(a); // worker-ok: test escape",
+        )
+        .replace(
+            "    WORKER_SEED\n",
+            "    WORKER_SEED // worker-ok: test escape\n",
+        );
+    let f = analyze_src("graph_worker_impure.rs", &escaped);
+    assert!(f.is_empty(), "findings: {f:?}");
+
+    // Rename the entry point: no root, no reachability, no findings.
+    let unrooted = src.replace("exec_local_event", "some_local_event");
+    let f = analyze_src("graph_worker_impure.rs", &unrooted);
+    assert!(f.is_empty(), "findings: {f:?}");
+}
+
+// -------------------------------------------------------------- recovery
+
+#[test]
+fn recovery_panic_fixture_fires() {
+    let src = fixture("graph_recovery_panic.rs");
+    let f = analyze_src("graph_recovery_panic.rs", &src);
+    assert_eq!(rules(&f), ["recovery-panic-freedom"], "findings: {f:?}");
+    // Exactly the transitive unwrap: debug_assert! is exempt, and
+    // fresh_path is not a recovery root.
+    assert_eq!(f.len(), 1, "findings: {f:?}");
+    assert!(f[0].msg.contains("finalize"));
+
+    // Witness: recover_link -> Conn::latest_seq -> finalize.
+    let chain = &f[0].chain;
+    assert!(chain[0].contains("recover_link"), "chain: {chain:?}");
+    assert!(
+        chain.iter().any(|h| h.contains("Conn::latest_seq")),
+        "chain: {chain:?}"
+    );
+    assert!(
+        chain.last().unwrap().contains("finalize"),
+        "chain: {chain:?}"
+    );
+}
+
+#[test]
+fn recovery_panic_escapes_and_mutations_go_quiet() {
+    let src = fixture("graph_recovery_panic.rs");
+
+    let escaped = src.replace(
+        "    v.unwrap()",
+        "    // panic-ok: test escape\n    v.unwrap()",
+    );
+    let f = analyze_src("graph_recovery_panic.rs", &escaped);
+    assert!(f.is_empty(), "findings: {f:?}");
+
+    // Rename the root so nothing recovery-named reaches the panic.
+    let unrooted = src.replace("recover_link", "mainline_link");
+    let f = analyze_src("graph_recovery_panic.rs", &unrooted);
+    assert!(f.is_empty(), "findings: {f:?}");
+}
+
+// ---------------------------------------------------------------- charge
+
+#[test]
+fn charge_coverage_fixture_fires() {
+    let src = fixture("graph_charge_uncovered.rs");
+    let f = analyze_src("graph_charge_uncovered.rs", &src);
+    assert_eq!(rules(&f), ["charge-coverage"], "findings: {f:?}");
+    // Only the uncharged path fires: covered_send's count_send rides the
+    // same function as charge_wire.
+    assert_eq!(f.len(), 1, "findings: {f:?}");
+    assert!(f[0].msg.contains("deliver_at"));
+
+    let chain = &f[0].chain;
+    assert!(chain[0].contains("on_event"), "chain: {chain:?}");
+    assert!(
+        chain.last().unwrap().contains("forward"),
+        "chain: {chain:?}"
+    );
+}
+
+#[test]
+fn charge_coverage_escapes_and_mutations_go_quiet() {
+    let src = fixture("graph_charge_uncovered.rs");
+
+    let escaped = src.replace(
+        "ctx.deliver_at(5);",
+        "ctx.deliver_at(5); // charge-ok: test escape",
+    );
+    let f = analyze_src("graph_charge_uncovered.rs", &escaped);
+    assert!(f.is_empty(), "findings: {f:?}");
+
+    // Charging anywhere on the corridor covers the effect.
+    let charged = src.replace(
+        "ctx.deliver_at(5);",
+        "ctx.charge_wire(1);\n        ctx.deliver_at(5);",
+    );
+    let f = analyze_src("graph_charge_uncovered.rs", &charged);
+    assert!(f.is_empty(), "findings: {f:?}");
+}
+
+// ------------------------------------------------------------ call graph
+
+#[test]
+fn call_graph_resolves_every_call_form() {
+    let src = fixture("graph_resolve.rs");
+    let g = Graph::build(&[(
+        "core".to_string(),
+        "fixtures/graph_resolve.rs".to_string(),
+        src,
+    )]);
+
+    let callees = |name: &str| {
+        let id = g.fn_id(name).unwrap_or_else(|| panic!("no fn {name}"));
+        g.callee_names(id)
+    };
+
+    // Free call inside a method.
+    assert_eq!(callees("step"), ["bump"]);
+    // Self-method + qualified `Widget::reset(self)`.
+    assert_eq!(callees("tick"), ["Widget::reset", "Widget::step"]);
+    // Unknown-receiver method call resolves by name.
+    assert_eq!(callees("drive"), ["Widget::tick"]);
+    // Trait-default body dispatches to the implementor's override.
+    assert_eq!(callees("run_twice"), ["Widget::go"]);
+    // The override, in turn, hits the inherent method.
+    assert_eq!(callees("go"), ["Widget::step"]);
+}
+
+#[test]
+fn witness_chain_renders_in_display_and_json() {
+    let src = fixture("graph_recovery_panic.rs");
+    let f = analyze_src("graph_recovery_panic.rs", &src);
+    assert_eq!(f.len(), 1);
+
+    let shown = f[0].to_string();
+    assert!(shown.contains("[recovery-panic-freedom]"), "{shown}");
+    assert!(shown.contains("\n    via recover_link"), "{shown}");
+    assert!(shown.contains("\n     -> finalize"), "{shown}");
+
+    let json = report_json(&f);
+    assert!(json.contains("\"schema\": 1"), "{json}");
+    assert!(
+        json.contains("\"rule\": \"recovery-panic-freedom\""),
+        "{json}"
+    );
+    assert!(json.contains("\"count\": 1"), "{json}");
+    assert!(json.contains("recover_link"), "{json}");
+}
+
+// ------------------------------------------------------------- workspace
+
+#[test]
+fn workspace_is_clean_under_full_pass() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let f = lint_workspace_full(root);
+    assert!(
+        f.is_empty(),
+        "workspace lexical+graph findings:\n{}",
+        f.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

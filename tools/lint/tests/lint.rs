@@ -94,6 +94,10 @@ fn hot_path_copy_fixture_fires() {
     assert!(f.iter().filter(|x| x.msg.contains("deliver")).count() == 2);
     assert!(!f.iter().any(|x| x.msg.contains("drain_smsg")));
     assert!(!f.iter().any(|x| x.msg.contains("setup_buffers")));
+    // Keyword matching is per `_`-segment: `send_count_report` is a
+    // counter accessor and `resend_window` never contained `send`.
+    assert!(!f.iter().any(|x| x.msg.contains("send_count_report")));
+    assert!(!f.iter().any(|x| x.msg.contains("resend_window")));
 }
 
 #[test]
@@ -117,6 +121,8 @@ fn thread_spawn_fixture_fires() {
     assert!(f.iter().any(|x| x.msg.contains("`Atomic`")));
     assert!(f.iter().any(|x| x.msg.contains("`Barrier`")));
     assert!(f.iter().any(|x| x.msg.contains("`mpsc`")));
+    // Whole-word patterns need both boundaries: `BarrierStats` and
+    // `mpscish` must not fire (the count above would be 7 otherwise).
 }
 
 #[test]
@@ -154,6 +160,31 @@ fn test_modules_are_exempt() {
                }\n";
     let f = lint_source("sim-core", "inline.rs", src);
     assert!(f.is_empty(), "findings: {f:?}");
+}
+
+#[test]
+fn test_exemption_is_brace_accurate() {
+    // Code AFTER a `#[cfg(test)]` item is production code again: the
+    // exemption covers exactly the attributed item, not the rest of the
+    // file.
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+                   fn conn_retry() { None::<u32>.unwrap(); }\n\
+               }\n\
+               pub fn conn_retry() -> u32 { None::<u32>.unwrap() }\n";
+    let f = lint_source("sim-core", "inline.rs", src);
+    assert_eq!(f.len(), 1, "findings: {f:?}");
+    assert_eq!(f[0].rule, "unwrap-in-recovery");
+    assert_eq!(f[0].line, 5, "findings: {f:?}");
+
+    // A `#[cfg(test)]` on a single use statement exempts only that line.
+    let src2 = "#[cfg(test)]\n\
+                use std::time::Instant;\n\
+                pub fn later() { let _ = std::time::Duration::ZERO; }\n";
+    let f2 = lint_source("sim-core", "inline.rs", src2);
+    assert_eq!(f2.len(), 1, "findings: {f2:?}");
+    assert_eq!(f2[0].rule, "std-time");
+    assert_eq!(f2[0].line, 3, "findings: {f2:?}");
 }
 
 #[test]
