@@ -1,0 +1,118 @@
+//! `cargo run --release -p charm-bench --bin scale [-- --quick]`
+//!
+//! Runs the scale suite (see `charm_bench::scale`): one subprocess per
+//! row so each gets a clean `VmHWM` peak-RSS meter, prints the table,
+//! writes `BENCH_scale.json` at the repo root, and exits nonzero when a
+//! row's virtual end time drifts from its pin or its peak RSS busts the
+//! budget.
+//!
+//! Flags:
+//! * `--quick` — CI shape (the rows marked `quick` in the table);
+//! * `--row NAME` — internal: run one row in this process and print its
+//!   JSON (the parent invokes this on `current_exe`);
+//! * `--rev REV` — git revision recorded in the history rows;
+//! * `--no-write` — skip the JSON;
+//! * `--print-pins` — emit the ROWS pin values measured by this build.
+
+use charm_bench::scale::{self, ScaleRow, ScaleSuite};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let print_pins = args.iter().any(|a| a == "--print-pins");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let rev = flag_value("--rev").unwrap_or_else(|| "unknown".into());
+
+    // Child mode: one row, clean RSS meter, JSON on stdout.
+    if let Some(row) = flag_value("--row") {
+        let spec = scale::spec(&row).unwrap_or_else(|| panic!("unknown scale row {row}"));
+        let r = scale::run_row(spec);
+        println!("SCALE_ROW {}", r.to_json());
+        return ExitCode::SUCCESS;
+    }
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for spec in scale::ROWS {
+        if quick && !spec.quick {
+            continue;
+        }
+        eprintln!("scale: running {} ({} PEs)...", spec.name, spec.pes);
+        let out = std::process::Command::new(&exe)
+            .args(["--row", spec.name])
+            .output()
+            .expect("spawn row subprocess");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        if !out.status.success() {
+            eprintln!(
+                "scale: row {} failed ({}):\n{}{}",
+                spec.name,
+                out.status,
+                stdout,
+                String::from_utf8_lossy(&out.stderr)
+            );
+            return ExitCode::FAILURE;
+        }
+        let line = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("SCALE_ROW "))
+            .unwrap_or_else(|| panic!("row {} printed no SCALE_ROW line", spec.name));
+        rows.push(ScaleRow::from_json(line).expect("row JSON parses"));
+    }
+    let suite = ScaleSuite { quick, rows };
+    print!("{}", suite.render());
+
+    if print_pins {
+        println!("\n// measured ROWS pin values for this build:");
+        for r in &suite.rows {
+            println!("    (\"{}\", {}),", r.name, r.virtual_end_ns);
+        }
+    }
+
+    let mut bad = false;
+    for r in suite.drifted() {
+        eprintln!(
+            "VIRTUAL-TIME DRIFT: {} ended at {} ns, pinned {} ns",
+            r.name,
+            r.virtual_end_ns,
+            r.pinned_end_ns.unwrap()
+        );
+        bad = true;
+    }
+    for r in suite.over_budget() {
+        eprintln!(
+            "RSS BUDGET BUST: {} peaked at {} bytes, budget {} bytes",
+            r.name, r.peak_rss_bytes, r.rss_budget_bytes
+        );
+        bad = true;
+    }
+
+    if !no_write {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let path = root.join("BENCH_scale.json");
+        let mut history = std::fs::read_to_string(&path)
+            .map(|old| charm_bench::wallclock::extract_history(&old))
+            .unwrap_or_default();
+        history.extend(suite.history_records(&rev));
+        std::fs::write(&path, suite.to_json_with_history(&history))
+            .expect("write BENCH_scale.json");
+        println!("wrote {}", path.display());
+    }
+
+    if bad {
+        eprintln!("scale: machine size moved virtual time or memory; see above");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

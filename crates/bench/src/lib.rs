@@ -8,6 +8,7 @@
 //! where the crossovers fall.
 
 pub mod figures;
+pub mod scale;
 pub mod tables;
 pub mod wallclock;
 

@@ -1,0 +1,403 @@
+//! Scale suite: peak host memory and throughput at Hopper-and-beyond PE
+//! counts.
+//!
+//! The wallclock suite answers "how fast is the engine"; this one answers
+//! "does machine size stay a non-problem". Each row builds a simulated
+//! machine at a fixed PE count, runs a workload, and reports events/sec
+//! *and the process's peak RSS* (`VmHWM` from `/proc/self/status`). Two
+//! rows are the headline:
+//!
+//! * `hopper_kneighbor` — the full Hopper machine of the paper's target
+//!   installation (6,384 nodes x 24 cores = 153,216 PEs) running the
+//!   kNeighbor exchange on every PE: the dense case, where the flyweight
+//!   tables all materialize and RSS is dominated by live per-PE state.
+//! * `million_sparse` — a >=1M-PE machine where a few thousand scattered
+//!   PEs relay messages across the torus: the sparse case, where
+//!   construction must stay O(nodes) and untouched PEs must cost nothing
+//!   (pe_table.rs, `LazyVec`/`LazySlab`, lazy CQs/mempools — DESIGN.md
+//!   §13).
+//!
+//! Both rows pin their virtual end times (the engine at 153,216 PEs must
+//! be just as deterministic as at 8) and their peak-RSS budgets; the
+//! harness fails loudly on either kind of drift. Because `VmHWM` is a
+//! process-lifetime high-water mark, the `scale` binary re-executes
+//! itself once per row (`--row NAME`) so every row gets a clean meter.
+
+use bytes::Bytes;
+use charm_apps::kneighbor::kneighbor_report;
+use charm_apps::LayerKind;
+use charm_rt::pe_table::PE_PAGE_LEN;
+use std::time::Instant;
+
+/// Hopper: 6,384 compute nodes, 24 cores each (paper §V: "Hopper ...
+/// 153,216 cores").
+pub const HOPPER_NODES: u32 = 6_384;
+pub const HOPPER_CORES_PER_NODE: u32 = 24;
+pub const HOPPER_PES: u32 = HOPPER_NODES * HOPPER_CORES_PER_NODE;
+
+/// The beyond-Hopper row: a full mebi-PE machine (64k nodes x 16).
+pub const MILLION_PES: u32 = 1 << 20;
+pub const MILLION_CORES_PER_NODE: u32 = 16;
+
+/// Static description of one scale row. Workload shapes are fixed (no
+/// quick/full split): the pins must mean the same thing everywhere, and
+/// the suite is sized to stay CI-viable as-is.
+pub struct RowSpec {
+    pub name: &'static str,
+    pub pes: u32,
+    pub cores_per_node: u32,
+    /// Included in `--quick` (CI) runs.
+    pub quick: bool,
+    /// Pinned virtual end time (ns); `None` while a row is being landed.
+    pub pinned_end_ns: Option<u64>,
+    /// Peak-RSS ceiling for the row's process, bytes. Budgets are set
+    /// ~2x above the measured peak so they catch O(num_pes) regressions
+    /// (which blow past any constant factor), not allocator jitter.
+    pub rss_budget_bytes: u64,
+}
+
+pub const ROWS: &[RowSpec] = &[
+    RowSpec {
+        name: "hopper_kneighbor",
+        pes: HOPPER_PES,
+        cores_per_node: HOPPER_CORES_PER_NODE,
+        quick: true,
+        pinned_end_ns: Some(41_484),
+        rss_budget_bytes: 2 * 1024 * 1024 * 1024,
+    },
+    RowSpec {
+        name: "million_sparse",
+        pes: MILLION_PES,
+        cores_per_node: MILLION_CORES_PER_NODE,
+        quick: true,
+        pinned_end_ns: Some(167_519),
+        rss_budget_bytes: 512 * 1024 * 1024,
+    },
+];
+
+pub fn spec(name: &str) -> Option<&'static RowSpec> {
+    ROWS.iter().find(|r| r.name == name)
+}
+
+/// One measured row (possibly parsed back from a `--row` subprocess).
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    pub name: String,
+    pub pes: u32,
+    pub cores_per_node: u32,
+    pub events: u64,
+    pub virtual_end_ns: u64,
+    pub pinned_end_ns: Option<u64>,
+    pub wall_ns: u64,
+    /// `VmHWM` of the process that ran the row, bytes (0 when the
+    /// platform has no `/proc/self/status`; budget checks are skipped).
+    pub peak_rss_bytes: u64,
+    pub rss_budget_bytes: u64,
+    /// Materialized per-PE driver pages out of `total_pe_pages`
+    /// (sparse rows only; dense workloads materialize everything).
+    pub materialized_pe_pages: Option<u64>,
+    pub total_pe_pages: u64,
+}
+
+impl ScaleRow {
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+
+    pub fn drifted(&self) -> bool {
+        self.pinned_end_ns.is_some_and(|p| p != self.virtual_end_ns)
+    }
+
+    pub fn over_budget(&self) -> bool {
+        self.peak_rss_bytes > 0 && self.peak_rss_bytes > self.rss_budget_bytes
+    }
+
+    /// The single-line JSON a `--row` subprocess prints on stdout.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"pes\": {}, \"cores_per_node\": {}, \
+             \"events\": {}, \"virtual_end_ns\": {}, \"pinned_end_ns\": {}, \
+             \"wall_ns\": {}, \"events_per_sec\": {:.1}, \
+             \"peak_rss_bytes\": {}, \"rss_budget_bytes\": {}, \
+             \"materialized_pe_pages\": {}, \"total_pe_pages\": {}}}",
+            self.name,
+            self.pes,
+            self.cores_per_node,
+            self.events,
+            self.virtual_end_ns,
+            self.pinned_end_ns
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".into()),
+            self.wall_ns,
+            self.events_per_sec(),
+            self.peak_rss_bytes,
+            self.rss_budget_bytes,
+            self.materialized_pe_pages
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".into()),
+            self.total_pe_pages,
+        )
+    }
+
+    /// Parse the subprocess line back. Hand-rolled like the rest of the
+    /// harness JSON (no serde in this workspace).
+    pub fn from_json(json: &str) -> Option<ScaleRow> {
+        fn raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+            let pat = format!("\"{key}\": ");
+            let start = json.find(&pat)? + pat.len();
+            let rest = &json[start..];
+            let end = rest.find([',', '}'])?;
+            Some(rest[..end].trim())
+        }
+        fn num(json: &str, key: &str) -> Option<u64> {
+            raw(json, key)?.parse().ok()
+        }
+        fn opt_num(json: &str, key: &str) -> Option<Option<u64>> {
+            let r = raw(json, key)?;
+            if r == "null" {
+                Some(None)
+            } else {
+                r.parse().ok().map(Some)
+            }
+        }
+        let name = {
+            let r = raw(json, "name")?;
+            r.trim_matches('"').to_string()
+        };
+        Some(ScaleRow {
+            name,
+            pes: num(json, "pes")? as u32,
+            cores_per_node: num(json, "cores_per_node")? as u32,
+            events: num(json, "events")?,
+            virtual_end_ns: num(json, "virtual_end_ns")?,
+            pinned_end_ns: opt_num(json, "pinned_end_ns")?,
+            wall_ns: num(json, "wall_ns")?,
+            peak_rss_bytes: num(json, "peak_rss_bytes")?,
+            rss_budget_bytes: num(json, "rss_budget_bytes")?,
+            materialized_pe_pages: opt_num(json, "materialized_pe_pages")?,
+            total_pe_pages: num(json, "total_pe_pages")?,
+        })
+    }
+}
+
+/// Peak RSS of the current process, bytes (`VmHWM`). 0 when unreadable.
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Execute one row in-process. Called by the `--row` subprocess; calling
+/// it twice in one process would smear `VmHWM` across rows.
+pub fn run_row(s: &RowSpec) -> ScaleRow {
+    let t0 = Instant::now();
+    let (events, virtual_end_ns, materialized_pe_pages) = match s.name {
+        "hopper_kneighbor" => {
+            // kNeighbor on every PE of the machine: k=1, one ping-sized
+            // payload, two iterations — the paper's Fig.-10 exchange, at
+            // the full installation's width.
+            let (_, rep) = kneighbor_report(&LayerKind::ugni(), s.pes, s.cores_per_node, 1, 512, 2);
+            (rep.stats.events, rep.end_time, None)
+        }
+        "million_sparse" => {
+            let (ev, vend, pages) = sparse_relay(s.pes, s.cores_per_node, 2048, 6);
+            (ev, vend, Some(pages))
+        }
+        other => panic!("unknown scale row {other}"),
+    };
+    ScaleRow {
+        name: s.name.to_string(),
+        pes: s.pes,
+        cores_per_node: s.cores_per_node,
+        events,
+        virtual_end_ns,
+        pinned_end_ns: s.pinned_end_ns,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        peak_rss_bytes: peak_rss_bytes(),
+        rss_budget_bytes: s.rss_budget_bytes,
+        materialized_pe_pages,
+        total_pe_pages: (s.pes as u64).div_ceil(PE_PAGE_LEN as u64),
+    }
+}
+
+/// The sparse workload: `seeds` PEs spread evenly across the machine
+/// each start a relay chain that hops `hops` times by a fixed large
+/// stride, so the touched set scatters over many nodes while the
+/// overwhelming majority of the machine is never woken. All chain state
+/// rides in the message payload — no `init_user`, which would be O(PEs)
+/// by definition. Returns (events, virtual end, materialized PE pages).
+pub fn sparse_relay(num_pes: u32, cores_per_node: u32, seeds: u32, hops: u32) -> (u64, u64, u64) {
+    let mut c = LayerKind::ugni().cluster(num_pes, cores_per_node);
+    // A large prime stride lands every hop on a different, far-away node.
+    let stride: u32 = 600_011 % num_pes;
+    let slot = std::sync::Arc::new(std::sync::OnceLock::new());
+    let slot2 = slot.clone();
+    let h = c.register_handler(move |ctx, env| {
+        let left = u32::from_le_bytes(env.payload[..4].try_into().expect("4-byte relay payload"));
+        if left > 0 {
+            let dst = (ctx.pe() + stride) % num_pes;
+            let payload = Bytes::copy_from_slice(&(left - 1).to_le_bytes());
+            ctx.send(dst, *slot2.get().expect("handler registered"), payload);
+        }
+    });
+    slot.set(h).expect("single registration");
+    let gap = num_pes / seeds;
+    for i in 0..seeds {
+        c.inject(0, i * gap, h, Bytes::copy_from_slice(&hops.to_le_bytes()));
+    }
+    let rep = c.run();
+    (
+        rep.stats.events,
+        rep.end_time,
+        c.materialized_pe_pages() as u64,
+    )
+}
+
+/// Whole-suite result (parent process).
+#[derive(Debug, Clone)]
+pub struct ScaleSuite {
+    pub quick: bool,
+    pub rows: Vec<ScaleRow>,
+}
+
+impl ScaleSuite {
+    pub fn drifted(&self) -> Vec<&ScaleRow> {
+        self.rows.iter().filter(|r| r.drifted()).collect()
+    }
+
+    pub fn over_budget(&self) -> Vec<&ScaleRow> {
+        self.rows.iter().filter(|r| r.over_budget()).collect()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Scale suite ({})\n{:<20}{:>12}{:>14}{:>16}{:>14}{:>14}{:>14}{:>16}\n",
+            if self.quick { "quick" } else { "full" },
+            "row",
+            "PEs",
+            "events",
+            "virtual_end_ns",
+            "events/sec",
+            "peak_rss_mb",
+            "budget_mb",
+            "pe_pages",
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<20}{:>12}{:>14}{:>16}{:>14.0}{:>14.1}{:>14.1}{:>16}\n",
+                r.name,
+                r.pes,
+                r.events,
+                r.virtual_end_ns,
+                r.events_per_sec(),
+                r.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                r.rss_budget_bytes as f64 / (1024.0 * 1024.0),
+                match r.materialized_pe_pages {
+                    Some(m) => format!("{}/{}", m, r.total_pe_pages),
+                    None => format!("{}/{}", r.total_pe_pages, r.total_pe_pages),
+                },
+            ));
+        }
+        out
+    }
+
+    /// One appendable history row per measured row, keyed
+    /// `(suite, row, rev)` — the memory trajectory is the point, so peak
+    /// RSS rides along with throughput.
+    pub fn history_records(&self, rev: &str) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"suite\": \"scale\", \"row\": \"{}\", \"rev\": \"{}\", \
+                     \"events_per_sec\": {:.1}, \"peak_rss_bytes\": {}}}",
+                    r.name,
+                    rev,
+                    r.events_per_sec(),
+                    r.peak_rss_bytes,
+                )
+            })
+            .collect()
+    }
+
+    /// Machine-readable `BENCH_scale.json` contents.
+    pub fn to_json_with_history(&self, history: &[String]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"suite\": \"scale\",\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&r.to_json());
+            out.push_str(if i + 1 == self.rows.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"history\": [\n");
+        for (i, h) in history.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(h);
+            out.push_str(if i + 1 == history.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_json_round_trips() {
+        let r = ScaleRow {
+            name: "hopper_kneighbor".into(),
+            pes: HOPPER_PES,
+            cores_per_node: 24,
+            events: 123,
+            virtual_end_ns: 456,
+            pinned_end_ns: None,
+            wall_ns: 789,
+            peak_rss_bytes: 1024,
+            rss_budget_bytes: 2048,
+            materialized_pe_pages: Some(7),
+            total_pe_pages: 2394,
+        };
+        let back = ScaleRow::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.pes, r.pes);
+        assert_eq!(back.events, r.events);
+        assert_eq!(back.virtual_end_ns, r.virtual_end_ns);
+        assert_eq!(back.pinned_end_ns, r.pinned_end_ns);
+        assert_eq!(back.peak_rss_bytes, r.peak_rss_bytes);
+        assert_eq!(back.materialized_pe_pages, r.materialized_pe_pages);
+    }
+
+    #[test]
+    fn sparse_relay_touches_a_sliver() {
+        // Tiny machine, same code path: the touched page count must be
+        // bounded by the chain footprint, not the machine size.
+        let (events, vend, pages) = sparse_relay(64 * 1024, 16, 8, 3);
+        assert!(events > 0 && vend > 0);
+        assert!(pages < 64, "8 chains x 3 hops touched {pages} pages");
+    }
+
+    #[test]
+    fn vmhwm_reads_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+}

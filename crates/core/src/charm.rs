@@ -87,16 +87,41 @@ struct EntryDef {
     f: EntryFn,
 }
 
+/// Element routing indirection: an element whose round-robin home is PE
+/// `h` currently lives on `route.get(h)`. Identity until a
+/// redistribute-mode crash recovery folds a dead PE's elements onto the
+/// PE holding their buddy checkpoint — so only the (rare) redirected
+/// homes are stored, not an O(num_pes) identity vector. A million-PE
+/// machine that never crashes routes through an empty map.
+#[derive(Default, Debug)]
+pub(crate) struct RouteMap {
+    overrides: std::collections::BTreeMap<PeId, PeId>,
+}
+
+impl RouteMap {
+    /// Where the element homed at `h` currently lives.
+    pub(crate) fn get(&self, home: PeId) -> PeId {
+        self.overrides.get(&home).copied().unwrap_or(home)
+    }
+
+    /// Redirect `home`'s elements to `dst` (identity writes erase the
+    /// override, keeping the map proportional to live redirections).
+    pub(crate) fn set(&mut self, home: PeId, dst: PeId) {
+        if dst == home {
+            self.overrides.remove(&home);
+        } else {
+            self.overrides.insert(home, dst);
+        }
+    }
+}
+
 /// Global (pre-run) Charm registrations.
 #[derive(Default)]
 pub struct CharmRegistry {
     arrays: Vec<ArrayDef>,
     entries: Vec<EntryDef>,
-    /// Element routing indirection: an element whose round-robin home is
-    /// PE `h` currently lives on `route[h]`. Identity until a
-    /// redistribute-mode crash recovery folds a dead PE's elements onto
-    /// the PE holding their buddy checkpoint.
-    pub(crate) route: Vec<PeId>,
+    /// Element routing indirection (see [`RouteMap`]).
+    pub(crate) route: RouteMap,
     /// True once any element has moved off its home PE: broadcasts then
     /// switch from the PE spanning tree (which may contain dead PEs) to
     /// direct sends from the root.
@@ -110,7 +135,7 @@ impl CharmRegistry {
     pub(crate) fn remap_participants(&mut self) {
         for a in &mut self.arrays {
             for p in &mut a.participants {
-                *p = self.route[*p as usize];
+                *p = self.route.get(*p);
             }
             a.participants.sort_unstable();
             a.participants.dedup();
@@ -280,7 +305,7 @@ impl Cluster {
         let mut participants: Vec<PeId> = Vec::new();
         for idx in 0..n {
             let pe = home_pe(idx, num_pes);
-            let st = &mut self.pes[pe as usize].charm;
+            let st = &mut self.pes.get_mut(pe as usize).charm;
             st.elements.insert((aid.0, idx), Some(Box::new(ctor(idx))));
             *st.local_count.entry(aid.0).or_insert(0) += 1;
             if !participants.contains(&pe) {
@@ -335,7 +360,7 @@ impl Cluster {
         entry: EntryId,
         payload: Bytes,
     ) {
-        let pe = self.charm.route[home_pe(idx, self.cfg.num_pes) as usize];
+        let pe = self.charm.route.get(home_pe(idx, self.cfg.num_pes));
         self.inject(at, pe, CHARM_HANDLER, enc_entry(aid, entry, idx, &payload));
     }
 
@@ -352,8 +377,9 @@ impl Cluster {
 
     /// Read an element's state after a run.
     pub fn element<T: 'static>(&self, aid: ArrayId, idx: u64) -> &T {
-        let pe = self.charm.route[home_pe(idx, self.cfg.num_pes) as usize];
-        self.pes[pe as usize]
+        let pe = self.charm.route.get(home_pe(idx, self.cfg.num_pes));
+        self.pes
+            .get(pe as usize)
             .charm
             .elements
             .get(&(aid.0, idx))
@@ -368,7 +394,7 @@ impl Cluster {
 impl PeCtx<'_> {
     /// Asynchronous entry-method invocation on element `idx` of `aid`.
     pub fn charm_send(&mut self, aid: ArrayId, idx: u64, entry: EntryId, payload: Bytes) {
-        let pe = self.charm_reg.route[home_pe(idx, self.num_pes()) as usize];
+        let pe = self.charm_reg.route.get(home_pe(idx, self.num_pes()));
         self.send(pe, CHARM_HANDLER, enc_entry(aid, entry, idx, &payload));
     }
 

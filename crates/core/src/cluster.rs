@@ -15,6 +15,7 @@ use crate::charm::{CharmPe, CharmRegistry};
 use crate::ft::{FtCore, FtSnapshot};
 use crate::lrts::{MachineLayer, PersistentHandle};
 use crate::msg::{Envelope, HandlerId, PeId};
+use crate::pe_table::PeTable;
 use crate::qd::{QdPe, QdState};
 use crate::trace::{Kind, Trace, TraceOp};
 use bytes::Bytes;
@@ -161,6 +162,35 @@ pub(crate) struct PeState {
     pub(crate) ft_buddy: std::collections::BTreeMap<PeId, Arc<FtSnapshot>>,
 }
 
+impl PeState {
+    /// A pristine per-PE state. This must stay a *pure* function of
+    /// `(seed, pe)`: the flyweight table (pe_table.rs) materializes states
+    /// lazily, and lazy-vs-eager construction is only unobservable while
+    /// a fresh state depends on nothing but its coordinates.
+    pub(crate) fn fresh(seed: u64, pe: u64) -> Self {
+        PeState {
+            queue: std::collections::BinaryHeap::new(),
+            queue_seq: 0,
+            busy_until: 0,
+            run_scheduled: false,
+            parked: VecDeque::new(),
+            parked_wake: false,
+            user: Box::new(()),
+            rng: DetRng::derive(seed, pe),
+            charm: CharmPe::default(),
+            qd: QdPe::default(),
+            next_persistent: 0,
+            ft_local: None,
+            ft_buddy: std::collections::BTreeMap::new(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn rng_mut(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+}
+
 /// Queue entry ordered by (priority, arrival sequence).
 pub(crate) struct PrioEnv {
     prio: u16,
@@ -219,10 +249,12 @@ pub struct RunReport {
 
 /// A complete simulated job.
 pub struct Cluster {
-    pub cfg: ClusterCfg,
+    /// Shared immutable configuration: one copy behind an `Arc`, no
+    /// matter how many PEs, workers, or report handles look at it.
+    pub cfg: Arc<ClusterCfg>,
     now: Time,
     pub(crate) events: EventQueue<Event>,
-    pub(crate) pes: Vec<PeState>,
+    pub(crate) pes: PeTable,
     layer: Option<Box<dyn MachineLayer>>,
     #[allow(clippy::type_complexity)]
     handlers: Vec<Arc<dyn Fn(&mut PeCtx, Envelope) + Send + Sync>>,
@@ -245,6 +277,11 @@ pub struct Cluster {
     /// Fault-tolerance subsystem state (heartbeat failure detector + buddy
     /// checkpointing), installed by [`Cluster::enable_ft`].
     pub(crate) ft: Option<FtCore>,
+    /// Host-side recycler for handler outbox vectors: the scheduler runs
+    /// one handler per `PeRun`, and a malloc/free pair per handler is the
+    /// single hottest host allocation at scale. Purely a host-memory
+    /// optimization — virtual time never observes it.
+    outbox_pool: mempool::ObjPool<Vec<(Time, Event)>>,
 }
 
 impl Cluster {
@@ -253,27 +290,14 @@ impl Cluster {
             panic!("invalid fault plan: {e}");
         }
         let trace = Trace::new(cfg.num_pes, cfg.trace_bucket);
-        let pes = (0..cfg.num_pes)
-            .map(|pe| PeState {
-                queue: std::collections::BinaryHeap::new(),
-                queue_seq: 0,
-                busy_until: 0,
-                run_scheduled: false,
-                parked: VecDeque::new(),
-                parked_wake: false,
-                user: Box::new(()),
-                rng: DetRng::derive(cfg.seed, pe as u64),
-                charm: CharmPe::default(),
-                qd: QdPe::default(),
-                next_persistent: 0,
-                ft_local: None,
-                ft_buddy: std::collections::BTreeMap::new(),
-            })
-            .collect();
+        // Per-PE state is a lazily materialized flyweight: nothing is
+        // allocated here, PEs spring into (deterministic) existence on
+        // first touch (pe_table.rs).
+        let pes = PeTable::new(cfg.num_pes, cfg.seed);
         let node_down = vec![false; cfg.num_nodes() as usize];
         let crash_gate = cfg.fault.has_node_crash();
         let mut c = Cluster {
-            cfg,
+            cfg: Arc::new(cfg),
             now: 0,
             events: EventQueue::new(),
             pes,
@@ -288,8 +312,8 @@ impl Cluster {
             node_down,
             crash_gate,
             ft: None,
+            outbox_pool: mempool::ObjPool::new(4),
         };
-        c.charm.route = (0..c.cfg.num_pes).collect();
         // Handler 0 is reserved for the Charm dispatch (arrays, broadcast,
         // reductions — see charm.rs).
         let h = c.register_handler(crate::charm::dispatch);
@@ -337,23 +361,27 @@ impl Cluster {
         HandlerId(self.handlers.len() as u16 - 1)
     }
 
-    /// Install per-PE user state.
+    /// Install per-PE user state. Inherently eager — it materializes
+    /// every PE. Whole-machine apps do exactly that anyway; sparse
+    /// jobs at huge PE counts should install state from handlers instead.
     pub fn init_user<T: Send + 'static>(&mut self, mut f: impl FnMut(PeId) -> T) {
         for pe in 0..self.cfg.num_pes {
-            self.pes[pe as usize].user = Box::new(f(pe));
+            self.pes.get_mut(pe as usize).user = Box::new(f(pe));
         }
     }
 
     /// Read back per-PE user state after a run.
     pub fn user<T: 'static>(&self, pe: PeId) -> &T {
-        self.pes[pe as usize]
+        self.pes
+            .get(pe as usize)
             .user
             .downcast_ref()
             .expect("user state type mismatch")
     }
 
     pub fn user_mut<T: 'static>(&mut self, pe: PeId) -> &mut T {
-        self.pes[pe as usize]
+        self.pes
+            .get_mut(pe as usize)
             .user
             .downcast_mut()
             .expect("user state type mismatch")
@@ -372,7 +400,7 @@ impl Cluster {
         let env = Envelope::new(dst, dst, handler, payload);
         // Balance the quiescence ledger: an injection is an external send.
         if !self.system_handlers.contains(&handler.0) {
-            self.pes[dst as usize].qd.sent += 1;
+            self.pes.get_mut(dst as usize).qd.sent += 1;
         }
         self.events.push(at, Event::Deliver(dst, env.encode()));
     }
@@ -400,6 +428,19 @@ impl Cluster {
 
     pub fn stats(&self) -> &ClusterStats {
         &self.stats
+    }
+
+    /// Pages of per-PE driver state currently materialized (memory
+    /// diagnostics; see pe_table.rs and DESIGN.md §13). A sparse job on a
+    /// huge machine should report far fewer than [`Self::total_pe_pages`].
+    pub fn materialized_pe_pages(&self) -> usize {
+        self.pes.materialized_pages()
+    }
+
+    /// Page count a fully dense machine would materialize — the
+    /// denominator for [`Self::materialized_pe_pages`].
+    pub fn total_pe_pages(&self) -> usize {
+        (self.cfg.num_pes as usize).div_ceil(crate::pe_table::PE_PAGE_LEN)
     }
 
     pub fn now(&self) -> Time {
@@ -516,7 +557,7 @@ impl Cluster {
                 }
                 self.stats.msgs_delivered += 1;
                 self.trace.count_msg(pe);
-                let st = &mut self.pes[pe as usize];
+                let st = self.pes.get_mut(pe as usize);
                 if !self.system_handlers.contains(&env.handler.0) {
                     st.qd.delivered += 1;
                 }
@@ -539,7 +580,7 @@ impl Cluster {
                     self.stats.ft_dead_drops += 1;
                     return;
                 }
-                let st = &mut self.pes[pe as usize];
+                let st = self.pes.get_mut(pe as usize);
                 if st.busy_until > t {
                     // Progress only happens when the PE is free: park the
                     // event and arm a single wake at the busy horizon.
@@ -565,9 +606,9 @@ impl Cluster {
                     self.stats.ft_dead_drops += 1;
                     return;
                 }
-                self.pes[pe as usize].parked_wake = false;
+                self.pes.get_mut(pe as usize).parked_wake = false;
                 loop {
-                    let st = &mut self.pes[pe as usize];
+                    let st = self.pes.get_mut(pe as usize);
                     if st.parked.is_empty() {
                         break;
                     }
@@ -622,7 +663,7 @@ impl Cluster {
             let lo = node * self.cfg.cores_per_node;
             let hi = (lo + self.cfg.cores_per_node).min(self.cfg.num_pes);
             for pe in lo..hi {
-                let st = &mut self.pes[pe as usize];
+                let st = self.pes.get_mut(pe as usize);
                 // Volatile state is lost with the node. Scheduler queues,
                 // parked machine events, user state, chare elements, and
                 // even the node's own checkpoint copies (they live in its
@@ -678,7 +719,7 @@ impl Cluster {
     }
 
     fn pe_run(&mut self, t: Time, pe: PeId) {
-        let st = &mut self.pes[pe as usize];
+        let st = self.pes.get_mut(pe as usize);
         if st.busy_until > t {
             // Still finishing earlier work (overhead charges can extend it).
             self.events.push(st.busy_until, Event::PeRun(pe));
@@ -694,11 +735,11 @@ impl Cluster {
             .unwrap_or_else(|| panic!("unregistered handler {:?}", env.handler))
             .clone();
 
-        let mut outbox: Vec<(Time, Event)> = Vec::new();
+        let mut outbox = self.outbox_pool.get();
         let mut stop = false;
         let epoch = self.ft.as_ref().map_or(0, |f| f.epoch);
         let (charged_app, charged_ovh) = {
-            let st = &mut self.pes[pe as usize];
+            let st = self.pes.get_mut(pe as usize);
             let mut ctx = PeCtx {
                 pe,
                 start: t,
@@ -733,14 +774,15 @@ impl Cluster {
             Kind::Overhead,
         );
 
-        for (at, ev) in outbox {
+        for (at, ev) in outbox.drain(..) {
             self.events.push(at, ev);
         }
+        self.outbox_pool.put(outbox);
         if stop {
             self.stopped = true;
         }
 
-        let st = &mut self.pes[pe as usize];
+        let st = self.pes.get_mut(pe as usize);
         st.busy_until = t + total;
         if st.queue.is_empty() {
             st.run_scheduled = false;
@@ -789,7 +831,10 @@ impl Cluster {
         let node_ranges = partition_ranges(self.cfg.num_nodes(), nparts);
         let mut pe_part = vec![0u32; num_pes as usize];
         let mut parts: Vec<PartData> = Vec::with_capacity(node_ranges.len());
-        let mut all_pes = std::mem::take(&mut self.pes).into_iter();
+        // The parallel engine owns PE state densely per partition:
+        // materialize everything (whole-machine parallel runs touch every
+        // PE anyway) and take the dense vector.
+        let mut all_pes = self.pes.take_dense().into_iter();
         for (i, r) in node_ranges.iter().enumerate() {
             let lo = (r.start * cores).min(num_pes);
             let hi = (r.end * cores).min(num_pes);
@@ -887,7 +932,7 @@ impl Cluster {
         for (k, ev) in leftover_evs {
             self.events.push(k.t, ev);
         }
-        self.pes = pes;
+        self.pes.restore_dense(pes);
 
         RunReport {
             end_time: self.now,
@@ -905,7 +950,7 @@ impl Cluster {
 /// sequential `(time, push-seq)` order in both modes.
 pub(crate) enum McBack<'a> {
     Seq {
-        pes: &'a mut Vec<PeState>,
+        pes: &'a mut PeTable,
         events: &'a mut EventQueue<Event>,
     },
     Par {
@@ -938,7 +983,7 @@ impl MachineCtx<'_> {
 
     fn pe_state_mut(&mut self, pe: PeId) -> &mut PeState {
         match &mut self.back {
-            McBack::Seq { pes, .. } => &mut pes[pe as usize],
+            McBack::Seq { pes, .. } => pes.get_mut(pe as usize),
             McBack::Par { parts, pe_part, .. } => {
                 let p = &mut parts[pe_part[pe as usize] as usize];
                 let base = p.base_pe;
@@ -1136,6 +1181,10 @@ struct ExecOut {
     trace: Vec<TraceOp>,
     cmds: Vec<(EvKey, Event)>,
     stop: bool,
+    /// Recycled handler outbox (the worker's counterpart of the
+    /// sequential engine's pooled outbox): drained after every handler,
+    /// so only the allocation survives between events.
+    outbox: Vec<(Time, Event)>,
 }
 
 impl ExecOut {
@@ -1144,6 +1193,7 @@ impl ExecOut {
         self.trace.clear();
         self.cmds.clear();
         self.stop = false;
+        self.outbox.clear();
     }
 }
 
@@ -1235,7 +1285,7 @@ fn exec_local_event(
                 .unwrap_or_else(|| panic!("unregistered handler {:?}", menv.handler))
                 .clone();
 
-            let mut outbox: Vec<(Time, Event)> = Vec::new();
+            let mut outbox = std::mem::take(&mut out.outbox);
             let mut stop = false;
             // QD and FT both force the sequential engine; handlers here
             // never touch either.
@@ -1279,7 +1329,7 @@ fn exec_local_event(
             ));
 
             let mut idx = 0u32;
-            for (at, ev) in outbox {
+            for (at, ev) in outbox.drain(..) {
                 let key = mk_key(idx, at);
                 idx += 1;
                 match &ev {
@@ -1289,6 +1339,7 @@ fn exec_local_event(
                     _ => unreachable!("handlers only emit Deliver/Cmd"),
                 }
             }
+            out.outbox = outbox;
             out.stop = stop;
 
             let st = &mut pes[sti];

@@ -401,7 +401,7 @@ impl Cluster {
                 continue;
             }
             let snap = {
-                let st = &self.pes[pe as usize];
+                let st = self.pes.get(pe as usize);
                 let keys = st.charm.element_keys();
                 let mut elements = Vec::with_capacity(keys.len());
                 let mut bytes = 0u64;
@@ -438,12 +438,12 @@ impl Cluster {
             // Serialization + buddy copy is real work: charge it as its
             // own trace category so the cadence sweep can read overhead.
             let cost = ft.cfg.ckpt_base_ns + snap.bytes.div_ceil(1024) * ft.cfg.ckpt_ns_per_kb;
-            let start = t.max(self.pes[pe as usize].busy_until);
+            let start = t.max(self.pes.get(pe as usize).busy_until);
             self.trace.record(pe, start, cost, Kind::Checkpoint);
-            self.pes[pe as usize].busy_until = start + cost;
+            self.pes.get_mut(pe as usize).busy_until = start + cost;
             let buddy = self.ft_buddy_of(pe, ft);
-            self.pes[pe as usize].ft_local = Some(snap.clone());
-            self.pes[buddy as usize].ft_buddy.insert(pe, snap);
+            self.pes.get_mut(pe as usize).ft_local = Some(snap.clone());
+            self.pes.get_mut(buddy as usize).ft_buddy.insert(pe, snap);
         }
         ft.ckpts += 1;
         ft.last_ckpt = t;
@@ -503,7 +503,7 @@ impl Cluster {
                 if self.node_down[(holder / cores) as usize] {
                     continue;
                 }
-                if let Some(s) = self.pes[holder as usize].ft_buddy.get(&dead) {
+                if let Some(s) = self.pes.get(holder as usize).ft_buddy.get(&dead) {
                     found = Some((holder, s.clone()));
                     break;
                 }
@@ -531,11 +531,11 @@ impl Cluster {
             // the dead node (covers homes redirected by earlier
             // recoveries too), then fold the participant lists.
             for h in 0..num_pes {
-                let cur = self.charm.route[h as usize];
+                let cur = self.charm.route.get(h);
                 if (lo..hi).contains(&cur) {
                     for (dead, holder, _) in &orphans {
                         if *dead == cur {
-                            self.charm.route[h as usize] = *holder;
+                            self.charm.route.set(h, *holder);
                         }
                     }
                 }
@@ -562,10 +562,10 @@ impl Cluster {
                 }
                 s
             } else {
-                self.pes[pe as usize].ft_local.clone()
+                self.pes.get(pe as usize).ft_local.clone()
             };
             let sys = self.system_handlers.clone();
-            let st = &mut self.pes[pe as usize];
+            let st = self.pes.get_mut(pe as usize);
             if restart && dead_range {
                 // Fresh incarnation: nothing before `t` happened on it.
                 st.busy_until = t;
@@ -604,7 +604,7 @@ impl Cluster {
             let cost = ft.cfg.restore_base_ns + bytes.div_ceil(1024) * ft.cfg.restore_ns_per_kb;
             let start = t.max(st.busy_until);
             self.trace.record(pe, start, cost, Kind::Recovery);
-            self.pes[pe as usize].busy_until = start + cost;
+            self.pes.get_mut(pe as usize).busy_until = start + cost;
         }
 
         // A gone-for-good node's buddy entries are unreachable garbage;
@@ -612,8 +612,15 @@ impl Cluster {
         // should it crash again before the next wave).
         if !restart {
             for pe in 0..num_pes {
+                // Shared-read gate first: PEs holding no buddy copies
+                // (including never-materialized ones) are skipped without
+                // forcing their pages into existence.
+                if self.pes.get(pe as usize).ft_buddy.is_empty() {
+                    continue;
+                }
+                let st = self.pes.get_mut(pe as usize);
                 for dead in lo..hi {
-                    self.pes[pe as usize].ft_buddy.remove(&dead);
+                    st.ft_buddy.remove(&dead);
                 }
             }
         }

@@ -40,6 +40,7 @@ pub mod ft;
 pub mod ideal;
 pub mod lrts;
 pub mod msg;
+pub mod pe_table;
 pub mod qd;
 pub mod ssse;
 pub mod trace;

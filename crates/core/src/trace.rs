@@ -7,7 +7,8 @@
 //! time is *overhead*, and idle is whatever remains of `num_pes × span`.
 
 use crate::msg::PeId;
-use sim_core::{time, Time};
+use sim_core::{lazy::LazyVec, time, Time};
+use std::io::Write;
 
 /// What a recorded time segment was spent on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,12 +61,40 @@ pub struct ProfileRow {
     pub idle_frac: f64,
 }
 
+/// Spill destination for the streaming segment log: segments are written
+/// in record order as `pe start_ns dur_ns kind` lines the moment they are
+/// recorded, so trace memory stays bounded no matter how long the run is.
+/// (The writer is opaque; `Debug` reports only its presence.)
+struct LogSink(Box<dyn Write + Send>);
+
+impl std::fmt::Debug for LogSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LogSink(..)")
+    }
+}
+
+/// Materialization grain for the per-PE trace tables. Traffic patterns
+/// that touch widely scattered PEs (a relay striding a million-PE
+/// machine) materialize one page per touched neighborhood, so the page
+/// is kept small: at 64 entries the worst case is ~3 KiB per scattered
+/// PE across the three tables, versus ~50 KiB at the default grain.
+const TRACE_PAGE: usize = 64;
+
 /// Utilization accumulator for a whole job.
+///
+/// Per-PE state (totals, message counts, pending segments) is stored in
+/// lazily materialized pages ([`sim_core::lazy::LazyVec`]): the trace is
+/// *logically* dense over `num_pes`, but a PE that never records anything
+/// allocates nothing — at Hopper-and-beyond PE counts the trace costs
+/// memory proportional to the *touched* PEs, not the machine size. The
+/// dense constructor ([`Trace::new_dense`]) is the eager twin kept for
+/// differential tests.
 #[derive(Debug)]
 pub struct Trace {
-    per_pe: Vec<Acc>,
-    msgs: Vec<u64>,
+    per_pe: LazyVec<Acc, TRACE_PAGE>,
+    msgs: LazyVec<u64, TRACE_PAGE>,
     /// Aggregated timeline buckets across all PEs (None = totals only).
+    /// Dense over *time*, not PEs: bounded by span / bucket width.
     bucket_ns: Option<Time>,
     buckets: Vec<Acc>,
     /// Per-PE buffered segment awaiting bucket application. The driver
@@ -77,10 +106,13 @@ pub struct Trace {
     /// ([`Trace::profile`]) overlay still-pending segments, so observable
     /// results are exact at any instant. Totals, `end`, and the optional
     /// raw log are updated eagerly and never buffered.
-    pending: Vec<Option<(Time, Time, Kind)>>,
+    pending: LazyVec<Option<(Time, Time, Kind)>, TRACE_PAGE>,
     /// Optional full event log: (pe, start, dur, kind) — the
     /// Projections-style export. Off by default (memory).
     log: Option<Vec<(PeId, Time, Time, Kind)>>,
+    /// Optional streaming spill: segments written out as recorded instead
+    /// of accumulating in memory ([`Trace::stream_log_to`]).
+    sink: Option<LogSink>,
     end: Time,
 }
 
@@ -89,20 +121,60 @@ impl Trace {
     /// an aggregated timeline with bucket width `w`.
     pub fn new(num_pes: u32, bucket_ns: Option<Time>) -> Self {
         Trace {
-            per_pe: vec![Acc::default(); num_pes as usize],
-            msgs: vec![0; num_pes as usize],
+            per_pe: LazyVec::new(num_pes as usize, Acc::default()),
+            msgs: LazyVec::new(num_pes as usize, 0),
             bucket_ns,
             buckets: Vec::new(),
-            pending: vec![None; num_pes as usize],
+            pending: LazyVec::new(num_pes as usize, None),
             log: None,
+            sink: None,
             end: 0,
         }
+    }
+
+    /// Eager twin of [`Trace::new`]: per-PE storage fully materialized up
+    /// front, as the trace was originally built. Observationally identical
+    /// to the sparse default; kept for the differential unit tests.
+    pub fn new_dense(num_pes: u32, bucket_ns: Option<Time>) -> Self {
+        let mut t = Self::new(num_pes, bucket_ns);
+        t.per_pe = LazyVec::new_eager(num_pes as usize, Acc::default());
+        t.msgs = LazyVec::new_eager(num_pes as usize, 0);
+        t.pending = LazyVec::new_eager(num_pes as usize, None);
+        t
+    }
+
+    /// Pages of per-PE state currently materialized (memory diagnostics;
+    /// 0 until the first PE records something).
+    pub fn materialized_pages(&self) -> usize {
+        self.per_pe.materialized_pages()
+            + self.msgs.materialized_pages()
+            + self.pending.materialized_pages()
     }
 
     /// Record every segment for a Projections-style per-PE export
     /// ([`Trace::export_log`]). Costs memory proportional to segment count.
     pub fn enable_log(&mut self) {
         self.log = Some(Vec::new());
+    }
+
+    /// Stream every recorded segment to `w` as a `pe start_ns dur_ns kind`
+    /// line, in record order. Bounded-memory alternative to
+    /// [`Trace::enable_log`]: nothing accumulates in the trace. The two can
+    /// be combined; a write error panics (the trace cannot silently drop
+    /// segments).
+    pub fn stream_log_to(&mut self, w: Box<dyn Write + Send>) {
+        self.sink = Some(LogSink(w));
+    }
+
+    /// Flush and drop the streaming sink, returning whether one was set.
+    pub fn finish_stream(&mut self) -> bool {
+        match self.sink.take() {
+            Some(mut s) => {
+                s.0.flush().expect("trace stream flush");
+                true
+            }
+            None => false,
+        }
     }
 
     /// Record `dur` ns of `kind` work on `pe` starting at `start`.
@@ -114,7 +186,11 @@ impl Trace {
         if let Some(log) = &mut self.log {
             log.push((pe, start, dur, kind));
         }
-        let acc = &mut self.per_pe[pe as usize];
+        if let Some(sink) = &mut self.sink {
+            // panic-ok: dead spill sink = harness I/O bug, not a simulated fault
+            writeln!(sink.0, "{pe} {start} {dur} {}", kind_tag(kind)).expect("trace stream write");
+        }
+        let acc = self.per_pe.get_mut(pe as usize);
         match kind {
             Kind::Busy => acc.busy += dur,
             Kind::Overhead => acc.ovh += dur,
@@ -130,7 +206,7 @@ impl Trace {
         // otherwise drain the old segment into the buckets and start a new
         // one. Splitting a merged segment across buckets distributes
         // exactly the same durations as splitting its parts one by one.
-        match &mut self.pending[pe as usize] {
+        match self.pending.get_mut(pe as usize) {
             Some((s, d, k)) if *k == kind && *s + *d == start => *d += dur,
             p => {
                 if let Some((s, d, k)) = p.replace((start, dur, kind)) {
@@ -165,7 +241,7 @@ impl Trace {
     }
 
     pub fn count_msg(&mut self, pe: PeId) {
-        self.msgs[pe as usize] += 1;
+        *self.msgs.get_mut(pe as usize) += 1;
     }
 
     /// Replay one buffered [`TraceOp`].
@@ -185,32 +261,52 @@ impl Trace {
         self.end
     }
 
+    // Totals iterate only materialized pages: an untouched PE's
+    // accumulator is all zeros, so skipping it cannot change an integer
+    // sum (the same argument the link-table diagnostics rely on).
+
     pub fn total_busy(&self) -> Time {
-        self.per_pe.iter().map(|a| a.busy).sum()
+        self.per_pe
+            .iter_pages()
+            .flat_map(|(_, p)| p.iter())
+            .map(|a| a.busy)
+            .sum()
     }
 
     pub fn total_overhead(&self) -> Time {
-        self.per_pe.iter().map(|a| a.ovh).sum()
+        self.per_pe
+            .iter_pages()
+            .flat_map(|(_, p)| p.iter())
+            .map(|a| a.ovh)
+            .sum()
     }
 
     pub fn total_recovery(&self) -> Time {
-        self.per_pe.iter().map(|a| a.rec).sum()
+        self.per_pe
+            .iter_pages()
+            .flat_map(|(_, p)| p.iter())
+            .map(|a| a.rec)
+            .sum()
     }
 
     pub fn total_checkpoint(&self) -> Time {
-        self.per_pe.iter().map(|a| a.ckpt).sum()
+        self.per_pe
+            .iter_pages()
+            .flat_map(|(_, p)| p.iter())
+            .map(|a| a.ckpt)
+            .sum()
     }
 
     pub fn total_msgs(&self) -> u64 {
-        self.msgs.iter().sum()
+        self.msgs.iter_pages().flat_map(|(_, p)| p.iter()).sum()
     }
 
     pub fn pe_busy(&self, pe: PeId) -> Time {
-        self.per_pe[pe as usize].busy
+        self.per_pe.get(pe as usize).busy
     }
 
     pub fn pe_overhead(&self, pe: PeId) -> Time {
-        self.per_pe[pe as usize].ovh
+        self.per_pe.get(pe as usize).ovh
     }
 
     /// Whole-run utilization fractions `(busy, overhead, idle)` over
@@ -244,7 +340,10 @@ impl Trace {
         // into the shared buckets yet, so the profile is exact even when
         // read mid-run.
         let mut buckets = self.buckets.clone();
-        for p in &self.pending {
+        // Materialized pages come back in ascending index order, so the
+        // overlay applies pending segments in exactly the per-PE index
+        // order the dense representation used.
+        for p in self.pending.iter_pages().flat_map(|(_, p)| p.iter()) {
             let Some((start, dur, kind)) = *p else {
                 continue;
             };
@@ -297,12 +396,7 @@ impl Trace {
         let mut out = String::with_capacity(rows.len() * 24);
         out.push_str("# pe start_ns dur_ns kind\n");
         for (pe, start, dur, kind) in rows {
-            let k = match kind {
-                Kind::Busy => "busy",
-                Kind::Overhead => "ovhd",
-                Kind::Recovery => "rcvy",
-                Kind::Checkpoint => "ckpt",
-            };
+            let k = kind_tag(*kind);
             out.push_str(&format!("{pe} {start} {dur} {k}\n"));
         }
         out
@@ -324,6 +418,15 @@ impl Trace {
             ));
         }
         out
+    }
+}
+
+fn kind_tag(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Busy => "busy",
+        Kind::Overhead => "ovhd",
+        Kind::Recovery => "rcvy",
+        Kind::Checkpoint => "ckpt",
     }
 }
 
@@ -505,6 +608,123 @@ mod tests {
     fn export_without_log_panics() {
         let t = Trace::new(1, None);
         t.export_log();
+    }
+
+    /// Drive one identical charge sequence into two traces.
+    fn drive(t: &mut Trace) {
+        t.record(0, 0, 100, Kind::Busy);
+        t.record(0, 100, 80, Kind::Busy); // adjacent: extends pending
+        t.record(0, 250, 40, Kind::Overhead); // gap: drains PE 0
+        t.record(3, 120, 300, Kind::Recovery); // crosses bucket boundaries
+        t.record(7, 50, 25, Kind::Checkpoint);
+        t.count_msg(0);
+        t.count_msg(3);
+        t.count_msg(3);
+    }
+
+    #[test]
+    fn streaming_profile_equals_dense_profile() {
+        let mut sparse = Trace::new(4096, Some(100));
+        let mut dense = Trace::new_dense(4096, Some(100));
+        drive(&mut sparse);
+        drive(&mut dense);
+        let (ps, pd) = (sparse.profile(), dense.profile());
+        assert_eq!(ps.len(), pd.len());
+        for (a, b) in ps.iter().zip(&pd) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.busy_frac, b.busy_frac);
+            assert_eq!(a.overhead_frac, b.overhead_frac);
+            assert_eq!(a.recovery_frac, b.recovery_frac);
+            assert_eq!(a.checkpoint_frac, b.checkpoint_frac);
+            assert_eq!(a.idle_frac, b.idle_frac);
+        }
+        assert_eq!(sparse.total_busy(), dense.total_busy());
+        assert_eq!(sparse.total_overhead(), dense.total_overhead());
+        assert_eq!(sparse.total_recovery(), dense.total_recovery());
+        assert_eq!(sparse.total_checkpoint(), dense.total_checkpoint());
+        assert_eq!(sparse.total_msgs(), dense.total_msgs());
+        assert_eq!(sparse.end_time(), dense.end_time());
+        assert!(sparse.materialized_pages() < dense.materialized_pages());
+    }
+
+    #[test]
+    fn streaming_profile_overlays_pending_mid_run() {
+        // Read the profile *mid-run*, while PE 0's second stretch and PE
+        // 3's only stretch are still buffered (never drained): the sparse
+        // overlay must match the dense one bucket-for-bucket.
+        let mut sparse = Trace::new(16, Some(100));
+        let mut dense = Trace::new_dense(16, Some(100));
+        for t in [&mut sparse, &mut dense] {
+            t.record(0, 0, 100, Kind::Busy);
+            t.record(0, 350, 100, Kind::Busy); // pending at read time
+            t.record(3, 120, 60, Kind::Overhead); // pending at read time
+        }
+        let (ps, pd) = (sparse.profile(), dense.profile());
+        assert_eq!(ps.len(), pd.len());
+        for (a, b) in ps.iter().zip(&pd) {
+            assert_eq!(a.busy_frac, b.busy_frac);
+            assert_eq!(a.overhead_frac, b.overhead_frac);
+        }
+        // The pending segments really were part of the read.
+        assert!(ps[3].busy_frac > 0.0);
+        assert!(ps[1].overhead_frac > 0.0);
+    }
+
+    #[test]
+    fn untouched_pes_allocate_nothing() {
+        // Inert plan: a trace sized for a million PEs where only a handful
+        // record anything must materialize pages for those PEs alone.
+        let mut t = Trace::new(1_000_000, Some(1000));
+        assert_eq!(
+            t.materialized_pages(),
+            0,
+            "construction allocates no per-PE state"
+        );
+        t.record(5, 0, 100, Kind::Busy);
+        t.count_msg(5);
+        // One page each for per_pe, msgs, pending — the other ~999k PEs
+        // stay untouched.
+        assert_eq!(t.materialized_pages(), 3);
+        assert_eq!(t.pe_busy(999_999), 0);
+        assert_eq!(t.pe_overhead(123_456), 0);
+        assert_eq!(t.materialized_pages(), 3, "reads never materialize");
+        assert_eq!(t.total_busy(), 100);
+        assert_eq!(t.total_msgs(), 1);
+    }
+
+    #[test]
+    fn stream_log_spills_segments_in_record_order() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut t = Trace::new(8, None);
+        t.enable_log();
+        t.stream_log_to(Box::new(buf.clone()));
+        t.record(1, 100, 50, Kind::Busy);
+        t.record(0, 30, 20, Kind::Overhead);
+        t.record(1, 150, 10, Kind::Recovery);
+        assert!(t.finish_stream());
+        assert!(!t.finish_stream(), "sink is gone after finishing");
+        let spilled = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        // Record order, not sorted — streaming never buffers.
+        assert_eq!(spilled, "1 100 50 busy\n0 30 20 ovhd\n1 150 10 rcvy\n");
+        // The in-memory log (sorted export) saw the same segments.
+        let log = t.export_log();
+        assert!(log.contains("0 30 20 ovhd"));
+        assert!(log.contains("1 100 50 busy"));
+        assert!(log.contains("1 150 10 rcvy"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! those into discrete events.
 
 use crate::fault::FaultKind;
+use crate::lazy::{LazySlab, LazyVec};
 use crate::links::LinkTable;
 use crate::params::{GeminiParams, Mechanism, RdmaOp};
 use crate::reg::RegTable;
@@ -89,6 +90,10 @@ pub struct FabricStats {
     pub faults_reg: u64,
 }
 
+/// Materialization grain for per-node engine state (same reasoning as
+/// `links::LINK_PAGE`: sparse jobs touch scattered nodes).
+pub(crate) const NODE_PAGE: usize = 64;
+
 /// The simulated interconnect.
 #[derive(Debug)]
 pub struct Fabric {
@@ -96,18 +101,19 @@ pub struct Fabric {
     pub topo: Torus,
     links: LinkTable,
     /// Per-node FMA unit availability (SMSG and FMA transactions share it),
-    /// split by direction: the hardware is full duplex.
-    fma_tx: Vec<Time>,
-    fma_rx: Vec<Time>,
+    /// split by direction: the hardware is full duplex. Lazily paged — a
+    /// node's engine state materializes on its first gated transaction.
+    fma_tx: LazyVec<Time, NODE_PAGE>,
+    fma_rx: LazyVec<Time, NODE_PAGE>,
     /// Per-node BTE engine availability, split by direction.
-    bte_tx: Vec<Time>,
-    bte_rx: Vec<Time>,
+    bte_tx: LazyVec<Time, NODE_PAGE>,
+    bte_rx: LazyVec<Time, NODE_PAGE>,
     /// Lazily created per-connection SMSG state. Connections are between
     /// *processes* (PEs), not nodes — the paper: "It requires each
     /// peer-to-peer connection to create mailboxes for its both ends".
     conns: HashMap<(u32, u32), SmsgConn>,
-    /// Per-node registration tables.
-    reg: Vec<RegTable>,
+    /// Per-node registration tables, materialized on first registration.
+    reg: LazySlab<RegTable>,
     /// How many nodes this job actually spans (sets the SMSG size limit).
     job_nodes: u32,
     /// Dedicated RNG stream for fault injection, derived from the plan's
@@ -130,12 +136,12 @@ impl Fabric {
         let n = topo.num_nodes();
         let links = LinkTable::new(n, params.link_bw_gbs, params.hop_latency);
         Fabric {
-            fma_tx: vec![0; n as usize],
-            fma_rx: vec![0; n as usize],
-            bte_tx: vec![0; n as usize],
-            bte_rx: vec![0; n as usize],
+            fma_tx: LazyVec::new(n as usize, 0),
+            fma_rx: LazyVec::new(n as usize, 0),
+            bte_tx: LazyVec::new(n as usize, 0),
+            bte_rx: LazyVec::new(n as usize, 0),
             conns: HashMap::new(),
-            reg: (0..n).map(|_| RegTable::new()).collect(),
+            reg: LazySlab::new(n as usize),
             links,
             topo,
             job_nodes,
@@ -143,6 +149,32 @@ impl Fabric {
             params,
             stats: FabricStats::default(),
         }
+    }
+
+    /// Eager twin of [`Fabric::new`]: per-node engine, link, and
+    /// registration state fully materialized up front (the original
+    /// construction). Exists for the lazy-vs-eager differential proptests.
+    pub fn new_eager(params: GeminiParams, job_nodes: u32) -> Self {
+        let mut f = Self::new(params, job_nodes);
+        let n = f.topo.num_nodes();
+        f.links = LinkTable::new_eager(n, f.params.link_bw_gbs, f.params.hop_latency);
+        f.fma_tx = LazyVec::new_eager(n as usize, 0);
+        f.fma_rx = LazyVec::new_eager(n as usize, 0);
+        f.bte_tx = LazyVec::new_eager(n as usize, 0);
+        f.bte_rx = LazyVec::new_eager(n as usize, 0);
+        f.reg = LazySlab::new_eager(n as usize);
+        f
+    }
+
+    /// Materialized lazy-state pages across links/engines/registration
+    /// (memory diagnostics for the scale harness and tests).
+    pub fn materialized_pages(&self) -> usize {
+        self.links.materialized_pages()
+            + self.fma_tx.materialized_pages()
+            + self.fma_rx.materialized_pages()
+            + self.bte_tx.materialized_pages()
+            + self.bte_rx.materialized_pages()
+            + self.reg.materialized_pages()
     }
 
     /// Convenience: fabric sized exactly to the job (torus dims overridden
@@ -162,11 +194,14 @@ impl Fabric {
     }
 
     pub fn reg_table(&mut self, node: NodeId) -> &mut RegTable {
-        &mut self.reg[node as usize]
+        self.reg.get_mut(node as usize)
     }
 
+    /// Read-only view of a node's registration table. A node that never
+    /// registered anything reads as an empty table (the shared pristine
+    /// default) without materializing its slot.
     pub fn reg_table_ref(&self, node: NodeId) -> &RegTable {
-        &self.reg[node as usize]
+        self.reg.get_ref(node as usize)
     }
 
     /// Choose a minimal route from `a` to `b`: dimension-ordered by
@@ -401,11 +436,11 @@ impl Fabric {
         let fault = self.fault_decide(drop_p, corrupt_p);
 
         let p = &self.params;
-        let nic_ready = (now + cpu).max(self.fma_tx[src as usize]);
+        let nic_ready = (now + cpu).max(self.fma_tx.get(src as usize));
         let inject = nic_ready + p.smsg_nic_latency + p.msgq_extra_latency + p.injection_latency;
         let (depart, arrive) = self.links.reserve(inject, &route, bytes, p.fma_bw_gbs);
         let ser = arrive - depart - p.hop_latency * route.len() as Time;
-        self.fma_tx[src as usize] = depart + ser;
+        *self.fma_tx.get_mut(src as usize) = depart + ser;
         let deliver_at = arrive + p.ejection_latency;
 
         let back = self.links.control_latency(&route);
@@ -523,7 +558,7 @@ impl Fabric {
                 Mechanism::Fma => (&self.fma_tx, &self.fma_rx),
                 Mechanism::Bte => (&self.bte_tx, &self.bte_rx),
             };
-            tx[data_src as usize].max(rx[data_dst as usize])
+            tx.get(data_src as usize).max(rx.get(data_dst as usize))
         } else {
             0
         };
@@ -553,8 +588,10 @@ impl Fabric {
                 Mechanism::Fma => (&mut self.fma_tx, &mut self.fma_rx),
                 Mechanism::Bte => (&mut self.bte_tx, &mut self.bte_rx),
             };
-            tx[data_src as usize] = tx[data_src as usize].max(depart + ser);
-            rx[data_dst as usize] = rx[data_dst as usize].max(depart + ser);
+            let t = tx.get_mut(data_src as usize);
+            *t = (*t).max(depart + ser);
+            let r = rx.get_mut(data_dst as usize);
+            *r = (*r).max(depart + ser);
         }
 
         let landed = arrive + p.ejection_latency;
@@ -590,6 +627,11 @@ impl Fabric {
     /// Diagnostics.
     pub fn total_link_bytes(&self) -> u64 {
         self.links.total_bytes()
+    }
+
+    /// Read-only view of the link table (diagnostics / differential tests).
+    pub fn links_ref(&self) -> &LinkTable {
+        &self.links
     }
 }
 
@@ -1005,5 +1047,222 @@ mod tests {
         assert_eq!(f.stats.fma_transactions, 1);
         assert_eq!(f.stats.rdma_bytes, 5500);
         assert!(f.total_link_bytes() > 0);
+    }
+}
+
+/// Differential proptests: the lazily materialized fabric must be
+/// observationally equivalent to the eager-allocation construction it
+/// replaced — same outcome stream, same per-link state, same registration
+/// books — under random torus shapes, traffic patterns, and fault plans.
+#[cfg(test)]
+mod lazy_equivalence {
+    use super::*;
+    use crate::fault::{FaultPlan, LinkDownWindow, NodeCrashWindow};
+    use crate::reg::Addr;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Smsg {
+            src: u32,
+            dst: u32,
+            conn: (u32, u32),
+            bytes: u64,
+        },
+        Msgq {
+            src: u32,
+            dst: u32,
+            bytes: u64,
+        },
+        Rdma {
+            initiator: u32,
+            remote: u32,
+            bytes: u64,
+            bte: bool,
+            put: bool,
+        },
+        Register {
+            node: u32,
+            addr: u64,
+            bytes: u64,
+        },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = (Op, Time)> {
+        (
+            0u8..4,
+            any::<u32>(),
+            any::<u32>(),
+            1u64..1_000_000,
+            any::<u64>(),
+        )
+            .prop_map(|(kind, a, b, bytes, x)| {
+                let op = match kind {
+                    0 => Op::Smsg {
+                        src: a,
+                        dst: b,
+                        conn: ((x >> 16) as u32 % 64, (x >> 40) as u32 % 64),
+                        bytes: bytes % 2048 + 1,
+                    },
+                    1 => Op::Msgq {
+                        src: a,
+                        dst: b,
+                        bytes: bytes % 2048 + 1,
+                    },
+                    2 => Op::Rdma {
+                        initiator: a,
+                        remote: b,
+                        bytes,
+                        bte: x & 1 == 1,
+                        put: x & 2 == 2,
+                    },
+                    _ => Op::Register {
+                        node: a,
+                        addr: x,
+                        bytes: bytes % 65536 + 64,
+                    },
+                };
+                (op, x % 20_000)
+            })
+    }
+
+    fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+        (
+            any::<u64>(),
+            0.0f64..0.4,
+            0.0f64..0.3,
+            proptest::option::of((
+                0u32..64,
+                0u8..3,
+                any::<bool>(),
+                0u64..200_000u64,
+                1u64..400_000u64,
+            )),
+            proptest::option::of((
+                0u32..64,
+                0u64..300_000u64,
+                proptest::option::of(1u64..200_000u64),
+            )),
+        )
+            .prop_map(|(seed, drop_p, corrupt_p, link, crash)| {
+                let mut plan = FaultPlan::uniform_drop(seed, drop_p);
+                plan.smsg_corrupt = corrupt_p;
+                plan.fma_corrupt = corrupt_p;
+                plan.bte_corrupt = corrupt_p;
+                if let Some((node, dim, plus, from_ns, len)) = link {
+                    plan.link_down.push(LinkDownWindow {
+                        node,
+                        dim,
+                        plus,
+                        from_ns,
+                        until_ns: from_ns + len,
+                    });
+                }
+                if let Some((node, at_ns, restart_after_ns)) = crash {
+                    plan.node_crash.push(NodeCrashWindow {
+                        node,
+                        at_ns,
+                        restart_after_ns,
+                    });
+                }
+                plan
+            })
+    }
+
+    /// Run one op against a fabric, folding the full observable outcome
+    /// (the "delivered-message stream") into a string for comparison.
+    fn apply(f: &mut Fabric, now: Time, op: &Op) -> String {
+        let nodes = f.topo.num_nodes();
+        match *op {
+            Op::Smsg {
+                src,
+                dst,
+                conn,
+                bytes,
+            } => {
+                format!(
+                    "{:?}",
+                    f.smsg_send(now, src % nodes, dst % nodes, conn, bytes)
+                )
+            }
+            Op::Msgq { src, dst, bytes } => {
+                format!("{:?}", f.msgq_send(now, src % nodes, dst % nodes, bytes))
+            }
+            Op::Rdma {
+                initiator,
+                remote,
+                bytes,
+                bte,
+                put,
+            } => {
+                let mech = if bte { Mechanism::Bte } else { Mechanism::Fma };
+                let op = if put { RdmaOp::Put } else { RdmaOp::Get };
+                format!(
+                    "{:?}",
+                    f.rdma(now, initiator % nodes, remote % nodes, bytes, mech, op)
+                )
+            }
+            Op::Register { node, addr, bytes } => {
+                let p = f.params.clone();
+                let t = f.reg_table(node % nodes);
+                format!("{:?}", t.register(&p, Addr(addr), bytes))
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn lazy_matches_eager(
+            dims in (1u32..6, 1u32..6, 1u32..6),
+            adaptive in any::<bool>(),
+            plan in plan_strategy(),
+            ops in proptest::collection::vec(op_strategy(), 1..60),
+        ) {
+            let mut p = GeminiParams::test_small();
+            p.torus_dims = dims;
+            p.adaptive_routing = adaptive;
+            p.fault = plan;
+            let nodes = dims.0 * dims.1 * dims.2;
+            let mut lazy = Fabric::new(p.clone(), nodes);
+            let mut eager = Fabric::new_eager(p, nodes);
+
+            let mut now: Time = 0;
+            for (op, dt) in &ops {
+                now += dt;
+                let a = apply(&mut lazy, now, op);
+                let b = apply(&mut eager, now, op);
+                prop_assert_eq!(a, b, "outcome stream diverged at t={}", now);
+            }
+
+            // Per-link state: every directed link of the whole torus.
+            for from in 0..nodes {
+                for dim in 0..3u8 {
+                    for plus in [false, true] {
+                        let l = LinkId { from, dim, plus };
+                        prop_assert_eq!(
+                            lazy.links_ref().link_state(&l),
+                            eager.links_ref().link_state(&l),
+                            "link {:?}", l
+                        );
+                    }
+                }
+            }
+            // Per-node registration books and engine state.
+            for n in 0..nodes {
+                let (lr, er) = (lazy.reg_table_ref(n), eager.reg_table_ref(n));
+                prop_assert_eq!(lr.registered_bytes(), er.registered_bytes());
+                prop_assert_eq!(lr.total_registrations, er.total_registrations);
+            }
+            prop_assert_eq!(lazy.total_link_bytes(), eager.total_link_bytes());
+            prop_assert_eq!(
+                format!("{:?}", lazy.stats),
+                format!("{:?}", eager.stats)
+            );
+            // The whole point: the lazy fabric materialized no more than
+            // the eager one.
+            prop_assert!(lazy.materialized_pages() <= eager.materialized_pages());
+        }
     }
 }

@@ -1,0 +1,7 @@
+//! Lazily materialized paged storage — shared with the rest of the
+//! workspace via `sim_core::lazy` (the trace accumulators and the machine
+//! layers page their per-PE state the same way the fabric pages its
+//! per-link state). Re-exported here because the fabric's public API
+//! (`LinkTable`, `Fabric`) is documented in terms of these containers.
+
+pub use sim_core::lazy::{LazySlab, LazyVec, PAGE_LEN, SLAB_PAGE_LEN};

@@ -19,6 +19,7 @@
 
 pub mod fabric;
 pub mod fault;
+pub mod lazy;
 pub mod links;
 pub mod params;
 pub mod reg;
@@ -26,6 +27,7 @@ pub mod topology;
 
 pub use fabric::{near_cubic, Fabric, FabricStats, RdmaOutcome, SmsgError, SmsgOutcome};
 pub use fault::{FaultKind, FaultPlan, FaultPlanError, LinkDownWindow, NodeCrashWindow};
+pub use lazy::{LazySlab, LazyVec};
 pub use params::{GeminiParams, Mechanism, RdmaOp, PAGE};
 pub use reg::{Addr, DeregError, MemHandle, RegCache, RegTable};
-pub use topology::{LinkId, NodeId, Torus};
+pub use topology::{LinkId, NodeId, TopologyError, Torus};

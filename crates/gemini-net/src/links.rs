@@ -9,15 +9,28 @@
 //! intra-node traffic through the NIC "interferes with uGNI handling
 //! inter-node communication".
 
+use crate::lazy::LazyVec;
 use crate::topology::{LinkId, Torus};
 use sim_core::{time, Time};
 
+/// Materialization grain for link state. Dimension-ordered routes touch
+/// runs of adjacent x-links but scatter across y/z (indices jump by the
+/// row/plane size), so large pages materialize mostly dead slots around
+/// every y/z hop. 64 links x 8-byte entries = 512-byte pages.
+pub(crate) const LINK_PAGE: usize = 64;
+
 /// Busy-until bookkeeping for every directed link in the torus.
+///
+/// Storage is lazily paged: the table is *logically* dense over all
+/// `num_nodes * 6` directed links, but a link allocates nothing until a
+/// transfer actually reserves it — the whole-machine torus costs a page
+/// table, not O(nodes) vectors, and a job touching a corner of the machine
+/// pays only for the links its routes cross.
 #[derive(Debug)]
 pub struct LinkTable {
     /// Indexed by `from * 6 + dim * 2 + plus`.
-    busy_until: Vec<Time>,
-    bytes_carried: Vec<u64>,
+    busy_until: LazyVec<Time, LINK_PAGE>,
+    bytes_carried: LazyVec<u64, LINK_PAGE>,
     bw_gbs: f64,
     hop_latency: Time,
 }
@@ -25,11 +38,35 @@ pub struct LinkTable {
 impl LinkTable {
     pub fn new(num_nodes: u32, bw_gbs: f64, hop_latency: Time) -> Self {
         LinkTable {
-            busy_until: vec![0; num_nodes as usize * 6],
-            bytes_carried: vec![0; num_nodes as usize * 6],
+            busy_until: LazyVec::new(num_nodes as usize * 6, 0),
+            bytes_carried: LazyVec::new(num_nodes as usize * 6, 0),
             bw_gbs,
             hop_latency,
         }
+    }
+
+    /// Eager twin — every link slot materialized up front, as the table
+    /// was originally built. Observationally identical to `new`; kept for
+    /// the lazy-vs-eager differential proptests.
+    pub fn new_eager(num_nodes: u32, bw_gbs: f64, hop_latency: Time) -> Self {
+        LinkTable {
+            busy_until: LazyVec::new_eager(num_nodes as usize * 6, 0),
+            bytes_carried: LazyVec::new_eager(num_nodes as usize * 6, 0),
+            bw_gbs,
+            hop_latency,
+        }
+    }
+
+    /// Pages of link state currently materialized (memory diagnostics).
+    pub fn materialized_pages(&self) -> usize {
+        self.busy_until.materialized_pages() + self.bytes_carried.materialized_pages()
+    }
+
+    /// `(busy_until, bytes_carried)` for one directed link — the
+    /// observable per-link state the differential tests compare.
+    pub fn link_state(&self, l: &LinkId) -> (Time, u64) {
+        let i = Self::idx(l);
+        (self.busy_until.get(i), self.bytes_carried.get(i))
     }
 
     #[inline]
@@ -58,12 +95,12 @@ impl LinkTable {
         }
         let mut depart = earliest;
         for l in route {
-            depart = depart.max(self.busy_until[Self::idx(l)]);
+            depart = depart.max(self.busy_until.get(Self::idx(l)));
         }
         for l in route {
             let i = Self::idx(l);
-            self.busy_until[i] = depart + ser;
-            self.bytes_carried[i] += bytes;
+            *self.busy_until.get_mut(i) = depart + ser;
+            *self.bytes_carried.get_mut(i) += bytes;
         }
         let arrive = depart + self.hop_latency * route.len() as Time + ser;
         (depart, arrive)
@@ -79,19 +116,29 @@ impl LinkTable {
     pub fn path_busy(&self, route: &[LinkId]) -> Time {
         route
             .iter()
-            .map(|l| self.busy_until[Self::idx(l)])
+            .map(|l| self.busy_until.get(Self::idx(l)))
             .max()
             .unwrap_or(0)
     }
 
-    /// Total bytes ever carried over all links (diagnostics).
+    /// Total bytes ever carried over all links (diagnostics). Untouched
+    /// links carried 0 bytes, so summing only materialized pages is exact.
     pub fn total_bytes(&self) -> u64 {
-        self.bytes_carried.iter().sum()
+        self.bytes_carried
+            .iter_pages()
+            .flat_map(|(_, p)| p.iter().copied())
+            .sum()
     }
 
-    /// Max bytes carried by any single link (hot-spot diagnostics).
+    /// Max bytes carried by any single link (hot-spot diagnostics). The
+    /// lazy default (0) is also the dense floor, so skipping untouched
+    /// pages cannot change the max.
     pub fn hottest_link_bytes(&self) -> u64 {
-        self.bytes_carried.iter().copied().max().unwrap_or(0)
+        self.bytes_carried
+            .iter_pages()
+            .flat_map(|(_, p)| p.iter().copied())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -9,9 +9,52 @@
 //! locality, which is what latency depends on.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Node index in `0..num_nodes`.
 pub type NodeId = u32;
+
+/// Why a torus (or the PE space laid over it) cannot be constructed.
+///
+/// `NodeId`/PE ids are `u32`; dimension products are computed in `u64`
+/// internally and rejected here instead of wrapping silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Some dimension is zero — the torus would contain no nodes.
+    EmptyDim { dims: (u32, u32, u32) },
+    /// `x * y * z` does not fit a `u32` node id.
+    NodeOverflow { dims: (u32, u32, u32), nodes: u64 },
+    /// `num_nodes * cores_per_node` does not fit a `u32` PE id.
+    PeOverflow {
+        nodes: u32,
+        cores_per_node: u32,
+        pes: u64,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologyError::EmptyDim { dims } => {
+                write!(f, "empty torus: dims {dims:?} contain a zero")
+            }
+            TopologyError::NodeOverflow { dims, nodes } => write!(
+                f,
+                "torus {dims:?} has {nodes} nodes, exceeding the u32 NodeId space"
+            ),
+            TopologyError::PeOverflow {
+                nodes,
+                cores_per_node,
+                pes,
+            } => write!(
+                f,
+                "{nodes} nodes x {cores_per_node} cores = {pes} PEs, exceeding the u32 PE-id space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// A directed link: from node `from`, along `dim` (0=x,1=y,2=z), in `dir`
 /// (+1 or -1 step around the ring).
@@ -23,34 +66,76 @@ pub struct LinkId {
 }
 
 /// The torus: dimensions and coordinate conversion.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Torus {
     pub dims: (u32, u32, u32),
 }
 
 impl Torus {
+    /// Validated constructor: every dim positive and `x*y*z` within the
+    /// `u32` NodeId space (the product is taken in `u64` so large dims are
+    /// rejected instead of wrapping).
+    pub fn try_new(dims: (u32, u32, u32)) -> Result<Self, TopologyError> {
+        if dims.0 == 0 || dims.1 == 0 || dims.2 == 0 {
+            return Err(TopologyError::EmptyDim { dims });
+        }
+        let nodes = dims.0 as u64 * dims.1 as u64 * dims.2 as u64;
+        if nodes > u32::MAX as u64 {
+            return Err(TopologyError::NodeOverflow { dims, nodes });
+        }
+        Ok(Torus { dims })
+    }
+
+    /// Panicking constructor for in-range dims (the common path in tests
+    /// and calibrated configs).
     pub fn new(dims: (u32, u32, u32)) -> Self {
-        assert!(dims.0 > 0 && dims.1 > 0 && dims.2 > 0, "empty torus");
-        Torus { dims }
+        match Self::try_new(dims) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     pub fn num_nodes(&self) -> u32 {
-        self.dims.0 * self.dims.1 * self.dims.2
+        // `try_new` guarantees the u64 product fits; recompute widened so
+        // a hand-built `Torus { dims }` (e.g. via Deserialize) still can't
+        // wrap silently.
+        let n = self.dims.0 as u64 * self.dims.1 as u64 * self.dims.2 as u64;
+        debug_assert!(n <= u32::MAX as u64, "torus dims overflow NodeId");
+        n as u32
+    }
+
+    /// Total PE count for `cores_per_node` cores laid over this torus,
+    /// rejecting products that exceed the `u32` PE-id space.
+    pub fn num_pes(&self, cores_per_node: u32) -> Result<u32, TopologyError> {
+        let nodes = self.num_nodes();
+        let pes = nodes as u64 * cores_per_node as u64;
+        if pes > u32::MAX as u64 {
+            return Err(TopologyError::PeOverflow {
+                nodes,
+                cores_per_node,
+                pes,
+            });
+        }
+        Ok(pes as u32)
     }
 
     /// Node id -> (x, y, z) coordinates.
     pub fn coords(&self, n: NodeId) -> (u32, u32, u32) {
         debug_assert!(n < self.num_nodes());
+        let plane = self.dims.0 as u64 * self.dims.1 as u64;
         let x = n % self.dims.0;
         let y = (n / self.dims.0) % self.dims.1;
-        let z = n / (self.dims.0 * self.dims.1);
+        let z = (n as u64 / plane) as u32;
         (x, y, z)
     }
 
     /// (x, y, z) -> node id.
     pub fn node_at(&self, c: (u32, u32, u32)) -> NodeId {
         debug_assert!(c.0 < self.dims.0 && c.1 < self.dims.1 && c.2 < self.dims.2);
-        c.0 + c.1 * self.dims.0 + c.2 * self.dims.0 * self.dims.1
+        let n = c.0 as u64
+            + c.1 as u64 * self.dims.0 as u64
+            + c.2 as u64 * self.dims.0 as u64 * self.dims.1 as u64;
+        n as NodeId
     }
 
     /// Signed shortest step count along one ring of size `k` from `a` to
@@ -215,6 +300,65 @@ mod tests {
         assert_eq!(t.node_of_pe(0, 24), 0);
         assert_eq!(t.node_of_pe(23, 24), 0);
         assert_eq!(t.node_of_pe(24, 24), 1);
+    }
+
+    #[test]
+    fn zero_dim_is_typed_error() {
+        assert_eq!(
+            Torus::try_new((4, 0, 4)),
+            Err(TopologyError::EmptyDim { dims: (4, 0, 4) })
+        );
+    }
+
+    #[test]
+    fn node_count_at_u32_boundary_is_exact() {
+        // 2^16 * 2^16 * 1 = 2^32 - must be rejected, not wrap to 0.
+        let over = Torus::try_new((1 << 16, 1 << 16, 1));
+        assert_eq!(
+            over,
+            Err(TopologyError::NodeOverflow {
+                dims: (1 << 16, 1 << 16, 1),
+                nodes: 1u64 << 32,
+            })
+        );
+        // One ring shorter fits exactly.
+        let t = Torus::try_new((1 << 16, (1 << 16) - 1, 1)).unwrap();
+        assert_eq!(t.num_nodes() as u64, (1u64 << 16) * ((1u64 << 16) - 1));
+    }
+
+    #[test]
+    fn coords_round_trip_near_u32_boundary() {
+        // Largest-index nodes of a near-max torus: the old u32 products in
+        // coords()/node_at() would have wrapped here for larger dims.
+        let t = Torus::try_new((65536, 32767, 2)).unwrap();
+        assert_eq!(t.num_nodes() as u64, 65536u64 * 32767 * 2);
+        for n in [0, 1, t.num_nodes() - 1, t.num_nodes() / 2] {
+            assert_eq!(t.node_at(t.coords(n)), n);
+        }
+    }
+
+    #[test]
+    fn pe_space_overflow_is_typed_error() {
+        let t = Torus::try_new((1024, 1024, 1024)).unwrap(); // 2^30 nodes
+        assert_eq!(t.num_pes(1).unwrap(), 1 << 30);
+        // 2^30 * 4 = 2^32 overflows the PE-id space by exactly one:
+        assert!(matches!(
+            t.num_pes(4),
+            Err(TopologyError::PeOverflow { pes, .. }) if pes == 1u64 << 32
+        ));
+        assert!(matches!(
+            t.num_pes(24),
+            Err(TopologyError::PeOverflow { .. })
+        ));
+        // Hopper itself is comfortably in range.
+        let hopper = Torus::try_new((16, 21, 19)).unwrap();
+        assert_eq!(hopper.num_pes(24).unwrap(), 16 * 21 * 19 * 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding the u32 NodeId space")]
+    fn new_panics_with_typed_message_on_overflow() {
+        let _ = Torus::new((1 << 16, 1 << 16, 2));
     }
 }
 

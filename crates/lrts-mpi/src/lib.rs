@@ -19,7 +19,7 @@ use charm_rt::cluster::MachineCtx;
 use charm_rt::lrts::MachineLayer;
 use charm_rt::msg::PeId;
 use mpi_sim::{MpiConfig, MpiSim};
-use sim_core::Time;
+use sim_core::{LazyVec, Time};
 use std::any::Any;
 
 /// Extra `MPI_Iprobe` rounds the Charm progress engine performs per
@@ -42,12 +42,17 @@ pub struct MpiLayerStats {
     pub blocked_ns: Time,
 }
 
+/// Materialization grain for per-PE poll state (small: sparse jobs
+/// touch scattered PEs).
+const POLL_PAGE: usize = 64;
+
 /// The MPI machine layer.
 pub struct MpiLayer {
     cfg: MpiConfig,
     mpi: Option<MpiSim>,
-    /// Earliest armed Poll per PE (coalescing; u64::MAX = none).
-    poll_armed: Vec<Time>,
+    /// Earliest armed Poll per PE (coalescing; u64::MAX = none). Paged
+    /// lazily: the disarmed state IS the default, so idle PEs cost nothing.
+    poll_armed: LazyVec<Time, POLL_PAGE>,
     pub stats: MpiLayerStats,
 }
 
@@ -56,7 +61,7 @@ impl MpiLayer {
         MpiLayer {
             cfg,
             mpi: None,
-            poll_armed: Vec::new(),
+            poll_armed: LazyVec::new(0, Time::MAX),
             stats: MpiLayerStats::default(),
         }
     }
@@ -91,7 +96,7 @@ impl MachineLayer for MpiLayer {
     }
 
     fn init(&mut self, ctx: &mut MachineCtx) {
-        self.poll_armed = vec![Time::MAX; ctx.num_pes() as usize];
+        self.poll_armed = LazyVec::new(ctx.num_pes() as usize, Time::MAX);
         self.mpi = Some(MpiSim::new(
             self.cfg.clone(),
             ctx.num_pes(),
@@ -122,8 +127,8 @@ impl MachineLayer for MpiLayer {
             let at = at.max(now);
             // One in-flight Poll per PE: the Iprobe loop drains everything
             // matchable, so duplicates only pile up behind busy PEs.
-            if at < self.poll_armed[rank as usize] {
-                self.poll_armed[rank as usize] = at;
+            if at < self.poll_armed.get(rank as usize) {
+                *self.poll_armed.get_mut(rank as usize) = at;
                 ctx.schedule(at, rank, Box::new(Ev::Poll));
             }
         }
@@ -132,7 +137,9 @@ impl MachineLayer for MpiLayer {
     fn on_event(&mut self, ctx: &mut MachineCtx, pe: PeId, ev: Box<dyn Any + Send>) {
         match *ev.downcast::<Ev>().expect("foreign machine event") {
             Ev::Poll => {
-                self.poll_armed[pe as usize] = Time::MAX;
+                if self.poll_armed.get(pe as usize) != Time::MAX {
+                    *self.poll_armed.get_mut(pe as usize) = Time::MAX;
+                }
                 // The Iprobe-driven progress engine: drain everything that
                 // is matchable right now; each large message blocks.
                 loop {
@@ -147,8 +154,8 @@ impl MachineLayer for MpiLayer {
                         // so the probe's own timestamp `t` is the cutoff).
                         if let Some(next) = self.mpi().next_visible(t, pe) {
                             let next = next.max(ctx.now());
-                            if next < self.poll_armed[pe as usize] {
-                                self.poll_armed[pe as usize] = next;
+                            if next < self.poll_armed.get(pe as usize) {
+                                *self.poll_armed.get_mut(pe as usize) = next;
                                 ctx.schedule(next, pe, Box::new(Ev::Poll));
                             }
                         }

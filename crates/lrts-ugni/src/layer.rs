@@ -26,9 +26,9 @@ use charm_rt::lrts::{MachineLayer, PersistentHandle};
 use charm_rt::msg::PeId;
 use gemini_net::{Addr, MemHandle, RdmaOp};
 use mempool::{Block, MemPool};
-use sim_core::Time;
+use sim_core::{LazyVec, Time};
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use ugni::{CqEvent, CqHandle, EpHandle, Gni, GniError, GniResult, PostDescriptor, SmsgSendOk};
 
 // With the `verify` feature every uGNI call goes through the CheckedGni
@@ -187,16 +187,24 @@ pub struct UgniStats {
     pub recovery_ns: Time,
 }
 
+/// Materialization grain for per-PE poll state (24 B per PE here; a
+/// sparse job touching scattered PEs should not pay 24 KiB pages).
+const POLL_PAGE: usize = 64;
+
 /// The machine layer object.
 pub struct UgniLayer {
     cfg: UgniConfig,
     gni: Option<LGni>,
-    /// One transaction CQ per PE.
-    cqs: Vec<CqHandle>,
+    /// One transaction CQ per PE, created on the PE's first traffic (a
+    /// whole-machine job at Hopper scale must not allocate 150k+ CQs up
+    /// front when a run touches a fraction of them; handles are opaque,
+    /// so first-touch creation order is unobservable).
+    cqs: BTreeMap<PeId, CqHandle>,
     /// Lazily created endpoints per (src_pe, dst_pe).
     eps: HashMap<(PeId, PeId), EpHandle>,
-    /// One message pool per PE (per process, as in non-SMP Charm++).
-    pools: Vec<MemPool>,
+    /// One message pool per PE (per process, as in non-SMP Charm++),
+    /// created on first allocation from the PE's fixed address window.
+    pools: BTreeMap<PeId, MemPool>,
     /// Per-connection send backlog (credit exhaustion + fabric faults).
     backlog: HashMap<(PeId, PeId), ConnBacklog>,
     sends: HashMap<u64, PendingSend>,
@@ -218,8 +226,11 @@ pub struct UgniLayer {
     /// SMP mode: per-node comm-thread availability.
     comm_busy: Vec<Time>,
     /// Earliest armed poll event per PE (coalescing: one in-flight
-    /// PollSmsg/PollMsgq/PollCq each; u64::MAX = none armed).
-    poll_armed: Vec<[Time; 3]>,
+    /// PollSmsg/PollMsgq/PollCq each; u64::MAX = none armed). Paged lazily
+    /// at a small grain ([`POLL_PAGE`]): the disarmed state IS the
+    /// default, so idle PEs cost nothing, and sparse jobs touching
+    /// scattered PEs materialize little around each.
+    poll_armed: LazyVec<[Time; 3], POLL_PAGE>,
     next_xid: u64,
     pub stats: UgniStats,
 }
@@ -230,9 +241,9 @@ impl UgniLayer {
         UgniLayer {
             cfg,
             gni: None,
-            cqs: Vec::new(),
+            cqs: BTreeMap::new(),
             eps: HashMap::new(),
-            pools: Vec::new(),
+            pools: BTreeMap::new(),
             backlog: HashMap::new(),
             sends: HashMap::new(),
             recvs: HashMap::new(),
@@ -243,7 +254,7 @@ impl UgniLayer {
             seq_tx: HashMap::new(),
             seq_seen: HashMap::new(),
             comm_busy: Vec::new(),
-            poll_armed: Vec::new(),
+            poll_armed: LazyVec::new(0, [Time::MAX; 3]),
             next_xid: 0,
             stats: UgniStats::default(),
         }
@@ -295,11 +306,10 @@ impl UgniLayer {
             // panic-ok: callers pass poll events only — a misuse is a code bug
             _ => unreachable!("schedule_poll on a non-poll event"),
         };
-        let armed = &mut self.poll_armed[pe as usize][kind];
-        if at >= *armed {
+        if at >= self.poll_armed.get(pe as usize)[kind] {
             return; // the armed poll will see this message too
         }
-        *armed = at;
+        self.poll_armed.get_mut(pe as usize)[kind] = at;
         if self.cfg.smp {
             ctx.schedule_nodefer(at, pe, Box::new(ev));
         } else {
@@ -307,9 +317,32 @@ impl UgniLayer {
         }
     }
 
-    /// Mark a poll kind as disarmed (called on drain entry).
+    /// Mark a poll kind as disarmed (called on drain entry). Skips the
+    /// write when already disarmed so cold pages stay unmaterialized.
     fn disarm(&mut self, pe: PeId, kind: usize) {
-        self.poll_armed[pe as usize][kind] = Time::MAX;
+        if self.poll_armed.get(pe as usize)[kind] != Time::MAX {
+            self.poll_armed.get_mut(pe as usize)[kind] = Time::MAX;
+        }
+    }
+
+    /// Base of `pe`'s fixed mempool address window. Purely a function of
+    /// the PE id, so a lazily created pool is identical to an eager one.
+    /// Windows are 2^40 bytes starting at 2^62: large enough for any
+    /// pool's simulated slabs, clear of the per-node bump windows at
+    /// `(node + 1) << 44`, and — unlike a wider spacing — overflow-free
+    /// up to 4M PEs (`2^62 + 2^22 * 2^40 < 2^63`).
+    fn pool_base(pe: PeId) -> u64 {
+        (1u64 << 62) + ((pe as u64) << 40)
+    }
+
+    /// The PE's transaction CQ, created on first touch.
+    fn cq(&mut self, pe: PeId) -> CqHandle {
+        if let Some(&cq) = self.cqs.get(&pe) {
+            return cq;
+        }
+        let cq = self.gni_mut().cq_create();
+        self.cqs.insert(pe, cq);
+        cq
     }
 
     pub fn gni(&self) -> &Gni {
@@ -337,7 +370,7 @@ impl UgniLayer {
         if let Some(&ep) = self.eps.get(&(src_pe, dst_pe)) {
             return ep;
         }
-        let cq = self.cqs[src_pe as usize];
+        let cq = self.cq(src_pe);
         let (sn, dn) = (ctx.node_of(src_pe), ctx.node_of(dst_pe));
         let ep = self
             .gni_mut()
@@ -356,7 +389,11 @@ impl UgniLayer {
         if self.cfg.use_mempool {
             let gni = self.gni.as_mut().expect("init");
             let reg = gni.fabric_mut().reg_table(node);
-            let (block, cost) = self.pools[pe as usize].alloc(&params, reg, bytes);
+            let pool = self
+                .pools
+                .entry(pe)
+                .or_insert_with(|| MemPool::new(Self::pool_base(pe)));
+            let (block, cost) = pool.alloc(&params, reg, bytes);
             (Buf::Pooled(block), cost)
         } else {
             let gni = self.gni.as_mut().expect("init");
@@ -370,7 +407,11 @@ impl UgniLayer {
                     // pre-registered pool so the transfer still proceeds.
                     self.stats.reg_fallbacks += 1;
                     let reg = gni.fabric_mut().reg_table(node);
-                    let (block, cost) = self.pools[pe as usize].alloc(&params, reg, bytes);
+                    let pool = self
+                        .pools
+                        .entry(pe)
+                        .or_insert_with(|| MemPool::new(Self::pool_base(pe)));
+                    let (block, cost) = pool.alloc(&params, reg, bytes);
                     (Buf::Pooled(block), malloc + cost)
                 }
             }
@@ -387,7 +428,10 @@ impl UgniLayer {
                 let gni = self.gni.as_mut().expect("init");
                 gni.mem_clear(node, block.addr);
                 let reg = gni.fabric_mut().reg_table(node);
-                self.pools[pe as usize].free(&params, reg, block)
+                self.pools
+                    .entry(pe)
+                    .or_insert_with(|| MemPool::new(Self::pool_base(pe)))
+                    .free(&params, reg, block)
             }
             Buf::Direct { addr, handle } => {
                 let gni = self.gni.as_mut().expect("init");
@@ -678,7 +722,7 @@ impl UgniLayer {
 
     fn drain_cq(&mut self, ctx: &mut MachineCtx, pe: PeId) {
         self.disarm(pe, 2);
-        let cq = self.cqs[pe as usize];
+        let cq = self.cq(pe);
         loop {
             let now = ctx.now();
             let poll_cost = self.gni().cq_poll_cost();
@@ -955,7 +999,10 @@ impl UgniLayer {
                     let node = ctx.node_of(pe);
                     let gni = self.gni.as_mut().expect("init");
                     let reg = gni.fabric_mut().reg_table(node);
-                    let pool = &mut self.pools[pe as usize];
+                    let pool = self
+                        .pools
+                        .entry(pe)
+                        .or_insert_with(|| MemPool::new(Self::pool_base(pe)));
                     let (b, c1) = pool.alloc(&params, reg, len);
                     let c2 = pool.free(&params, reg, b);
                     c1 + c2
@@ -1016,16 +1063,12 @@ impl MachineLayer for UgniLayer {
     }
 
     fn init(&mut self, ctx: &mut MachineCtx) {
-        let mut gni = LGni::new(self.cfg.params.clone(), ctx.num_nodes());
-        for _pe in 0..ctx.num_pes() {
-            self.cqs.push(gni.cq_create());
-        }
-        for pe in 0..ctx.num_pes() {
-            self.pools
-                .push(MemPool::new((1u64 << 60) + ((pe as u64) << 45)));
-        }
+        // Per-PE structures (CQs, mempools, arming state) are created
+        // lazily on first touch: init stays O(nodes), not O(PEs), so a
+        // Hopper-scale machine costs nothing for the PEs a run never uses.
+        let gni = LGni::new(self.cfg.params.clone(), ctx.num_nodes());
         self.comm_busy = vec![0; ctx.num_nodes() as usize];
-        self.poll_armed = vec![[Time::MAX; 3]; ctx.num_pes() as usize];
+        self.poll_armed = LazyVec::new(ctx.num_pes() as usize, [Time::MAX; 3]);
         self.gni = Some(gni);
     }
 
@@ -1229,8 +1272,8 @@ impl MachineLayer for UgniLayer {
         // set, they would suppress every poll the node's fresh
         // incarnation needs, wedging its connections forever.
         for pe in 0..ctx.num_pes() {
-            if ctx.node_of(pe) == node {
-                self.poll_armed[pe as usize] = [Time::MAX; 3];
+            if ctx.node_of(pe) == node && self.poll_armed.get(pe as usize) != [Time::MAX; 3] {
+                *self.poll_armed.get_mut(pe as usize) = [Time::MAX; 3];
             }
         }
         // Outbound backlogs and half-open transactions rooted on the dead

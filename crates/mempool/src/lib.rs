@@ -18,6 +18,9 @@
 use gemini_net::{Addr, GeminiParams, MemHandle, RegTable};
 use sim_core::Time;
 
+pub mod host;
+pub use host::{ObjPool, ObjPoolStats};
+
 /// Smallest block the pool hands out.
 pub const MIN_CLASS_SHIFT: u32 = 6; // 64 B
 /// Largest pooled block; bigger requests fall back to direct registration.
@@ -37,6 +40,45 @@ pub struct Block {
 }
 
 const DIRECT: u32 = u32::MAX;
+
+/// Free blocks of one size class.
+///
+/// A freshly carved slab is *not* enumerated into a vector (a 256 KiB
+/// slab of 64 B blocks would materialize 4096 addresses — 32 KiB of host
+/// memory per pool, which at one pool per touched PE dominated the
+/// simulator's footprint on huge sparse machines). Instead the slab is
+/// kept as a lazy descending span and addresses are minted on `pop`.
+/// The observable address sequence is bit-identical to the eager vector:
+/// a slab used to be pushed ascending (so popped descending) and only
+/// ever carved when the list was empty, meaning the stack was always
+/// "returned blocks on top of the remaining slab suffix" — exactly what
+/// `returned` + `span` encode.
+#[derive(Debug, Default, Clone)]
+struct FreeList {
+    /// Blocks explicitly freed back to the pool (LIFO, popped first).
+    returned: Vec<Addr>,
+    span_base: u64,
+    /// Blocks remaining in the current slab span. The next span block is
+    /// `span_base + (span_left - 1) * block_size` (descending).
+    span_left: u64,
+}
+
+impl FreeList {
+    fn is_empty(&self) -> bool {
+        self.returned.is_empty() && self.span_left == 0
+    }
+
+    fn pop(&mut self, block_size: u64) -> Option<Addr> {
+        if let Some(a) = self.returned.pop() {
+            return Some(a);
+        }
+        if self.span_left == 0 {
+            return None;
+        }
+        self.span_left -= 1;
+        Some(Addr(self.span_base + self.span_left * block_size))
+    }
+}
 
 impl Block {
     /// True when this block bypassed the pool (oversize request).
@@ -75,7 +117,7 @@ pub struct PoolStats {
 /// The per-node message memory pool.
 #[derive(Debug)]
 pub struct MemPool {
-    free: [Vec<Addr>; NUM_CLASSES],
+    free: [FreeList; NUM_CLASSES],
     /// Registered slabs: (base, len, handle). Blocks carved from one slab
     /// share its handle.
     handles: Vec<(Addr, u64, MemHandle)>,
@@ -96,7 +138,7 @@ impl MemPool {
 
     pub fn with_costs(addr_base: u64, costs: PoolCosts) -> Self {
         MemPool {
-            free: std::array::from_fn(|_| Vec::new()),
+            free: std::array::from_fn(|_| FreeList::default()),
             handles: Vec::new(),
             next_addr: addr_base,
             slab_min_bytes: 256 * 1024,
@@ -151,7 +193,9 @@ impl MemPool {
         if self.free[class].is_empty() {
             cost += self.expand(p, reg, class);
         }
-        let addr = self.free[class].pop().expect("expand filled the list");
+        let addr = self.free[class]
+            .pop(Self::class_size(class))
+            .expect("expand filled the list");
         #[cfg(debug_assertions)]
         {
             assert!(self.outstanding.insert(addr.0), "double allocation");
@@ -182,7 +226,7 @@ impl MemPool {
         {
             assert!(self.outstanding.remove(&block.addr.0), "double free");
         }
-        self.free[block.class as usize].push(block.addr);
+        self.free[block.class as usize].returned.push(block.addr);
         self.costs.free
     }
 
@@ -193,9 +237,11 @@ impl MemPool {
         let count = slab / block;
         let base = self.bump(slab);
         let (handle, reg_cost) = reg.register(p, Addr(base), slab);
-        for i in 0..count {
-            self.free[class].push(Addr(base + i * block));
-        }
+        // The pre-span pool pushed all `count` addresses ascending here;
+        // the span mints the same addresses in the same (descending) pop
+        // order without materializing them.
+        self.free[class].span_base = base;
+        self.free[class].span_left = count;
         self.handles.push((Addr(base), slab, handle));
         self.stats.expansions += 1;
         self.stats.slab_bytes += slab;

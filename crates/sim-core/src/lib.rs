@@ -19,12 +19,14 @@
 //! assert_eq!((t, ev), (1_000, "sooner"));
 //! ```
 
+pub mod lazy;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use lazy::{LazySlab, LazyVec};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::Time;

@@ -281,7 +281,11 @@ impl<E> TwoLevelQueue<E> {
         if self.occ & 1 != 0 {
             self.occ &= !1;
             let slot = self.head;
-            let items: Vec<Reverse<Entry<E>>> = self.ring[slot].drain(..).map(Reverse).collect();
+            // Rebuild the active heap inside the drained heap's own
+            // allocation: one window's vector is recycled into the next,
+            // so steady-state advancing allocates nothing.
+            let mut items = std::mem::take(&mut self.active).into_vec();
+            items.extend(self.ring[slot].drain(..).map(Reverse));
             self.active = BinaryHeap::from(items);
         }
         // The horizon moved: re-bucket far events that now fall inside it.

@@ -1,0 +1,111 @@
+//! Machine-size scaling: the flyweight/lazy machinery (pe_table.rs,
+//! `LazyVec`/`LazySlab`, lazy CQs/pools, paged traces — DESIGN.md §13)
+//! must keep Hopper-and-beyond PE counts a non-problem, without moving a
+//! single virtual timestamp at any size.
+//!
+//! Three angles:
+//!
+//! * the small pinned shapes (the wallclock suite's quick rows) stay
+//!   bit-identical — scaling work must not disturb the engine;
+//! * a Hopper-sized (153,216-PE) and a mebi-PE machine run sparse
+//!   workloads to pinned virtual end times in debug mode, proving the
+//!   release-only `scale` bench rows are not an optimizer artifact;
+//! * memory stays proportional to *touched* state: untouched PEs
+//!   materialize nothing, and the whole test process stays under a
+//!   peak-RSS ceiling (`VmHWM`) that an O(num_pes) eager regression
+//!   would blow through.
+
+use charm_apps::LayerKind;
+use charm_bench::scale::{self, sparse_relay, HOPPER_CORES_PER_NODE, HOPPER_PES, MILLION_PES};
+use charm_bench::Effort;
+
+/// Whole-process peak-RSS ceiling, bytes. `VmHWM` is process-wide and the
+/// harness runs this binary's tests concurrently, so the ceiling covers
+/// everything here together: measured peak is ~200 MB, while eagerly
+/// materializing the mebi-PE machine's per-PE state alone would add
+/// ~400 MB more. A bust means construction went O(num_pes) somewhere.
+const PROCESS_RSS_CEILING: u64 = 768 * 1024 * 1024;
+
+fn assert_under_rss_ceiling(context: &str) {
+    let peak = scale::peak_rss_bytes();
+    if peak == 0 {
+        return; // no /proc/self/status on this platform
+    }
+    assert!(
+        peak <= PROCESS_RSS_CEILING,
+        "{context}: process peak RSS {peak} bytes exceeds ceiling {PROCESS_RSS_CEILING}"
+    );
+}
+
+/// The wallclock suite's pinned quick rows (pingpong, bandwidth, jacobi
+/// seed/inert/full, kneighbor on both layers) must hold bit-for-bit in
+/// debug builds too — the same fingerprints `--bin wallclock` gates on.
+#[test]
+fn pinned_quick_shapes_stay_bit_identical() {
+    let suite = charm_bench::wallclock_suite(&Effort::quick());
+    let drifted: Vec<String> = suite
+        .drifted()
+        .iter()
+        .map(|r| {
+            format!(
+                "{}/{}: {} != pinned {}",
+                r.name,
+                r.layer,
+                r.virtual_end_ns,
+                r.pinned_end_ns.unwrap()
+            )
+        })
+        .collect();
+    assert!(drifted.is_empty(), "virtual-time drift: {drifted:?}");
+}
+
+/// Hopper-sized machine (6,384 nodes x 24 cores), sparse relay: the
+/// virtual end time is pinned, and only a sliver of the machine's per-PE
+/// state may materialize.
+#[test]
+fn hopper_scale_sparse_smoke() {
+    let (events, vend, pages) = sparse_relay(HOPPER_PES, HOPPER_CORES_PER_NODE, 256, 6);
+    assert_eq!(events, 6_656);
+    assert_eq!(vend, 148_707, "virtual end drifted at Hopper scale");
+    // 256 chains x 7 touched PEs: far under a quarter of the machine.
+    let total = (HOPPER_PES as u64).div_ceil(charm_rt::pe_table::PE_PAGE_LEN as u64);
+    assert!(
+        pages < total / 4,
+        "sparse run materialized {pages} of {total} PE pages"
+    );
+    assert_under_rss_ceiling("hopper sparse smoke");
+}
+
+/// The mebi-PE `scale` bench row, exactly as `--bin scale` runs it: same
+/// workload shape, same pinned virtual end time — in a debug build.
+#[test]
+fn million_pe_row_is_bit_identical_in_debug() {
+    let spec = scale::spec("million_sparse").expect("row exists");
+    let (events, vend, pages) = sparse_relay(spec.pes, spec.cores_per_node, 2048, 6);
+    assert_eq!(events, 53_248);
+    assert_eq!(
+        Some(vend),
+        spec.pinned_end_ns,
+        "debug build disagrees with the pinned million_sparse row"
+    );
+    let total = (spec.pes as u64).div_ceil(charm_rt::pe_table::PE_PAGE_LEN as u64);
+    assert!(
+        pages < total / 4,
+        "sparse run materialized {pages} of {total} PE pages"
+    );
+    assert_under_rss_ceiling("million-PE row");
+}
+
+/// Building a mebi-PE machine must materialize no per-PE state at all:
+/// construction is O(nodes), first touch is what pays.
+#[test]
+fn million_pe_construction_materializes_nothing() {
+    let c = LayerKind::ugni().cluster(MILLION_PES, 16);
+    assert_eq!(
+        c.materialized_pe_pages(),
+        0,
+        "construction alone materialized per-PE state"
+    );
+    assert!(c.total_pe_pages() > 0);
+    assert_under_rss_ceiling("million-PE construction");
+}
