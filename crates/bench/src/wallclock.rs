@@ -44,6 +44,9 @@ pub struct WallRun {
     pub pinned_end_ns: Option<u64>,
     /// Best-of-repetitions host time, ns.
     pub wall_ns: u64,
+    /// Host ns the parallel engine spent blocked at barriers (spinning or
+    /// parked) during the best repetition; 0 for the sequential engine.
+    pub sync_overhead_ns: u64,
 }
 
 impl WallRun {
@@ -72,6 +75,11 @@ impl WallSuite {
 
     pub fn total_wall_ns(&self) -> u64 {
         self.runs.iter().map(|r| r.wall_ns).sum()
+    }
+
+    /// Aggregate barrier-wait time across the suite (best reps).
+    pub fn total_sync_overhead_ns(&self) -> u64 {
+        self.runs.iter().map(|r| r.sync_overhead_ns).sum()
     }
 
     pub fn events_per_sec(&self) -> f64 {
@@ -130,6 +138,13 @@ impl WallSuite {
             self.speedup_vs_baseline(),
             self.baseline_events_per_sec(),
         ));
+        if self.threads > 1 {
+            out.push_str(&format!(
+                "sync overhead: {:.3}s blocked at barriers ({:.1}% of wall)\n",
+                self.total_sync_overhead_ns() as f64 / 1e9,
+                100.0 * self.total_sync_overhead_ns() as f64 / self.total_wall_ns().max(1) as f64,
+            ));
+        }
         out
     }
 
@@ -141,13 +156,14 @@ impl WallSuite {
         format!(
             "{{\"suite\": \"wallclock\", \"quick\": {}, \"threads\": {}, \
              \"rev\": \"{}\", \"total_events\": {}, \"total_wall_ns\": {}, \
-             \"events_per_sec\": {:.1}}}",
+             \"events_per_sec\": {:.1}, \"sync_overhead_ns\": {}}}",
             self.quick,
             self.threads,
             rev,
             self.total_events(),
             self.total_wall_ns(),
             self.events_per_sec(),
+            self.total_sync_overhead_ns(),
         )
     }
 
@@ -189,12 +205,17 @@ impl WallSuite {
             "  \"speedup_vs_baseline\": {:.3},\n",
             self.speedup_vs_baseline()
         ));
+        out.push_str(&format!(
+            "  \"sync_overhead_ns\": {},\n",
+            self.total_sync_overhead_ns()
+        ));
         out.push_str("  \"workloads\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"layer\": \"{}\", \"events\": {}, \
                  \"virtual_end_ns\": {}, \"pinned_end_ns\": {}, \"wall_ns\": {}, \
-                 \"events_per_sec\": {:.1}, \"ns_per_event\": {:.2}}}{}\n",
+                 \"events_per_sec\": {:.1}, \"ns_per_event\": {:.2}, \
+                 \"sync_overhead_ns\": {}}}{}\n",
                 r.name,
                 r.layer,
                 r.events,
@@ -205,6 +226,7 @@ impl WallSuite {
                 r.wall_ns,
                 r.events_per_sec(),
                 r.ns_per_event(),
+                r.sync_overhead_ns,
                 if i + 1 == self.runs.len() { "" } else { "," },
             ));
         }
@@ -266,13 +288,21 @@ fn measure(
     mut body: impl FnMut() -> (u64, u64),
 ) -> WallRun {
     let mut best_wall = u64::MAX;
+    let mut best_sync = 0;
     let mut events = 0;
     let mut virtual_end = 0;
     for rep in 0..REPS {
+        // Drain any overhead accumulated outside this workload so the
+        // meter reads exactly this repetition's barrier waits.
+        let _ = charm_rt::prelude::take_sync_overhead_ns();
         let t0 = Instant::now();
         let (ev, vend) = body();
         let wall = t0.elapsed().as_nanos() as u64;
-        best_wall = best_wall.min(wall);
+        let sync = charm_rt::prelude::take_sync_overhead_ns();
+        if wall < best_wall {
+            best_wall = wall;
+            best_sync = sync;
+        }
         if rep == 0 {
             events = ev;
             virtual_end = vend;
@@ -291,6 +321,7 @@ fn measure(
         virtual_end_ns: virtual_end,
         pinned_end_ns: pin_for(name, layer_tag, quick),
         wall_ns: best_wall,
+        sync_overhead_ns: best_sync,
     }
 }
 
@@ -329,9 +360,12 @@ pub fn wallclock_suite(e: &Effort) -> WallSuite {
 /// bit-exact, so a drift at `threads > 1` is a determinism bug, not a
 /// perf artifact.
 pub fn wallclock_suite_threads(e: &Effort, threads: u32) -> WallSuite {
-    charm_rt::prelude::set_default_threads(threads);
+    // Forced: the point of the sweep is to measure the parallel engine's
+    // overhead even when the host has fewer cores than `threads` — the
+    // auto-cap would silently fall back to the sequential engine.
+    charm_rt::prelude::set_default_threads_forced(threads);
     let suite = wallclock_suite_inner(e, threads);
-    charm_rt::prelude::set_default_threads(1);
+    charm_rt::prelude::set_default_threads_forced(1);
     suite
 }
 

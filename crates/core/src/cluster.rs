@@ -30,19 +30,96 @@ use std::sync::Arc;
 thread_local! {
     /// Default for [`ClusterCfg::threads`] (see [`set_default_threads`]).
     static DEFAULT_THREADS: std::cell::Cell<u32> = const { std::cell::Cell::new(1) };
+    /// Default for [`ClusterCfg::batch_windows`] (see
+    /// [`set_default_batch_windows`]).
+    static DEFAULT_BATCH_WINDOWS: std::cell::Cell<u32> = const { std::cell::Cell::new(4) };
+    /// Default for [`ClusterCfg::handoff_min_events`] (see
+    /// [`set_default_handoff_min_events`]).
+    static DEFAULT_HANDOFF_MIN: std::cell::Cell<u32> = const { std::cell::Cell::new(16) };
+    /// Barrier-wait nanoseconds accumulated by parallel runs on this
+    /// thread since the last [`take_sync_overhead_ns`].
+    static SYNC_OVERHEAD: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// Set the worker count newly built [`ClusterCfg`]s default to (clamped to
 /// at least 1). Thread-local, so harnesses running independent simulations
 /// on a thread pool don't race: each harness thread configures its own
 /// default and every app built on it inherits `--threads` with zero churn.
+///
+/// Requests beyond `std::thread::available_parallelism()` are capped to it
+/// (with a one-line stderr warning, printed once per process): on a small
+/// box, oversubscribed workers fight the scheduler at every window barrier
+/// and parallel runs regress instead of winning. Set the
+/// `CHARM_FORCE_THREADS` environment variable (any value) — or call
+/// [`set_default_threads_forced`] — to bypass the cap, e.g. for
+/// determinism suites that must exercise the parallel engine regardless
+/// of host size.
 pub fn set_default_threads(n: u32) {
+    let n = n.max(1);
+    if std::env::var_os("CHARM_FORCE_THREADS").is_some() {
+        DEFAULT_THREADS.with(|c| c.set(n));
+        return;
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get() as u32)
+        .unwrap_or(1);
+    if n > hw {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "charm-rt: capping threads {n} -> {hw} (available_parallelism); \
+                 set CHARM_FORCE_THREADS=1 to override"
+            );
+        });
+        DEFAULT_THREADS.with(|c| c.set(hw));
+    } else {
+        DEFAULT_THREADS.with(|c| c.set(n));
+    }
+}
+
+/// [`set_default_threads`] without the `available_parallelism()` cap.
+/// For harnesses that must drive the parallel engine at an exact worker
+/// count — the differential/proptest suites and the wallclock sweep pin
+/// virtual results (and meter sync overhead) at thread counts the host
+/// may not physically have.
+pub fn set_default_threads_forced(n: u32) {
     DEFAULT_THREADS.with(|c| c.set(n.max(1)));
 }
 
 /// The current thread's default for [`ClusterCfg::threads`].
 pub fn default_threads() -> u32 {
     DEFAULT_THREADS.with(|c| c.get())
+}
+
+/// Set the window-batch depth newly built [`ClusterCfg`]s default to
+/// (clamped to at least 1). See [`ClusterCfg::batch_windows`].
+pub fn set_default_batch_windows(k: u32) {
+    DEFAULT_BATCH_WINDOWS.with(|c| c.set(k.max(1)));
+}
+
+/// The current thread's default for [`ClusterCfg::batch_windows`].
+pub fn default_batch_windows() -> u32 {
+    DEFAULT_BATCH_WINDOWS.with(|c| c.get())
+}
+
+/// Set the hand-off work floor newly built [`ClusterCfg`]s default to.
+/// See [`ClusterCfg::handoff_min_events`]; 0 hands off every eligible
+/// window (the determinism suites use this to keep the worker path fully
+/// exercised on tiny configurations).
+pub fn set_default_handoff_min_events(n: u32) {
+    DEFAULT_HANDOFF_MIN.with(|c| c.set(n));
+}
+
+/// The current thread's default for [`ClusterCfg::handoff_min_events`].
+pub fn default_handoff_min_events() -> u32 {
+    DEFAULT_HANDOFF_MIN.with(|c| c.get())
+}
+
+/// Drain this thread's accumulated parallel-sync overhead meter: the
+/// nanoseconds runs since the last call spent waiting at pool barriers
+/// (as opposed to executing events). Always 0 for sequential runs.
+pub fn take_sync_overhead_ns() -> u64 {
+    SYNC_OVERHEAD.with(|c| c.replace(0))
 }
 
 /// Cluster-wide configuration.
@@ -69,6 +146,19 @@ pub struct ClusterCfg {
     /// conservative parallel execution over node partitions (bit-identical
     /// results — see DESIGN.md §10). Defaults to [`default_threads`].
     pub threads: u32,
+    /// Consecutive lookahead windows a worker may execute per barrier
+    /// crossing (≥ 1). Workers publish a per-partition frontier once per
+    /// window and bound themselves by the other partitions' frontiers
+    /// plus the lookahead, so deeper batches amortize the barrier without
+    /// changing any virtual timestamp (DESIGN.md §10). Defaults to
+    /// [`default_batch_windows`].
+    pub batch_windows: u32,
+    /// Minimum events queued across the window's ready partitions before
+    /// the driver wakes the worker pool; smaller windows execute inline
+    /// on the driver thread in the same canonical order (bit-identical,
+    /// just cheaper than a barrier round-trip for a handful of events).
+    /// Defaults to [`default_handoff_min_events`].
+    pub handoff_min_events: u32,
 }
 
 impl ClusterCfg {
@@ -83,6 +173,8 @@ impl ClusterCfg {
             seed: 0xC0FFEE,
             fault: gemini_net::FaultPlan::default(),
             threads: default_threads(),
+            batch_windows: default_batch_windows(),
+            handoff_min_events: default_handoff_min_events(),
         }
     }
 
@@ -282,6 +374,10 @@ pub struct Cluster {
     /// single hottest host allocation at scale. Purely a host-memory
     /// optimization — virtual time never observes it.
     outbox_pool: mempool::ObjPool<Vec<(Time, Event)>>,
+    /// Recycles the parallel driver's per-partition `ExecOut` scratch
+    /// buffers (trace/cmd/outbox vectors) across `run_parallel` calls.
+    /// Host-memory only — virtual time never observes it.
+    exec_pool: mempool::ObjPool<ExecOut>,
 }
 
 impl Cluster {
@@ -313,6 +409,7 @@ impl Cluster {
             crash_gate,
             ft: None,
             outbox_pool: mempool::ObjPool::new(4),
+            exec_pool: mempool::ObjPool::new(16),
         };
         // Handler 0 is reserved for the Charm dispatch (arrays, broadcast,
         // reductions — see charm.rs).
@@ -818,6 +915,11 @@ impl Cluster {
             || self.cfg.num_nodes() < 2
             || self.ft.is_some()
             || self.cfg.fault.has_node_crash()
+            // A streaming trace sink writes records in global execution
+            // order as they happen; the windowed engine replays trace
+            // effects per partition (order-equivalent for every other
+            // consumer, not for a byte stream).
+            || self.trace.has_sink()
         {
             return self.run_seq();
         }
@@ -842,20 +944,22 @@ impl Cluster {
                 pe_part[pe as usize] = i as u32;
             }
             parts.push(PartData {
+                idx: i as u32,
                 base_pe: lo,
                 pes: all_pes.by_ref().take((hi - lo) as usize).collect(),
                 q: KeyedQueue::new(),
                 epoch: 0,
                 fx: Vec::new(),
+                origins: Vec::new(),
                 trace_ops: Vec::new(),
                 cmds: Vec::new(),
-                scratch: ExecOut::default(),
+                scratch: self.exec_pool.get(),
             });
         }
         debug_assert!(all_pes.next().is_none());
 
         // Split the pending queue in pop order: `(time, seq)` pop order IS
-        // the canonical order, so assigning ascending Flat ordinals here
+        // the canonical order, so assigning ascending flat ordinals here
         // seeds the keyed queues with the exact sequential tie-break.
         let mut serial: KeyedQueue<Event> = KeyedQueue::new();
         let mut ord = 0u64;
@@ -871,8 +975,13 @@ impl Cluster {
         }
 
         let lookahead = self.layer.as_ref().expect("layer").lookahead().max(1);
-        let halt = AtomicU64::new(u64::MAX);
-        let (parts, leftovers, end_now, end_stopped) = {
+        let ctl = BatchCtl {
+            halt: AtomicU64::new(u64::MAX),
+            frontiers: (0..nparts).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            lookahead,
+            batch_windows: self.cfg.batch_windows.max(1),
+        };
+        let (parts, sync_ns, serial, stop_leftovers, end_now, end_stopped) = {
             let Cluster {
                 cfg,
                 layer,
@@ -903,34 +1012,50 @@ impl Cluster {
                 now: 0,
                 stopped: false,
                 lookahead,
-                halt: &halt,
+                ctl: &ctl,
                 scratch: ExecOut::default(),
+                leftovers: Vec::new(),
             };
-            let parts = run_pool(
+            let (parts, sync_ns) = run_pool(
                 parts,
                 nparts as usize,
-                |part, p_end| phase_run(part, p_end, &env, &halt),
+                |part, t_s| phase_run(part, t_s, &env, &ctl),
                 |parts| driver.step(parts),
             );
-            (parts, driver.serial, driver.now, driver.stopped)
+            (
+                parts,
+                sync_ns,
+                driver.serial,
+                driver.leftovers,
+                driver.now,
+                driver.stopped,
+            )
         };
 
+        SYNC_OVERHEAD.with(|c| c.set(c.get().saturating_add(sync_ns)));
         self.now = end_now;
         self.stopped = end_stopped;
         // Reassemble PE state (partitions are contiguous and in order) and
         // put any still-pending events back on the sequential queue in
         // canonical order, mirroring the state `run_seq` leaves on an early
-        // stop.
-        let mut leftovers = leftovers;
-        let mut leftover_evs: Vec<(EvKey, Event)> = leftovers.drain_sorted();
+        // stop. At most one source is non-empty: a stop found *inside a
+        // window* drains every queue into `stop_leftovers` (already in
+        // canonical order); a stop on the serial frontier leaves flat-keyed
+        // queues, where the plain key sort is the canonical order.
+        let mut serial = serial;
+        let mut leftover_evs: Vec<(EvKey, Event)> = serial.drain_sorted();
         let mut pes = Vec::with_capacity(num_pes as usize);
         for mut p in parts {
             leftover_evs.extend(p.q.drain_sorted());
             pes.append(&mut p.pes);
+            self.exec_pool.put(std::mem::take(&mut p.scratch));
         }
-        leftover_evs.sort_by(|a, b| a.0.cmp(&b.0));
+        leftover_evs.sort_by_key(|e| e.0);
         for (k, ev) in leftover_evs {
             self.events.push(k.t, ev);
+        }
+        for (t, ev) in stop_leftovers {
+            self.events.push(t, ev);
         }
         self.pes.restore_dense(pes);
 
@@ -1197,25 +1322,39 @@ impl ExecOut {
     }
 }
 
+impl mempool::Reset for ExecOut {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
 /// One executed event's buffered effects, in partition execution (= key)
 /// order. The trace ops live in a per-partition stream (`trace_ops`);
 /// `trace_n` is this record's run length in it.
 struct FxRec {
-    key: Arc<EvKey>,
+    key: EvKey,
     stats: ClusterStats,
     trace_n: u32,
     stop: bool,
 }
 
-/// Per-partition state owned by one worker during a parallel window.
+/// Per-partition state owned by one worker during a parallel window batch.
 pub(crate) struct PartData {
+    /// This partition's index (= its slot in the driver's `parts` /
+    /// frontier arrays).
+    idx: u32,
     base_pe: u32,
     pes: Vec<PeState>,
     q: KeyedQueue<Event>,
-    /// Global push-ordinal watermark at the start of the current phase
-    /// (the `epoch` of every `Child` key minted this phase).
+    /// Global push-ordinal watermark at the start of the current phase:
+    /// in-phase keys mint partition-local ordinals `epoch + i`.
     epoch: u64,
     fx: Vec<FxRec>,
+    /// Push-origin log for the current phase: `origins[k.ord - epoch]` is
+    /// the index (into `fx`) of the event whose execution pushed the
+    /// in-phase key `k`. `canon_cmp` uses it to order in-phase keys of
+    /// different partitions by their parents.
+    origins: Vec<u32>,
     trace_ops: Vec<TraceOp>,
     cmds: Vec<(EvKey, Event)>,
     scratch: ExecOut,
@@ -1223,7 +1362,9 @@ pub(crate) struct PartData {
 
 /// Execute one PE-local event (`PeRun` or `Deliver`) exactly as the
 /// sequential engine's `dispatch`/`pe_run` would, with effects buffered
-/// into `out` and pushes keyed by `mk_key(push_idx, at)`.
+/// into `out` and pushes keyed by `mk_key(at)` — called once per push, in
+/// push order, so the key minter's internal counter reproduces the
+/// sequential engine's push sequence.
 ///
 /// Mirrors `Cluster::dispatch` (Deliver arm) and `Cluster::pe_run` — keep
 /// the two in sync; the differential tests in `tests/` compare them
@@ -1237,7 +1378,7 @@ fn exec_local_event(
     q: &mut KeyedQueue<Event>,
     t: Time,
     ev: Event,
-    mut mk_key: impl FnMut(u32, Time) -> EvKey,
+    mut mk_key: impl FnMut(Time) -> EvKey,
     out: &mut ExecOut,
 ) {
     out.clear();
@@ -1263,7 +1404,7 @@ fn exec_local_event(
             if !st.run_scheduled {
                 st.run_scheduled = true;
                 let at = t.max(st.busy_until);
-                q.push(mk_key(0, at), Event::PeRun(pe));
+                q.push(mk_key(at), Event::PeRun(pe));
             }
         }
         Event::PeRun(pe) => {
@@ -1272,7 +1413,7 @@ fn exec_local_event(
             let sti = (pe - base_pe) as usize;
             if pes[sti].busy_until > t {
                 let at = pes[sti].busy_until;
-                q.push(mk_key(0, at), Event::PeRun(pe));
+                q.push(mk_key(at), Event::PeRun(pe));
                 return;
             }
             let Some(std::cmp::Reverse(PrioEnv { env: menv, .. })) = pes[sti].queue.pop() else {
@@ -1328,10 +1469,8 @@ fn exec_local_event(
                 Kind::Overhead,
             ));
 
-            let mut idx = 0u32;
             for (at, ev) in outbox.drain(..) {
-                let key = mk_key(idx, at);
-                idx += 1;
+                let key = mk_key(at);
                 match &ev {
                     // Handler Delivers are self-send loopback: always this PE.
                     Event::Deliver(..) => q.push(key, ev),
@@ -1347,76 +1486,215 @@ fn exec_local_event(
             if st.queue.is_empty() {
                 st.run_scheduled = false;
             } else {
-                q.push(mk_key(idx, st.busy_until), Event::PeRun(pe));
+                q.push(mk_key(st.busy_until), Event::PeRun(pe));
             }
         }
         _ => unreachable!("partition queues hold only PeRun/Deliver"),
     }
 }
 
-/// Upper bound on events one partition executes per parallel window, so
-/// the `max_events` safety valve is checked (on the main thread) with
-/// bounded overshoot.
+/// Upper bound on events one partition executes per parallel window
+/// batch, so the `max_events` safety valve is checked (on the main
+/// thread) with bounded overshoot.
 const PHASE_CAP: usize = 4096;
 
-/// One partition's parallel window: run PE-local events in canonical key
-/// order while `t < min(p_end, first own Cmd, global halt)`. Stopping
-/// early for any reason is always safe — unprocessed events simply stay
-/// queued for the next serial phase.
-// The halt flag is the sanctioned cross-window early-stop channel (DESIGN.md
-// §10) — monotone fetch_min, never read back into event state. worker-ok: see above.
-fn phase_run(part: &mut PartData, p_end: Time, env: &ExecEnv, halt: &AtomicU64) {
+/// Shared control state of one parallel window batch. Workers only ever
+/// exchange monotone time bounds through it: `halt` shrinks (fetch_min),
+/// each partition's frontier grows (one release-store per window) — a
+/// stale read is always the *smaller* value, which is conservative, so no
+/// ordering decision can race. worker-ok: see above.
+struct BatchCtl {
+    /// Global early-stop bound (DESIGN.md §10): a worker that executes a
+    /// stop or emits a `CreatePersistent` command publishes its timestamp
+    /// so every partition halts there.
+    halt: AtomicU64,
+    /// Per-partition progress frontier: a lower bound on any event the
+    /// partition has yet to execute *and* on any cross-partition push its
+    /// pending commands may cause (commands execute serially later, and
+    /// their deliveries land at least `lookahead` after the command).
+    frontiers: Vec<AtomicU64>,
+    lookahead: Time,
+    /// Max consecutive windows per barrier crossing ([`ClusterCfg::batch_windows`]).
+    batch_windows: u32,
+}
+
+/// One partition's parallel window batch: run PE-local events in
+/// canonical key order while `t` stays below every bound the partition
+/// must respect — the serial-class horizon `t_s`, its own first pending
+/// command, the global halt, and every *other* partition's published
+/// frontier plus the lookahead. After each window it publishes its own
+/// new frontier and, if any other frontier moved, starts the next window
+/// without a barrier crossing — up to `batch_windows` windows per phase.
+/// Stopping early for any reason is always safe: unprocessed events
+/// simply stay queued for the next serial phase.
+fn phase_run(part: &mut PartData, t_s: Time, env: &ExecEnv, ctl: &BatchCtl) {
+    let me = part.idx as usize;
+    let epoch = part.epoch;
     // First Cmd this partition emits bounds it: the command executes later
     // (serially, in canonical order) and may extend the issuing PE's busy
     // window, so events at or after its timestamp must wait.
-    let mut bound = p_end;
+    let mut bound = t_s;
+    let mut executed = 0usize;
     let mut scratch = std::mem::take(&mut part.scratch);
-    for _ in 0..PHASE_CAP {
-        let lim = bound.min(halt.load(Ordering::Relaxed));
-        let Some(t) = part.q.peek_time() else { break };
-        if t >= lim {
+    for _window in 0..ctl.batch_windows.max(1) {
+        let mut lim = bound.min(ctl.halt.load(Ordering::Relaxed));
+        for (i, f) in ctl.frontiers.iter().enumerate() {
+            if i != me {
+                lim = lim.min(f.load(Ordering::Acquire).saturating_add(ctl.lookahead));
+            }
+        }
+        let mut progressed = false;
+        while executed < PHASE_CAP {
+            let Some(t) = part.q.peek_time() else { break };
+            if t >= lim {
+                break;
+            }
+            let (key, ev) = part.q.pop().expect("peeked");
+            let fx_idx = part.fx.len() as u32;
+            {
+                let PartData {
+                    base_pe,
+                    pes,
+                    q,
+                    origins,
+                    ..
+                } = &mut *part;
+                exec_local_event(
+                    env,
+                    pes,
+                    *base_pe,
+                    q,
+                    t,
+                    ev,
+                    |at| {
+                        let k = EvKey {
+                            t: at,
+                            ord: epoch + origins.len() as u64,
+                        };
+                        origins.push(fx_idx);
+                        k
+                    },
+                    &mut scratch,
+                );
+            }
+            for (k, ev) in scratch.cmds.drain(..) {
+                bound = bound.min(k.t);
+                if matches!(&ev, Event::Cmd(_, Cmd::CreatePersistent { .. })) {
+                    // Persistent-channel setup charges the *remote* PE when
+                    // it executes; halt every partition at its timestamp so
+                    // that charge sees sequential busy state (DESIGN.md §10).
+                    ctl.halt.fetch_min(k.t, Ordering::Relaxed);
+                }
+                part.cmds.push((k, ev));
+            }
+            if scratch.stop {
+                ctl.halt.fetch_min(t, Ordering::Relaxed);
+            }
+            part.fx.push(FxRec {
+                key,
+                stats: scratch.stats.clone(),
+                trace_n: scratch.trace.len() as u32,
+                stop: scratch.stop,
+            });
+            part.trace_ops.append(&mut scratch.trace);
+            progressed = true;
+            executed += 1;
+        }
+        // Publish how far this partition has provably advanced: its next
+        // pending event and its first pending command both lower-bound
+        // everything it can still cause. Monotone across windows (event
+        // times are non-decreasing and new commands carry times at or
+        // after the event that emitted them), so a peer acting on the old
+        // value is merely conservative.
+        let f = part.q.peek_time().unwrap_or(u64::MAX).min(bound);
+        ctl.frontiers[me].store(f, Ordering::Release);
+        if !progressed || executed >= PHASE_CAP {
             break;
         }
-        let (key, ev) = part.q.pop().expect("peeked");
-        let key = Arc::new(key);
-        let epoch = part.epoch;
-        {
-            let PartData {
-                base_pe, pes, q, ..
-            } = &mut *part;
-            exec_local_event(
-                env,
-                pes,
-                *base_pe,
-                q,
-                t,
-                ev,
-                |idx, at| EvKey::child(at, epoch, &key, idx),
-                &mut scratch,
-            );
-        }
-        for (k, ev) in scratch.cmds.drain(..) {
-            bound = bound.min(k.t);
-            if matches!(&ev, Event::Cmd(_, Cmd::CreatePersistent { .. })) {
-                // Persistent-channel setup charges the *remote* PE when it
-                // executes; halt every partition at its timestamp so that
-                // charge sees sequential busy state (see DESIGN.md §10).
-                halt.fetch_min(k.t, Ordering::Relaxed);
-            }
-            part.cmds.push((k, ev));
-        }
-        if scratch.stop {
-            halt.fetch_min(t, Ordering::Relaxed);
-        }
-        part.fx.push(FxRec {
-            key,
-            stats: scratch.stats.clone(),
-            trace_n: scratch.trace.len() as u32,
-            stop: scratch.stop,
-        });
-        part.trace_ops.append(&mut scratch.trace);
     }
     part.scratch = scratch;
+}
+
+/// Compare two phase keys in canonical (sequential push) order. `epoch`
+/// is the phase's shared ordinal watermark; `pa`/`pb` name the partition
+/// each key lives in (any value is fine for pre-phase keys — their order
+/// is decided without touching partition state; [`SER`] marks keys from
+/// the serial queue, which never holds in-phase keys).
+///
+/// Time dominates. At equal times: two pre-phase keys (`ord < epoch`)
+/// compare by their global ordinals; a pre-phase key precedes any
+/// in-phase key (everything pushed during the phase was pushed after it);
+/// two in-phase keys of the same partition compare by local ordinal
+/// (partition execution order is canonical order); two in-phase keys of
+/// different partitions are ordered by their *parents* — the events whose
+/// execution pushed them, recorded in the partitions' `origins` logs —
+/// because the sequential engine would have numbered their pushes in
+/// parent execution order. Parent chains ground in pre-phase keys, so the
+/// recursion terminates.
+fn canon_cmp(
+    parts: &[PartData],
+    epoch: u64,
+    pa: usize,
+    ka: EvKey,
+    pb: usize,
+    kb: EvKey,
+) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match ka.t.cmp(&kb.t) {
+        Ordering::Equal => {}
+        o => return o,
+    }
+    match (ka.ord < epoch, kb.ord < epoch) {
+        (true, true) => ka.ord.cmp(&kb.ord),
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => {
+            if pa == pb {
+                return ka.ord.cmp(&kb.ord);
+            }
+            let fa = parts[pa].origins[(ka.ord - epoch) as usize] as usize;
+            let fb = parts[pb].origins[(kb.ord - epoch) as usize] as usize;
+            let pka = parts[pa].fx[fa].key;
+            let pkb = parts[pb].fx[fb].key;
+            // Distinct parents (they live in different partitions), so the
+            // recursive comparison decides; the ordinal tiebreak is for
+            // form only.
+            canon_cmp(parts, epoch, pa, pka, pb, pkb).then(ka.ord.cmp(&kb.ord))
+        }
+    }
+}
+
+/// Partition marker for serial-queue keys in [`canon_cmp`]/[`ckey_cmp`]:
+/// the serial queue only ever holds pre-phase (flat) keys, whose order
+/// never consults partition state.
+const SER: usize = usize::MAX;
+
+/// A classified key during the stop drain ([`ParDriver::finish_stop`]):
+/// `phase` keys were minted before or during the interrupted phase and
+/// compare by [`canon_cmp`]; fresh keys (`phase == false`) are flat
+/// ordinals minted *by the drain itself* from the driver's global counter
+/// — numerically overlapping the in-phase range, so the class must be
+/// tracked structurally.
+#[derive(Clone, Copy)]
+struct CKey {
+    phase: bool,
+    part: usize,
+    k: EvKey,
+}
+
+/// Canonical order over classified keys: within a class, the class's own
+/// order; across classes at equal times, phase keys first (everything the
+/// drain pushes was pushed after every pre-existing event at that time —
+/// the same root-before-descendant rule the sequential engine's push
+/// counter encodes).
+fn ckey_cmp(parts: &[PartData], epoch: u64, a: CKey, b: CKey) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.phase, b.phase) {
+        (true, true) => canon_cmp(parts, epoch, a.part, a.k, b.part, b.k),
+        (false, false) => a.k.cmp(&b.k),
+        (true, false) => a.k.t.cmp(&b.k.t).then(Ordering::Less),
+        (false, true) => a.k.t.cmp(&b.k.t).then(Ordering::Greater),
+    }
 }
 
 /// Main-thread half of the parallel driver: harvests window output,
@@ -1437,8 +1715,13 @@ struct ParDriver<'a> {
     now: Time,
     stopped: bool,
     lookahead: Time,
-    halt: &'a AtomicU64,
+    ctl: &'a BatchCtl,
     scratch: ExecOut,
+    /// Events still pending when a stop found inside a window ended the
+    /// run, in canonical order (`finish_stop` fills this; the queues are
+    /// empty afterwards). `run_parallel` pushes them back on the
+    /// sequential queue at teardown.
+    leftovers: Vec<(Time, Event)>,
 }
 
 impl ParDriver<'_> {
@@ -1451,23 +1734,31 @@ impl ParDriver<'_> {
     /// The serial phase. Returns `Some(p_end)` to run a parallel window
     /// with that bound, `None` when the run is complete.
     fn step(&mut self, parts: &mut [PartData]) -> Option<Time> {
-        // ---- harvest the previous window ----
+        // ---- harvest the previous window batch ----
         if parts.iter().any(|p| !p.fx.is_empty()) {
-            let stop_key: Option<Arc<EvKey>> = parts
-                .iter()
-                .flat_map(|p| p.fx.iter().filter(|f| f.stop).map(|f| &f.key))
-                .min_by(|a, b| a.cmp(b))
-                .cloned();
-            if let Some(kstar) = stop_key {
-                self.finish_stop(parts, &kstar);
+            let epoch = parts.first().map_or(0, |p| p.epoch);
+            // Canonical-min stop across partitions. Within a partition the
+            // fx stream is in canonical order, so its first stop record is
+            // its earliest; cross-partition ties need the full comparison.
+            let mut stop: Option<(usize, EvKey)> = None;
+            for (i, p) in parts.iter().enumerate() {
+                if let Some(f) = p.fx.iter().find(|f| f.stop) {
+                    stop = match stop {
+                        Some((bi, bk))
+                            if canon_cmp(parts, epoch, bi, bk, i, f.key)
+                                != std::cmp::Ordering::Greater =>
+                        {
+                            Some((bi, bk))
+                        }
+                        _ => Some((i, f.key)),
+                    };
+                }
+            }
+            if let Some((pstar, kstar)) = stop {
+                self.finish_stop(parts, pstar, kstar);
                 return None;
             }
             self.replay_fx(parts);
-            for p in parts.iter_mut() {
-                for (k, ev) in p.cmds.drain(..) {
-                    self.serial.push(k, ev);
-                }
-            }
             self.flatten(parts);
         }
 
@@ -1490,21 +1781,36 @@ impl ParDriver<'_> {
             }
             if t_l < t_s {
                 let p_end = t_s.min(t_l.saturating_add(self.lookahead));
-                let ready = parts
-                    .iter()
-                    .filter(|p| p.q.peek_time().is_some_and(|t| t < p_end))
-                    .count();
-                if ready >= 2 {
-                    // Hand off: at least two partitions have work strictly
-                    // inside the window.
-                    self.halt.store(u64::MAX, Ordering::Relaxed);
-                    for p in parts.iter_mut() {
-                        p.epoch = self.ord;
+                let mut ready = 0usize;
+                let mut queued = 0usize;
+                for p in parts.iter() {
+                    if p.q.peek_time().is_some_and(|t| t < p_end) {
+                        ready += 1;
+                        // Queue length is an upper bound on the events this
+                        // partition can execute in the batch — cheap, and
+                        // good enough to decide whether waking the pool can
+                        // possibly pay for the barrier crossing.
+                        queued += p.q.len();
                     }
-                    return Some(p_end);
                 }
-                // Single-partition window: run the canonical min inline
-                // (cheaper than a barrier round-trip).
+                if ready >= 2 && queued >= self.cfg.handoff_min_events as usize {
+                    // Hand off: at least two partitions have work strictly
+                    // inside the first window. Workers bound themselves by
+                    // the serial horizon and each other's frontiers
+                    // (seeded here with the queue heads — exactly the
+                    // `t_l` this p_end was computed from), batching up to
+                    // `batch_windows` windows before the next barrier.
+                    self.ctl.halt.store(u64::MAX, Ordering::Relaxed);
+                    for (i, p) in parts.iter_mut().enumerate() {
+                        p.epoch = self.ord;
+                        self.ctl.frontiers[i]
+                            .store(p.q.peek_time().unwrap_or(u64::MAX), Ordering::Relaxed);
+                    }
+                    return Some(t_s);
+                }
+                // Single-partition or under-threshold window: run the
+                // canonical min inline (cheaper than a barrier round-trip
+                // for a handful of events).
                 let pi = self.min_part(parts).expect("partition head exists");
                 let (key, ev) = parts[pi].q.pop().expect("peeked");
                 // `now` is the furthest virtual time reached (harvested
@@ -1581,7 +1887,7 @@ impl ParDriver<'_> {
                 q,
                 t,
                 ev,
-                |_, at| {
+                |at| {
                     let k = EvKey::flat(at, ord);
                     ord += 1;
                     k
@@ -1707,52 +2013,53 @@ impl ParDriver<'_> {
         *self.layer = Some(layer);
     }
 
-    /// Replay buffered window effects in canonical key order (k-way merge
-    /// across the per-partition, already-sorted effect streams).
+    /// Apply buffered window effects. Every destination is either
+    /// per-partition-order sensitive at most per PE (the trace: per-PE
+    /// accumulators, per-PE pending segments, and a log that consumers
+    /// stable-sort by `(pe, start)`) or commutative (stats sums, the `now`
+    /// running max), so replaying each partition's stream sequentially is
+    /// observation-equivalent to the canonical k-way merge — without the
+    /// per-record comparisons. (The one global-order consumer, a streaming
+    /// trace sink, forces the sequential engine in `run_parallel`.)
+    ///
+    /// Leaves `fx`/`origins` in place: `flatten` still needs them to order
+    /// surviving in-phase keys.
     fn replay_fx(&mut self, parts: &mut [PartData]) {
-        let n = parts.len();
-        let mut fi = vec![0usize; n];
-        let mut ti = vec![0usize; n];
-        loop {
-            let mut best: Option<usize> = None;
-            for i in 0..n {
-                if fi[i] < parts[i].fx.len() {
-                    match best {
-                        None => best = Some(i),
-                        Some(b) => {
-                            if parts[i].fx[fi[i]].key < parts[b].fx[fi[b]].key {
-                                best = Some(i);
-                            }
-                        }
-                    }
-                }
+        for p in parts.iter() {
+            for rec in &p.fx {
+                self.stats.add(&rec.stats);
             }
-            let Some(b) = best else { break };
-            let rec = &parts[b].fx[fi[b]];
-            self.now = self.now.max(rec.key.t);
-            self.stats.add(&rec.stats);
-            for k in 0..rec.trace_n as usize {
-                self.trace.apply(&parts[b].trace_ops[ti[b] + k]);
+            for op in &p.trace_ops {
+                self.trace.apply(op);
             }
-            ti[b] += rec.trace_n as usize;
-            fi[b] += 1;
-        }
-        for p in parts.iter_mut() {
-            p.fx.clear();
-            p.trace_ops.clear();
+            if let Some(rec) = p.fx.last() {
+                // Partition streams are time-sorted: the last record holds
+                // the partition's furthest virtual time.
+                self.now = self.now.max(rec.key.t);
+            }
         }
     }
 
-    /// Re-key every pending event with fresh `Flat` ordinals in canonical
-    /// order, so `Child` key chains never outlive the window that minted
-    /// them (bounds comparison and drop recursion depth).
+    /// Re-key every pending event (including buffered commands) with fresh
+    /// flat ordinals in canonical order, so in-phase keys — meaningless
+    /// without this phase's `origins`/`fx` logs — never outlive their
+    /// phase. Clears the phase logs afterwards.
     fn flatten(&mut self, parts: &mut [PartData]) {
-        let mut all: Vec<(EvKey, Event)> = self.serial.drain_sorted();
-        for p in parts.iter_mut() {
-            all.extend(p.q.drain_sorted());
+        let epoch = parts.first().map_or(0, |p| p.epoch);
+        let mut all: Vec<(usize, EvKey, Event)> = Vec::new();
+        for (k, ev) in self.serial.drain_sorted() {
+            all.push((SER, k, ev));
         }
-        all.sort_by(|a, b| a.0.cmp(&b.0));
-        for (k, ev) in all {
+        for (i, p) in parts.iter_mut().enumerate() {
+            for (k, ev) in p.q.drain_sorted() {
+                all.push((i, k, ev));
+            }
+            for (k, ev) in p.cmds.drain(..) {
+                all.push((i, k, ev));
+            }
+        }
+        all.sort_by(|a, b| canon_cmp(parts, epoch, a.0, a.1, b.0, b.1).then_with(|| a.0.cmp(&b.0)));
+        for (_, k, ev) in all {
             let nk = EvKey::flat(k.t, self.ord);
             self.ord += 1;
             match &ev {
@@ -1762,70 +2069,143 @@ impl ParDriver<'_> {
                 _ => self.serial.push(nk, ev),
             }
         }
+        for p in parts.iter_mut() {
+            p.fx.clear();
+            p.origins.clear();
+            p.trace_ops.clear();
+        }
     }
 
-    /// A window discovered a stop at canonical key `kstar`. Events with
-    /// larger keys are discarded (the sequential engine never reaches
-    /// them); events with smaller keys that other partitions had not yet
-    /// processed (windows may end early on Cmd bounds or the event cap)
-    /// are executed here, interleaved with the buffered effect replay in
-    /// one canonical key-ordered pass.
-    fn finish_stop(&mut self, parts: &mut [PartData], kstar: &Arc<EvKey>) {
-        // Merge window commands below the stop into the serial queue and
-        // prune everything at/after the stop key.
-        for p in parts.iter_mut() {
-            for (k, ev) in p.cmds.drain(..) {
-                if k < **kstar {
-                    self.serial.push(k, ev);
-                }
-            }
+    /// A window batch discovered a stop; `kstar` (in partition `pstar`) is
+    /// its canonical key. Events canonically after it are dead (the
+    /// sequential engine never reaches them — their buffered effects are
+    /// discarded, and unexecuted ones become post-run leftovers only if
+    /// the sequential engine would also have left them queued); events
+    /// before it that other partitions had not yet processed (windows may
+    /// end early on Cmd bounds, frontiers or the event cap) are executed
+    /// here, interleaved with the buffered effect replay in one canonical
+    /// key-ordered pass.
+    fn finish_stop(&mut self, parts: &mut [PartData], pstar: usize, kstar: EvKey) {
+        use std::cmp::Ordering as O;
+        let epoch = parts.first().map_or(0, |p| p.epoch);
+        // Unexecuted phase work (partition queues + buffered commands):
+        // keep what lies canonically below the stop, in canonical order.
+        // Draining the queues up front also means that from here on the
+        // partition heaps only ever hold *fresh* flat keys pushed by the
+        // drain itself, whose plain heap order is exact.
+        let mut pending: Vec<(usize, EvKey, Event)> = Vec::new();
+        for (i, p) in parts.iter_mut().enumerate() {
             for (k, ev) in p.q.drain_sorted() {
-                if k < **kstar {
-                    p.q.push(k, ev);
-                }
+                pending.push((i, k, ev));
+            }
+            for (k, ev) in p.cmds.drain(..) {
+                pending.push((i, k, ev));
             }
         }
-        // (Serial-queue events all sit at/after the window bound, hence
-        // after the stop time; they are pruned by the key check below.)
+        pending.retain(|(pi, k, _)| canon_cmp(parts, epoch, *pi, *k, pstar, kstar) == O::Less);
+        pending.sort_by(|a, b| {
+            canon_cmp(parts, epoch, a.0, a.1, b.0, b.1).then_with(|| a.0.cmp(&b.0))
+        });
+        let mut pending = pending.into_iter().peekable();
+
+        enum Pick {
+            Fx(usize),
+            Pend,
+            Serial,
+            PartQ(usize),
+        }
+        let kstar_ck = CKey {
+            phase: true,
+            part: pstar,
+            k: kstar,
+        };
         let n = parts.len();
         let mut fi = vec![0usize; n];
         let mut ti = vec![0usize; n];
+        let mut early = false;
         loop {
-            // Next buffered effect record at or below kstar.
-            let mut best: Option<usize> = None;
+            // Discard effect records canonically past the stop (executed
+            // too far; the partition state they mutated is unobservable —
+            // the run ends at the stop). Streams are canonically sorted,
+            // so these form a suffix.
             for i in 0..n {
-                while fi[i] < parts[i].fx.len() && parts[i].fx[fi[i]].key > *kstar {
-                    // Executed past the stop: effects discarded. (Partition
-                    // state mutated by such events is unobservable: the run
-                    // ends at the stop and suite apps are quiescent there.)
-                    ti[i] += parts[i].fx[fi[i]].trace_n as usize;
-                    fi[i] += 1;
-                }
-                if fi[i] < parts[i].fx.len() {
-                    match best {
-                        None => best = Some(i),
-                        Some(b) => {
-                            if parts[i].fx[fi[i]].key < parts[b].fx[fi[b]].key {
-                                best = Some(i);
-                            }
-                        }
+                while fi[i] < parts[i].fx.len() {
+                    let k = parts[i].fx[fi[i]].key;
+                    if canon_cmp(parts, epoch, i, k, pstar, kstar) == O::Greater {
+                        ti[i] += parts[i].fx[fi[i]].trace_n as usize;
+                        fi[i] += 1;
+                    } else {
+                        break;
                     }
                 }
             }
-            // Next unexecuted event below kstar.
-            let qpart = self.min_part(parts);
-            let qserial = self.serial.peek_key();
-            let qkey: Option<EvKey> = match (qserial, qpart) {
-                (Some(sk), Some(pi)) => Some(sk.min(parts[pi].q.peek_key().expect("head")).clone()),
-                (Some(sk), None) => Some(sk.clone()),
-                (None, Some(pi)) => Some(parts[pi].q.peek_key().expect("head").clone()),
-                (None, None) => None,
-            };
-            let fx_key = best.map(|b| Arc::clone(&parts[b].fx[fi[b]].key));
-            match (fx_key, qkey) {
-                (None, None) => break,
-                (Some(fk), qk) if qk.as_ref().is_none_or(|q| *fk < *q) => {
-                    let b = best.expect("fx present");
+            // Canonical-min candidate across the four sources.
+            let mut best: Option<(CKey, Pick)> = None;
+            for i in 0..n {
+                if fi[i] < parts[i].fx.len() {
+                    let c = CKey {
+                        phase: true,
+                        part: i,
+                        k: parts[i].fx[fi[i]].key,
+                    };
+                    if best
+                        .as_ref()
+                        .is_none_or(|(b, _)| ckey_cmp(parts, epoch, c, *b) == O::Less)
+                    {
+                        best = Some((c, Pick::Fx(i)));
+                    }
+                }
+            }
+            if let Some((pi, k, _)) = pending.peek() {
+                let c = CKey {
+                    phase: true,
+                    part: *pi,
+                    k: *k,
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|(b, _)| ckey_cmp(parts, epoch, c, *b) == O::Less)
+                {
+                    best = Some((c, Pick::Pend));
+                }
+            }
+            if let Some(k) = self.serial.peek_key() {
+                let c = CKey {
+                    phase: k.ord < epoch,
+                    part: SER,
+                    k: *k,
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|(b, _)| ckey_cmp(parts, epoch, c, *b) == O::Less)
+                {
+                    best = Some((c, Pick::Serial));
+                }
+            }
+            for i in 0..n {
+                if let Some(k) = parts[i].q.peek_key() {
+                    let c = CKey {
+                        phase: false,
+                        part: i,
+                        k: *k,
+                    };
+                    if best
+                        .as_ref()
+                        .is_none_or(|(b, _)| ckey_cmp(parts, epoch, c, *b) == O::Less)
+                    {
+                        best = Some((c, Pick::PartQ(i)));
+                    }
+                }
+            }
+            let Some((ck, pick)) = best else { break };
+            if ckey_cmp(parts, epoch, ck, kstar_ck) == O::Greater {
+                // Nothing before the stop remains (while the stop's own
+                // effect record is unapplied it bounds every pick, so this
+                // cannot skip it). What's left stays queued as leftovers.
+                break;
+            }
+            match pick {
+                Pick::Fx(b) => {
                     let rec = &parts[b].fx[fi[b]];
                     self.now = self.now.max(rec.key.t);
                     self.stats.add(&rec.stats);
@@ -1839,38 +2219,79 @@ impl ParDriver<'_> {
                         break; // kstar itself: the run ends here.
                     }
                 }
-                (_, Some(qk)) => {
-                    if qk > **kstar {
-                        // Pushed during this drain, lands after the stop.
-                        if self.serial.peek_key() == Some(&qk) {
-                            self.serial.pop();
-                        } else {
-                            let pi = self.min_part(parts).expect("head");
-                            parts[pi].q.pop();
+                Pick::Pend => {
+                    let (_, k, ev) = pending.next().expect("peeked");
+                    self.now = self.now.max(k.t);
+                    match &ev {
+                        Event::PeRun(pe) | Event::Deliver(pe, _) => {
+                            let pi = self.pe_part[*pe as usize] as usize;
+                            self.exec_inline(&mut parts[pi], k.t, ev);
                         }
-                        continue;
-                    }
-                    self.now = self.now.max(qk.t);
-                    if self.serial.peek_key() == Some(&qk) {
-                        let (key, ev) = self.serial.pop().expect("head");
-                        self.exec_serial(parts, key.t, ev);
-                    } else {
-                        let pi = self.min_part(parts).expect("head");
-                        let (key, ev) = parts[pi].q.pop().expect("head");
-                        self.exec_inline(&mut parts[pi], key.t, ev);
-                    }
-                    if self.stopped {
-                        // An earlier event also stopped: it wins outright.
-                        return;
+                        _ => self.exec_serial(parts, k.t, ev),
                     }
                 }
-                (Some(_), None) => unreachable!("first guard covers fx-only"),
+                Pick::Serial => {
+                    let (k, ev) = self.serial.pop().expect("peeked");
+                    self.now = self.now.max(k.t);
+                    self.exec_serial(parts, k.t, ev);
+                }
+                Pick::PartQ(i) => {
+                    let (k, ev) = parts[i].q.pop().expect("peeked");
+                    self.now = self.now.max(k.t);
+                    self.exec_inline(&mut parts[i], k.t, ev);
+                }
+            }
+            if self.stopped {
+                // An earlier event also stopped: it wins outright.
+                early = true;
+                break;
             }
         }
-        self.now = self.now.max(kstar.t);
-        self.stopped = true;
+        if !early {
+            self.now = self.now.max(kstar.t);
+            self.stopped = true;
+        }
+        // Everything still queued mirrors what the sequential engine
+        // leaves behind on an early stop; hand it to the teardown in
+        // canonical order (the keys die with this phase's logs).
+        let mut left: Vec<(CKey, Event)> = Vec::new();
+        for (pi, k, ev) in pending {
+            left.push((
+                CKey {
+                    phase: true,
+                    part: pi,
+                    k,
+                },
+                ev,
+            ));
+        }
+        for (k, ev) in self.serial.drain_sorted() {
+            left.push((
+                CKey {
+                    phase: k.ord < epoch,
+                    part: SER,
+                    k,
+                },
+                ev,
+            ));
+        }
+        for (i, p) in parts.iter_mut().enumerate() {
+            for (k, ev) in p.q.drain_sorted() {
+                left.push((
+                    CKey {
+                        phase: false,
+                        part: i,
+                        k,
+                    },
+                    ev,
+                ));
+            }
+        }
+        left.sort_by(|a, b| ckey_cmp(parts, epoch, a.0, b.0).then_with(|| a.0.part.cmp(&b.0.part)));
+        self.leftovers = left.into_iter().map(|(c, ev)| (c.k.t, ev)).collect();
         for p in parts.iter_mut() {
             p.fx.clear();
+            p.origins.clear();
             p.trace_ops.clear();
         }
     }

@@ -166,6 +166,15 @@ impl Trace {
         self.sink = Some(LogSink(w));
     }
 
+    /// Whether a streaming sink is attached. The sink is the one trace
+    /// consumer that observes the *global* record order (it writes bytes
+    /// as records happen), so the parallel engine — which replays trace
+    /// effects per partition — falls back to sequential execution while
+    /// one is set.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
     /// Flush and drop the streaming sink, returning whether one was set.
     pub fn finish_stream(&mut self) -> bool {
         match self.sink.take() {

@@ -19,7 +19,7 @@ use gemini_net::{Addr, GeminiParams, MemHandle, RegTable};
 use sim_core::Time;
 
 pub mod host;
-pub use host::{ObjPool, ObjPoolStats};
+pub use host::{ObjPool, ObjPoolStats, Reset};
 
 /// Smallest block the pool hands out.
 pub const MIN_CLASS_SHIFT: u32 = 6; // 64 B

@@ -24,6 +24,7 @@ pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use lazy::{LazySlab, LazyVec};

@@ -1,140 +1,60 @@
 //! Conservative parallel discrete-event execution primitives.
 //!
-//! This module is the only place in the simulation crates where OS threads
-//! and locks are allowed (enforced by the `no-thread-outside-parallel` lint
-//! rule). It provides the pieces a driver needs to run partitioned
-//! simulations with bounded time windows while reproducing the sequential
-//! engine's `(time, push-sequence)` event order bit for bit:
+//! This module and [`crate::sync`] are the only places in the simulation
+//! crates where OS threads and locks are allowed (enforced by the
+//! `thread-outside-parallel` lint rule). It provides the pieces a driver
+//! needs to run partitioned simulations with bounded time windows while
+//! reproducing the sequential engine's `(time, push-sequence)` event
+//! order bit for bit:
 //!
-//! * [`EvKey`] / [`PushOrd`] — canonical push-order keys. The sequential
-//!   engine orders same-time events by a global push counter; a parallel
-//!   phase cannot draw from a shared counter without racing, so events
-//!   pushed by worker threads carry a *structural* key `(parent, idx)`:
-//!   the key of the event whose execution pushed them, plus the push index
-//!   within that execution. Because the canonical execution order of the
-//!   parents determines the sequential push order of the children, comparing
-//!   these keys reproduces the sequential tie-break exactly (see
-//!   DESIGN.md §10 for the proof sketch).
-//! * [`KeyedQueue`] — a min-heap ordered by [`EvKey`], used for partition
-//!   queues and the serial queue during parallel runs.
-//! * [`SpinBarrier`] — a sense-reversing spin barrier for the phase
-//!   hand-offs (windows are microseconds of work; parking would dominate).
-//! * [`run_pool`] — a `std::thread::scope` worker pool alternating a
-//!   serial phase (main thread, exclusive access) with a parallel phase
-//!   (one worker per partition group).
+//! * [`EvKey`] — a plain `(time, ord)` pair, `Copy` and heap-free. The
+//!   sequential engine orders same-time events by a global push counter;
+//!   a parallel phase cannot draw from a shared counter without racing,
+//!   so the driver gives each partition a *partition-local* counter
+//!   starting at the phase epoch: keys with `ord < epoch` are global
+//!   (pre-phase) positions, keys with `ord >= epoch` are in-phase
+//!   positions local to one partition. Within a partition the local
+//!   order equals the canonical order (a partition executes its own
+//!   events in canonical order and receives no cross-partition pushes
+//!   mid-phase); *across* partitions the driver compares in-phase keys
+//!   structurally through its per-partition push-origin log (see
+//!   `canon_cmp` in the driver and DESIGN.md §10). Every barrier
+//!   flattens pending keys back to global positions, so in-phase keys
+//!   never outlive their phase.
+//! * [`KeyedQueue`] — a min-heap ordered by [`EvKey`], used for
+//!   partition queues and the serial queue during parallel runs.
+//! * [`run_pool`] — alternates a serial phase (main thread, exclusive
+//!   access) with a parallel phase (one worker per partition group) on
+//!   the persistent [`crate::sync::WorkerPool`], and reports the
+//!   barrier-wait nanoseconds the run spent synchronizing.
 
 use crate::time::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 
-/// Canonical event key: virtual time plus push order. Total order over all
-/// events of one run; equals the sequential engine's `(time, seq)` order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Canonical event key: virtual time plus a push-order position. `Copy`
+/// on purpose — the worker hot path moves millions of these and must not
+/// touch the allocator.
+///
+/// The derived lexicographic order (`t`, then `ord`) is the full
+/// canonical order whenever the two keys' positions are drawn from the
+/// same counter: two global keys, or two in-phase keys of the same
+/// partition. In-phase keys of *different* partitions are numerically
+/// incomparable (each partition counts from the shared epoch); only the
+/// driver, which logs every in-phase push's parent, can order those —
+/// and it re-flattens all surviving keys to global positions at every
+/// barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EvKey {
     pub t: Time,
-    pub ord: PushOrd,
-}
-
-/// Push-order component of an [`EvKey`].
-///
-/// `Flat(n)` is a position in the global push counter, assigned while the
-/// main thread has exclusive access (initial split, serial phases, barrier
-/// flattening). `Child` is assigned by a worker inside a parallel phase:
-/// `parent` is the key of the event whose execution performed the push,
-/// `idx` the zero-based push index within that execution, and `epoch` the
-/// global counter value when the phase started. All `Flat` keys below
-/// `epoch` were pushed before the phase (they sort first); all `Flat` keys
-/// at or above `epoch` are pushed by later serial phases (they sort after,
-/// because the canonical frontier only advances). Barriers re-flatten every
-/// pending key, so `Child` chains never outlive their phase.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PushOrd {
-    Flat(u64),
-    Child {
-        epoch: u64,
-        parent: Arc<EvKey>,
-        idx: u32,
-    },
+    pub ord: u64,
 }
 
 impl EvKey {
     #[inline]
     pub fn flat(t: Time, ord: u64) -> Self {
-        EvKey {
-            t,
-            ord: PushOrd::Flat(ord),
-        }
-    }
-
-    #[inline]
-    pub fn child(t: Time, epoch: u64, parent: &Arc<EvKey>, idx: u32) -> Self {
-        EvKey {
-            t,
-            ord: PushOrd::Child {
-                epoch,
-                parent: Arc::clone(parent),
-                idx,
-            },
-        }
-    }
-}
-
-impl Ord for PushOrd {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        use std::cmp::Ordering::*;
-        match (self, other) {
-            (PushOrd::Flat(a), PushOrd::Flat(b)) => a.cmp(b),
-            (PushOrd::Flat(n), PushOrd::Child { epoch, .. }) => {
-                // Flats below the phase epoch predate every push of the
-                // phase; flats at/above it come from later serial phases.
-                if n < epoch {
-                    Less
-                } else {
-                    Greater
-                }
-            }
-            (PushOrd::Child { epoch, .. }, PushOrd::Flat(n)) => {
-                if n < epoch {
-                    Greater
-                } else {
-                    Less
-                }
-            }
-            (
-                PushOrd::Child {
-                    parent: pa,
-                    idx: ia,
-                    ..
-                },
-                PushOrd::Child {
-                    parent: pb,
-                    idx: ib,
-                    ..
-                },
-            ) => {
-                // Push order of two in-phase pushes = canonical execution
-                // order of their parents, then the in-execution push index.
-                pa.cmp(pb).then(ia.cmp(ib))
-            }
-        }
-    }
-}
-impl PartialOrd for PushOrd {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EvKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.t.cmp(&other.t).then_with(|| self.ord.cmp(&other.ord))
-    }
-}
-impl PartialOrd for EvKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+        EvKey { t, ord }
     }
 }
 
@@ -208,8 +128,9 @@ impl<E> KeyedQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drain every pending event in canonical key order (used by barrier
-    /// flattening).
+    /// Drain every pending event in key order (used by barrier
+    /// flattening; the caller re-sorts canonically when the queue may
+    /// hold in-phase keys of several partitions).
     pub fn drain_sorted(&mut self) -> Vec<(EvKey, E)> {
         std::mem::take(&mut self.heap)
             .into_sorted_vec()
@@ -233,58 +154,24 @@ pub fn partition_ranges(units: u32, parts: u32) -> Vec<std::ops::Range<u32>> {
         .collect()
 }
 
-/// Spin barrier for tight phase hand-offs. Tickets increase monotonically,
-/// so there is no reset race between consecutive barrier rounds: the
-/// arrival ticket identifies the round, and `gen` counts completed rounds.
-pub struct SpinBarrier {
-    n: usize,
-    tickets: AtomicUsize,
-    gen: AtomicUsize,
-}
-
-impl SpinBarrier {
-    pub fn new(n: usize) -> Self {
-        SpinBarrier {
-            n,
-            tickets: AtomicUsize::new(0),
-            gen: AtomicUsize::new(0),
-        }
-    }
-
-    pub fn wait(&self) {
-        let ticket = self.tickets.fetch_add(1, Ordering::AcqRel);
-        let round = ticket / self.n;
-        if (ticket + 1).is_multiple_of(self.n) {
-            // Last arriver of this round: release everyone waiting on it.
-            self.gen.store(round + 1, Ordering::Release);
-            return;
-        }
-        let mut spins = 0u32;
-        while self.gen.load(Ordering::Acquire) <= round {
-            spins += 1;
-            if spins < 1 << 12 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
-    }
-}
-
 /// Alternate serial and parallel phases over partitioned state `P`.
 ///
-/// `serial(&mut parts)` runs on the calling thread with exclusive access to
-/// every partition; it returns the next window end `Some(p_end)` or `None`
-/// when the run is finished. `phase(&mut p, p_end)` then runs once per
-/// partition on a `std::thread::scope` worker pool (partitions are
-/// distributed round-robin over `workers` threads; with `workers <= 1`
-/// everything runs inline). Worker panics are re-raised on the caller.
+/// `serial(&mut parts)` runs on the calling thread with exclusive access
+/// to every partition; it returns the next window end `Some(p_end)` or
+/// `None` when the run is finished. `phase(&mut p, p_end)` then runs once
+/// per partition on the calling thread's persistent
+/// [`crate::sync::WorkerPool`] (partitions are distributed round-robin
+/// over `workers` threads; with `workers <= 1` everything runs inline).
+/// Worker panics are re-raised on the caller.
+///
+/// Returns the partitions plus the nanoseconds this run spent waiting at
+/// pool barriers (the `sync_overhead_ns` meter; `0` on the inline path).
 pub fn run_pool<P: Send>(
     parts: Vec<P>,
     workers: usize,
     phase: impl Fn(&mut P, Time) + Sync,
     mut serial: impl FnMut(&mut Vec<P>) -> Option<Time>,
-) -> Vec<P> {
+) -> (Vec<P>, u64) {
     let mut parts = parts;
     if workers <= 1 || parts.len() <= 1 {
         while let Some(p_end) = serial(&mut parts) {
@@ -292,56 +179,22 @@ pub fn run_pool<P: Send>(
                 phase(p, p_end);
             }
         }
-        return parts;
+        return (parts, 0);
     }
 
     let n = parts.len();
     let workers = workers.min(n);
     let slots: Vec<Mutex<Option<P>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
-    let barrier = SpinBarrier::new(workers + 1);
-    let p_end_cell = AtomicU64::new(0);
-    let done = AtomicBool::new(false);
     let panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
-    let mut out: Vec<P> = Vec::with_capacity(n);
-    std::thread::scope(|s| {
-        for w in 0..workers {
-            let slots = &slots;
-            let barrier = &barrier;
-            let p_end_cell = &p_end_cell;
-            let done = &done;
-            let panic_box = &panic_box;
-            let phase = &phase;
-            s.spawn(move || loop {
-                barrier.wait();
-                if done.load(Ordering::Acquire) {
-                    break;
-                }
-                let p_end = p_end_cell.load(Ordering::Acquire);
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    for slot in slots.iter().skip(w).step_by(workers) {
-                        let mut g = slot.lock().unwrap_or_else(|e| e.into_inner());
-                        if let Some(p) = g.as_mut() {
-                            phase(p, p_end);
-                        }
-                    }
-                }));
-                if let Err(e) = r {
-                    let mut g = panic_box.lock().unwrap_or_else(|e| e.into_inner());
-                    if g.is_none() {
-                        *g = Some(e);
-                    }
-                }
-                barrier.wait();
-            });
-        }
-
-        loop {
+    let (out, sync_ns) = crate::sync::with_pool(workers, |pool| {
+        let wait0 = pool.wait_ns();
+        let out = loop {
             // Serial phase: take every partition out of its slot so the
             // main thread has plain `&mut` access with no locks held.
-            // A panicking worker poisons its slot; the partition is still
-            // there and the payload is re-raised below, so poison is not an
-            // error here.
+            // A panicking worker poisons its slot; the partition is
+            // still there and the payload is re-raised below, so poison
+            // is not an error here.
             let mut parts: Vec<P> = slots
                 .iter()
                 .map(|s| {
@@ -356,34 +209,39 @@ pub fn run_pool<P: Send>(
                 .unwrap_or_else(|e| e.into_inner())
                 .is_some()
             {
-                out = parts;
-                done.store(true, Ordering::Release);
-                barrier.wait();
-                break;
+                break parts;
             }
-            let next = serial(&mut parts);
-            match next {
-                None => {
-                    out = parts;
-                    done.store(true, Ordering::Release);
-                    barrier.wait();
-                    break;
-                }
+            match serial(&mut parts) {
+                None => break parts,
                 Some(p_end) => {
                     for (slot, p) in slots.iter().zip(parts) {
                         *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(p);
                     }
-                    p_end_cell.store(p_end, Ordering::Release);
-                    barrier.wait(); // release workers into the phase
-                    barrier.wait(); // wait for the phase to finish
+                    pool.round(&|w: usize| {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            for slot in slots.iter().skip(w).step_by(workers) {
+                                let mut g = slot.lock().unwrap_or_else(|e| e.into_inner());
+                                if let Some(p) = g.as_mut() {
+                                    phase(p, p_end);
+                                }
+                            }
+                        }));
+                        if let Err(e) = r {
+                            let mut g = panic_box.lock().unwrap_or_else(|e| e.into_inner());
+                            if g.is_none() {
+                                *g = Some(e);
+                            }
+                        }
+                    });
                 }
             }
-        }
+        };
+        (out, pool.wait_ns().saturating_sub(wait0))
     });
     if let Some(e) = panic_box.lock().unwrap_or_else(|e| e.into_inner()).take() {
         std::panic::resume_unwind(e);
     }
-    out
+    (out, sync_ns)
 }
 
 #[cfg(test)]
@@ -391,7 +249,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn flat_keys_order_by_counter() {
+    fn keys_order_by_time_then_position() {
         let a = EvKey::flat(5, 0);
         let b = EvKey::flat(5, 1);
         let c = EvKey::flat(4, 9);
@@ -400,31 +258,17 @@ mod tests {
     }
 
     #[test]
-    fn child_keys_interleave_with_flats_by_epoch() {
-        // Phase starts at epoch 10: flats 0..10 predate it, flats >= 10
-        // come from later serial phases.
-        let parent = Arc::new(EvKey::flat(3, 7));
-        let child = EvKey::child(5, 10, &parent, 0);
-        assert!(EvKey::flat(5, 9) < child, "pre-phase flat sorts first");
-        assert!(child < EvKey::flat(5, 10), "post-phase flat sorts after");
+    fn epoch_split_orders_pre_phase_keys_first() {
+        // The driver hands every partition local counters starting at the
+        // phase epoch, so any surviving global key (ord < epoch) sorts
+        // before every in-phase key of the same time — by plain value.
+        let epoch = 10u64;
+        let pre = EvKey::flat(5, epoch - 1);
+        let in_phase = EvKey::flat(5, epoch);
+        assert!(pre < in_phase);
         // Time still dominates.
-        assert!(EvKey::flat(4, 99) < child);
-        assert!(child < EvKey::flat(6, 0));
-    }
-
-    #[test]
-    fn sibling_children_order_by_parent_then_idx() {
-        let pa = Arc::new(EvKey::flat(3, 1));
-        let pb = Arc::new(EvKey::flat(3, 2));
-        let a0 = EvKey::child(9, 10, &pa, 0);
-        let a1 = EvKey::child(9, 10, &pa, 1);
-        let b0 = EvKey::child(9, 10, &pb, 0);
-        assert!(a0 < a1);
-        assert!(a1 < b0, "earlier parent's pushes all precede later's");
-        // Parents at different times: parent time decides.
-        let pc = Arc::new(EvKey::flat(2, 50));
-        let c0 = EvKey::child(9, 10, &pc, 0);
-        assert!(c0 < a0);
+        assert!(EvKey::flat(4, 99) < in_phase);
+        assert!(in_phase < EvKey::flat(6, 0));
     }
 
     #[test]
@@ -441,7 +285,7 @@ mod tests {
     }
 
     #[test]
-    fn drain_sorted_is_canonical_order() {
+    fn drain_sorted_is_key_order() {
         let mut q = KeyedQueue::new();
         for (t, o, v) in [(9, 1, 3), (2, 5, 0), (9, 0, 2), (4, 0, 1)] {
             q.push(EvKey::flat(t, o), v);
@@ -475,7 +319,7 @@ mod tests {
         let parts: Vec<(u32, Vec<Time>)> = (0..5).map(|i| (i, Vec::new())).collect();
         for workers in [1usize, 2, 4, 8] {
             let mut windows = vec![10u64, 20, 30];
-            let out = run_pool(
+            let (out, _sync_ns) = run_pool(
                 parts.clone(),
                 workers,
                 |p, end| p.1.push(end),
@@ -498,7 +342,7 @@ mod tests {
     fn run_pool_serial_phase_sees_parallel_mutations() {
         // Workers increment; serial sums and stops at a threshold.
         let parts: Vec<u64> = vec![0; 4];
-        let out = run_pool(
+        let (out, _) = run_pool(
             parts,
             3,
             |p, _end| *p += 1,
@@ -512,6 +356,28 @@ mod tests {
             },
         );
         assert_eq!(out.iter().sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn run_pool_meters_sync_overhead() {
+        // A phase that does real (wall-clock) work forces the coordinator
+        // to wait at the completion barrier, so the meter must be nonzero
+        // on the pooled path and zero inline.
+        let slow = |p: &mut u64, _end: Time| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            *p += 1;
+        };
+        fn stop_after_two() -> impl FnMut(&mut Vec<u64>) -> Option<Time> {
+            let mut rounds = 0u32;
+            move |_parts| {
+                rounds += 1;
+                (rounds <= 2).then_some(1u64)
+            }
+        }
+        let (_, inline_ns) = run_pool(vec![0u64; 2], 1, slow, stop_after_two());
+        assert_eq!(inline_ns, 0);
+        let (_, pooled_ns) = run_pool(vec![0u64; 2], 2, slow, stop_after_two());
+        assert!(pooled_ns > 0, "pooled run must record barrier waits");
     }
 
     #[test]
@@ -544,20 +410,25 @@ mod tests {
     }
 
     #[test]
-    fn spin_barrier_synchronizes() {
-        let b = SpinBarrier::new(4);
-        let hits = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..3 {
-                s.spawn(|| {
-                    b.wait();
-                    hits.fetch_add(1, Ordering::SeqCst);
-                    b.wait();
-                });
-            }
-            b.wait();
-            b.wait();
-            assert_eq!(hits.load(Ordering::SeqCst), 3);
-        });
+    fn run_pool_reuses_the_pool_across_invocations() {
+        // Two back-to-back pooled runs from the same thread must land on
+        // the same persistent pool (same creation stamp).
+        let run = || {
+            let mut rounds = 0;
+            run_pool(
+                vec![0u64; 3],
+                2,
+                |p, _| *p += 1,
+                move |_| {
+                    rounds += 1;
+                    (rounds <= 1).then_some(1u64)
+                },
+            )
+        };
+        run();
+        let stamp_a = crate::sync::with_pool(2, |p| p.stamp());
+        run();
+        let stamp_b = crate::sync::with_pool(2, |p| p.stamp());
+        assert_eq!(stamp_a, stamp_b, "pool must persist across run_pool calls");
     }
 }

@@ -10,7 +10,10 @@
 
 use bytes::Bytes;
 use charm_apps::LayerKind;
-use charm_rt::prelude::set_default_threads;
+use charm_rt::prelude::{
+    set_default_batch_windows, set_default_handoff_min_events, set_default_threads_forced,
+    ClusterStats,
+};
 use gemini_net::{FaultPlan, LinkDownWindow};
 use lrts_ugni::UgniConfig;
 use proptest::prelude::*;
@@ -19,7 +22,25 @@ use proptest::prelude::*;
 /// the eager/rendezvous switch), then a neighbor-ring echo wave — enough
 /// fan-out to keep several partitions busy inside one window.
 fn traffic(layer: &LayerKind, pes: u32, cores: u32, sizes: &[usize]) -> (u64, u64, u64) {
+    let (end, _, _, seen, xor) = traffic_full(layer, pes, cores, sizes, false);
+    (end, seen, xor)
+}
+
+/// Full-observability variant: also returns the aggregate stats and (when
+/// `traced`) the exported per-PE segment log, so callers can assert the
+/// engines agree on every observable byte, not just end time and payload
+/// digests.
+fn traffic_full(
+    layer: &LayerKind,
+    pes: u32,
+    cores: u32,
+    sizes: &[usize],
+    traced: bool,
+) -> (u64, ClusterStats, String, u64, u64) {
     let mut c = layer.cluster(pes, cores);
+    if traced {
+        c.enable_trace_log();
+    }
     #[derive(Default)]
     struct St {
         seen: u64,
@@ -61,7 +82,12 @@ fn traffic(layer: &LayerKind, pes: u32, cores: u32, sizes: &[usize]) -> (u64, u6
         seen += st.seen;
         xor ^= st.xor;
     }
-    (rep.end_time, seen, xor)
+    let log = if traced {
+        c.trace().export_log()
+    } else {
+        String::new()
+    };
+    (rep.end_time, rep.stats, log, seen, xor)
 }
 
 fn make_layer(
@@ -107,11 +133,12 @@ proptest! {
     ) {
         let (layer, pes) = make_layer((dx, dy, dz), cores, 0.0, None);
         prop_assume!(pes > 2);
-        set_default_threads(1);
+        set_default_handoff_min_events(0);
+        set_default_threads_forced(1);
         let seq = traffic(&layer, pes, cores, &sizes);
-        set_default_threads(threads);
+        set_default_threads_forced(threads);
         let par = traffic(&layer, pes, cores, &sizes);
-        set_default_threads(1);
+        set_default_threads_forced(1);
         prop_assert_eq!(seq, par, "threads={} diverged", threads);
     }
 
@@ -129,11 +156,43 @@ proptest! {
         let (layer, pes) =
             make_layer((dx, dy, 1), cores, drop_p, Some((down_node, down_dim, down_from)));
         prop_assume!(pes > 2);
-        set_default_threads(1);
+        set_default_handoff_min_events(0);
+        set_default_threads_forced(1);
         let seq = traffic(&layer, pes, cores, &sizes);
-        set_default_threads(4);
+        set_default_threads_forced(4);
         let par = traffic(&layer, pes, cores, &sizes);
-        set_default_threads(1);
+        set_default_threads_forced(1);
         prop_assert_eq!(seq, par, "faulty parallel run diverged");
+    }
+
+    /// Window batching is a pure wallclock optimization: for any batch
+    /// size k, the parallel engine must produce bit-identical end times,
+    /// aggregate stats, and trace bytes versus both the unbatched (k=1)
+    /// parallel engine and the sequential engine. Fault plans are in
+    /// scope — dropped packets and link-down windows reshape the event
+    /// mix mid-batch.
+    #[test]
+    fn window_batching_is_invisible(
+        dx in 2u32..4, dy in 1u32..3, dz in 1u32..3,
+        cores in 1u32..3,
+        drop_p in 0.0f64..0.01,
+        sizes in proptest::collection::vec(1usize..60_000, 2..8),
+        threads in 2u32..6,
+        k in 1u32..9,
+    ) {
+        let (layer, pes) = make_layer((dx, dy, dz), cores, drop_p, None);
+        prop_assume!(pes > 2);
+        set_default_handoff_min_events(0);
+        set_default_threads_forced(1);
+        let seq = traffic_full(&layer, pes, cores, &sizes, true);
+        set_default_threads_forced(threads);
+        set_default_batch_windows(1);
+        let unbatched = traffic_full(&layer, pes, cores, &sizes, true);
+        set_default_batch_windows(k);
+        let batched = traffic_full(&layer, pes, cores, &sizes, true);
+        set_default_batch_windows(4);
+        set_default_threads_forced(1);
+        prop_assert_eq!(&seq, &unbatched, "unbatched parallel diverged from sequential");
+        prop_assert_eq!(&unbatched, &batched, "batch_windows={} diverged", k);
     }
 }

@@ -31,8 +31,8 @@
 //! (the only capability surface handlers receive).
 
 use crate::{
-    boundary_match, find_fn_kw, is_ident_char, name_has_keyword, sanitize, test_ranges, Finding,
-    PANIC_OK_MARKER, PARALLEL_DRIVER_FILE, RECOVERY_KEYWORDS, THREAD_PATTERNS,
+    boundary_match, find_fn_kw, is_ident_char, is_parallel_driver_file, name_has_keyword, sanitize,
+    test_ranges, Finding, PANIC_OK_MARKER, RECOVERY_KEYWORDS, THREAD_PATTERNS,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -793,7 +793,7 @@ fn check_worker_purity(g: &Graph, out: &mut Vec<Finding>) {
     for &id in parent.keys() {
         let f = &g.fns[id];
         let file = &g.files[f.file];
-        let in_driver = file.path.ends_with(PARALLEL_DRIVER_FILE);
+        let in_driver = is_parallel_driver_file(&file.path);
 
         // Serial-only edges.
         for site in &g.calls[id] {

@@ -145,14 +145,27 @@ pub(crate) const THREAD_PATTERNS: &[(&str, bool)] = &[
     ("Barrier", true),
     ("mpsc", true),
     ("Atomic", false),
+    // Busy-wait primitives: hand-rolled spinning belongs in the adaptive
+    // barrier (sync.rs), nowhere else — an unbounded spin loop is exactly
+    // the oversubscription pathology the barrier exists to prevent.
+    ("spin_loop", true),
+    ("yield_now", true),
 ];
 
 /// Marker comment that exempts one line from `thread-outside-parallel`.
 pub const THREAD_OK_MARKER: &str = "thread-ok:";
 
-/// The one file where threads, locks, and atomics are legitimate: the
-/// conservative parallel driver itself.
-pub const PARALLEL_DRIVER_FILE: &str = "sim-core/src/parallel.rs";
+/// The files where threads, locks, atomics, and spin loops are
+/// legitimate: the conservative parallel driver and its sync layer (the
+/// adaptive barrier + persistent worker pool).
+pub const PARALLEL_DRIVER_FILES: &[&str] = &["sim-core/src/parallel.rs", "sim-core/src/sync.rs"];
+
+/// Whether `path` is one of the sanctioned concurrency files
+/// ([`PARALLEL_DRIVER_FILES`]).
+pub fn is_parallel_driver_file(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    PARALLEL_DRIVER_FILES.iter().any(|f| p.ends_with(f))
+}
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -687,9 +700,9 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
                 ));
             }
         }
-        // thread-outside-parallel: the parallel driver file itself is the
-        // sanctioned home for every one of these constructs.
-        if !file.replace('\\', "/").ends_with(PARALLEL_DRIVER_FILE) {
+        // thread-outside-parallel: the parallel driver and its sync layer
+        // are the sanctioned home for every one of these constructs.
+        if !is_parallel_driver_file(file) {
             for (idx, line) in lines.iter().enumerate() {
                 if in_ranges(&tests, idx) || escaped(&raw_lines, idx, THREAD_OK_MARKER) {
                     continue;
@@ -706,8 +719,9 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
                     idx + 1,
                     format!(
                         "`{pat}` in a simulation crate outside the parallel driver — \
-                         all concurrency lives in sim-core/src/parallel.rs; mark a \
-                         deliberate exception with `// thread-ok: <why>`"
+                         all concurrency lives in sim-core/src/parallel.rs and \
+                         sim-core/src/sync.rs; mark a deliberate exception with \
+                         `// thread-ok: <why>`"
                     ),
                 ));
             }

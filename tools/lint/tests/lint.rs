@@ -128,7 +128,35 @@ fn thread_spawn_fixture_fires() {
 #[test]
 fn thread_rule_exempts_the_parallel_driver() {
     let src = fixture("thread_spawn.rs");
-    let f = lint_source("sim-core", "crates/sim-core/src/parallel.rs", &src);
+    // Both sanctioned files: the windowed driver and its sync layer.
+    for path in [
+        "crates/sim-core/src/parallel.rs",
+        "crates/sim-core/src/sync.rs",
+    ] {
+        let f = lint_source("sim-core", path, &src);
+        assert!(
+            !f.iter().any(|x| x.rule == "thread-outside-parallel"),
+            "{path} findings: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn spin_loop_fixture_fires() {
+    let src = fixture("spin_loop.rs");
+    let f = lint_source("sim-core", "fixtures/spin_loop.rs", &src);
+    assert_eq!(rules(&f), ["thread-outside-parallel"], "findings: {f:?}");
+    // spin_loop (std + core paths) and thread::yield_now — but NOT the
+    // thread-ok: probe, and NOT inside longer identifiers.
+    assert_eq!(f.len(), 3, "findings: {f:?}");
+    assert!(f.iter().any(|x| x.msg.contains("`spin_loop`")));
+    assert!(f.iter().any(|x| x.msg.contains("`yield_now`")));
+}
+
+#[test]
+fn spin_loop_rule_exempts_the_sync_module() {
+    let src = fixture("spin_loop.rs");
+    let f = lint_source("sim-core", "crates/sim-core/src/sync.rs", &src);
     assert!(
         !f.iter().any(|x| x.rule == "thread-outside-parallel"),
         "findings: {f:?}"
