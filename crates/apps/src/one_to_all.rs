@@ -39,16 +39,12 @@ pub fn one_to_all_latency(
 
     let ack = std::sync::Arc::new(std::sync::OnceLock::new());
     let ack2 = ack.clone();
-    let data = c.register_handler(move |ctx, _env| {
+    let data = c.register_am::<Bytes>(move |ctx, _src, _payload| {
         // Remote core: ack back with a small message.
-        ctx.send(
-            0,
-            *ack2.get().expect("ack handler registered"),
-            Bytes::new(),
-        );
+        ctx.am_send(0, *ack2.get().expect("ack AM registered"), ());
     });
     let targets2 = targets.clone();
-    let ack_h = c.register_handler(move |ctx, _| {
+    let ack_h = c.register_am::<()>(move |ctx, _src, ()| {
         let now = ctx.now();
         let go_again = {
             let st = ctx.user::<St>();
@@ -69,7 +65,7 @@ pub fn one_to_all_latency(
         };
         if go_again {
             for &t in &targets2 {
-                ctx.send(t, data, Bytes::from(vec![0u8; bytes]));
+                ctx.am_send(t, data, Bytes::from(vec![0u8; bytes]));
             }
         }
     });
@@ -83,7 +79,7 @@ pub fn one_to_all_latency(
             st.t0 = now;
         }
         for &t in &targets3 {
-            ctx.send(t, data, Bytes::from(vec![0u8; bytes]));
+            ctx.am_send(t, data, Bytes::from(vec![0u8; bytes]));
         }
     });
     c.inject(0, 0, kick, Bytes::new());

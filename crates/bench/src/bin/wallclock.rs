@@ -79,9 +79,31 @@ fn main() -> ExitCode {
         }
         walls.push((t, suite.total_wall_ns()));
         history.push(suite.history_record(&rev));
+        if let Some(row) = suite.aggregation_history_record(&rev) {
+            history.push(row);
+        }
         last = Some(suite);
     }
     let suite = last.expect("at least one thread count");
+
+    // Aggregation figure gate (ISSUE 10): >= 1.5x host events/s on the
+    // fine-grained AM traffic plus a virtual-time win, checked on the
+    // last sweep's rows.
+    let agg_fail = suite.aggregation_gate();
+    if let Some((off, on)) = suite.aggregation_legs() {
+        println!(
+            "aggregation figure: host speedup {:.2}x (wall {} -> {} ns), \
+             virtual {} -> {} ns",
+            off.wall_ns as f64 / on.wall_ns.max(1) as f64,
+            off.wall_ns,
+            on.wall_ns,
+            off.virtual_end_ns,
+            on.virtual_end_ns,
+        );
+    }
+    if let Some(msg) = &agg_fail {
+        eprintln!("wallclock: {msg}");
+    }
 
     let mut over_gate = false;
     if let Some(factor) = gate_overhead {
@@ -127,7 +149,7 @@ fn main() -> ExitCode {
         eprintln!("wallclock: engine changed virtual time; this is a correctness bug");
         return ExitCode::FAILURE;
     }
-    if over_gate {
+    if over_gate || agg_fail.is_some() {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

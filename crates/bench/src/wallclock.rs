@@ -15,7 +15,7 @@
 
 use crate::Effort;
 use charm_apps::jacobi2d::{run_jacobi, JacobiConfig};
-use charm_apps::kneighbor::kneighbor_report;
+use charm_apps::kneighbor::{kneighbor_fine_report, kneighbor_report};
 use charm_apps::pingpong::{charm_bandwidth_report, charm_one_way_report};
 use charm_apps::LayerKind;
 use std::time::Instant;
@@ -148,6 +148,62 @@ impl WallSuite {
         out
     }
 
+    /// The aggregation figure's two legs (`kneighbor_fine` off/on), when
+    /// this suite ran them.
+    pub fn aggregation_legs(&self) -> Option<(&WallRun, &WallRun)> {
+        let find = |layer: &str| {
+            self.runs
+                .iter()
+                .find(|r| r.name == "kneighbor_fine" && r.layer == layer)
+        };
+        Some((find("agg_off")?, find("agg_on")?))
+    }
+
+    /// The `aggregation` figure gate (ISSUE 10): both legs run the exact
+    /// same application-level AM traffic, so the host events/s ratio on
+    /// that traffic *is* the wall-time ratio — require >= 1.5x — and the
+    /// aggregated leg must also finish earlier in virtual time. Returns a
+    /// failure message, or None when the gate holds (or the figure wasn't
+    /// run).
+    pub fn aggregation_gate(&self) -> Option<String> {
+        let (off, on) = self.aggregation_legs()?;
+        let ratio = off.wall_ns as f64 / on.wall_ns.max(1) as f64;
+        if ratio < 1.5 {
+            return Some(format!(
+                "aggregation figure: {ratio:.2}x host speedup on fine-grained \
+                 kneighbor, need >= 1.5x (off {} ns, on {} ns)",
+                off.wall_ns, on.wall_ns
+            ));
+        }
+        if on.virtual_end_ns >= off.virtual_end_ns {
+            return Some(format!(
+                "aggregation figure: no virtual-time win (off {} ns, on {} ns)",
+                off.virtual_end_ns, on.virtual_end_ns
+            ));
+        }
+        None
+    }
+
+    /// Keyed history row for the aggregation figure, appended alongside
+    /// the wallclock rows in `BENCH_wallclock.json`.
+    pub fn aggregation_history_record(&self, rev: &str) -> Option<String> {
+        let (off, on) = self.aggregation_legs()?;
+        Some(format!(
+            "{{\"suite\": \"aggregation\", \"quick\": {}, \"threads\": {}, \
+             \"rev\": \"{}\", \"off_wall_ns\": {}, \"on_wall_ns\": {}, \
+             \"host_speedup\": {:.2}, \"off_virtual_ns\": {}, \
+             \"on_virtual_ns\": {}}}",
+            self.quick,
+            self.threads,
+            rev,
+            off.wall_ns,
+            on.wall_ns,
+            off.wall_ns as f64 / on.wall_ns.max(1) as f64,
+            off.virtual_end_ns,
+            on.virtual_end_ns,
+        ))
+    }
+
     /// One appendable history record: the keyed row
     /// `(suite, quick, threads, rev)` → throughput, kept across runs so
     /// `BENCH_wallclock.json` records the perf trajectory PR over PR and
@@ -268,6 +324,14 @@ const PINS: &[(&str, &str, bool, u64)] = &[
     ("kneighbor", "mpi", false, 4_166_345),
     ("kneighbor", "ugni", true, 213_561),
     ("kneighbor", "mpi", true, 375_853),
+    // The aggregation figure (ISSUE 10): fine-grained kNeighbor with
+    // destination batching off/on. Pinned when the figure landed; the
+    // off leg is the typed-AM direct path, the on leg exercises the
+    // coalescing engine end to end.
+    ("kneighbor_fine", "agg_off", false, 4_860_170),
+    ("kneighbor_fine", "agg_on", false, 843_180),
+    ("kneighbor_fine", "agg_off", true, 578_570),
+    ("kneighbor_fine", "agg_on", true, 231_355),
 ];
 
 fn pin_for(name: &str, layer: &str, quick: bool) -> Option<u64> {
@@ -461,6 +525,25 @@ fn wallclock_suite_inner(e: &Effort, threads: u32) -> WallSuite {
     for (tag, layer) in layers() {
         runs.push(measure("kneighbor", tag, quick, || {
             let (_, rep) = kneighbor_report(&layer, kn_cores, 4, kn_k, kn_bytes, kn_iters);
+            (rep.stats.events, rep.end_time)
+        }));
+    }
+
+    // The aggregation figure (ISSUE 10): fine-grained kNeighbor — many
+    // 16-byte AMs per neighbor per iteration, the shape where SMSG's fixed
+    // per-message cost dominates — with destination batching off and on.
+    // Both legs move the identical application-level AM traffic on uGNI,
+    // so the wall-time ratio is the app-level events/s win.
+    let (fg_cores, fg_k, fg_msgs, fg_iters) = if quick {
+        (8, 2, 8, 10)
+    } else {
+        (16, 3, 16, 30)
+    };
+    let ugni = LayerKind::ugni();
+    for (tag, aggregate) in [("agg_off", false), ("agg_on", true)] {
+        runs.push(measure("kneighbor_fine", tag, quick, || {
+            let (_, rep) =
+                kneighbor_fine_report(&ugni, fg_cores, 4, fg_k, fg_msgs, fg_iters, aggregate);
             (rep.stats.events, rep.end_time)
         }));
     }

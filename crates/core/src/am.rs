@@ -1,0 +1,721 @@
+//! Typed active messages with destination-batched small-message
+//! aggregation (DESIGN.md §14).
+//!
+//! The Converse layer below this one is deliberately raw: handlers take an
+//! [`Envelope`] and apps hand-roll byte packing per message. This module
+//! adds the AM++/Charm++-style typed layer — register a handler once per
+//! message *type* with [`Cluster::register_am`], send with
+//! [`PeCtx::am_send`], and the runtime owns the encode/decode — and, under
+//! it, the throughput feature the paper's SMSG economics beg for: small
+//! AMs to the same destination are coalesced into one SMSG-sized buffer
+//! and ride the wire as a single envelope, so the fixed per-message cost
+//! (mailbox credit, CQ event, 32-byte header) is paid once per *batch*.
+//!
+//! A destination buffer is flushed when:
+//!
+//! * it cannot take the next AM without exceeding
+//!   [`AmConfig::max_batch_bytes`] (the SMSG frame limit),
+//! * its per-destination flush timer expires — a normal scheduled event
+//!   at a fixed virtual delay, so flushing is deterministic and
+//!   bit-replayable at any thread count,
+//! * or quiescence detection polls the PE (`qd.rs` drains every buffer
+//!   before reading the ledger, so buffered AMs can never wedge QD).
+//!
+//! Aggregation is opt-in per cluster ([`Cluster::am_config`]); with it off
+//! (the default), `am_send` is byte-for-byte the plain [`PeCtx::send`] of
+//! the same payload, which is what keeps every pre-existing wallclock pin
+//! bit-identical.
+//!
+//! Charge discipline: the typed layer charges only `Kind::Overhead` time
+//! ([`AmConfig::per_am_send_ns`] at append, [`AmConfig::per_am_dispatch_ns`]
+//! per constituent at the receiver's sub-header walk, plus the one
+//! `send_overhead` per flushed batch); handler bodies charge their own
+//! `Kind::Busy` via [`PeCtx::charge`] exactly as raw handlers do.
+//!
+//! Exactly-once under faults: each constituent carries the membership
+//! epoch it was appended in. The batch envelope itself is a *system*
+//! message (it survives the recovery queue filter like any control
+//! message), but the receiver walk re-applies the stale-epoch drop per
+//! constituent, and crash wipes / rollback-replay clear the coalescing
+//! buffers on every affected PE — so a constituent AM is delivered exactly
+//! as often as its unaggregated twin would have been.
+
+use crate::cluster::{Cluster, Cmd, Event, PeCtx};
+use crate::msg::{Envelope, HandlerId, PeId, DEFAULT_PRIO};
+use bytes::Bytes;
+use sim_core::Time;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Payload codec for a typed active message. Encoding appends to the
+/// destination's coalescing buffer (or a scratch buffer on the direct
+/// path); decoding slices the batch zero-copy.
+pub trait AmData: Sized + 'static {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(b: Bytes) -> Self;
+
+    /// Payload for the direct (unaggregated) path. The default routes
+    /// through [`AmData::encode`]; `Bytes` overrides it to pass its
+    /// buffer through untouched, so a typed port of a raw-`send` app has
+    /// identical wire bytes *and* identical host-side copy behavior.
+    fn into_direct(self) -> Bytes {
+        let mut v = Vec::new();
+        self.encode(&mut v);
+        Bytes::from(v)
+    }
+}
+
+impl AmData for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_b: Bytes) -> Self {}
+    fn into_direct(self) -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl AmData for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(b: Bytes) -> Self {
+        u32::from_le_bytes(b[..4].try_into().expect("u32 AM payload"))
+    }
+}
+
+impl AmData for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(b: Bytes) -> Self {
+        u64::from_le_bytes(b[..8].try_into().expect("u64 AM payload"))
+    }
+}
+
+impl AmData for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(b: Bytes) -> Self {
+        f64::from_le_bytes(b[..8].try_into().expect("f64 AM payload"))
+    }
+}
+
+impl AmData for (u64, u64) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+        out.extend_from_slice(&self.1.to_le_bytes());
+    }
+    fn decode(b: Bytes) -> Self {
+        (
+            u64::from_le_bytes(b[..8].try_into().expect("pair AM payload")),
+            u64::from_le_bytes(b[8..16].try_into().expect("pair AM payload")),
+        )
+    }
+}
+
+impl<const N: usize> AmData for [u8; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode(b: Bytes) -> Self {
+        b[..N].try_into().expect("fixed-array AM payload")
+    }
+}
+
+impl AmData for Bytes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode(b: Bytes) -> Self {
+        b
+    }
+    fn into_direct(self) -> Bytes {
+        self
+    }
+}
+
+/// Handle returned by [`Cluster::register_am`]: the AM's slot in the
+/// batch-dispatch table plus its dedicated Converse handler for the
+/// direct path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmId {
+    pub(crate) idx: u16,
+    pub(crate) h: HandlerId,
+}
+
+impl AmId {
+    /// The plain Converse handler the direct (unaggregated) path uses.
+    pub fn handler(&self) -> HandlerId {
+        self.h
+    }
+}
+
+/// Aggregation policy, set once before the run via [`Cluster::am_config`].
+#[derive(Debug, Clone)]
+pub struct AmConfig {
+    /// Coalesce small same-destination AMs (default: off — `am_send` is
+    /// then exactly a plain `send` of the encoded payload).
+    pub aggregation: bool,
+    /// Coalescing buffer capacity, batch framing included. Defaults to
+    /// the SMSG frame size (1024 B) so a full batch always rides the
+    /// small-message path; an AM whose framed size alone exceeds this
+    /// bypasses aggregation entirely.
+    pub max_batch_bytes: usize,
+    /// Virtual-time bound on how long an appended AM may sit buffered
+    /// before the per-destination flush timer fires.
+    pub flush_delay_ns: Time,
+    /// Overhead charged at append on the aggregated path, replacing the
+    /// per-message `send_overhead` (paid once per batch instead).
+    pub per_am_send_ns: Time,
+    /// Overhead charged per constituent at the receiver's batch walk.
+    pub per_am_dispatch_ns: Time,
+}
+
+impl Default for AmConfig {
+    fn default() -> Self {
+        AmConfig {
+            aggregation: false,
+            max_batch_bytes: 1024,
+            flush_delay_ns: 5_000,
+            per_am_send_ns: 30,
+            per_am_dispatch_ns: 40,
+        }
+    }
+}
+
+/// Batch-payload op bytes: a dispatch envelope is either a batch of
+/// constituent AMs or a per-destination flush-timer tick (self-send).
+const OP_BATCH: u8 = 0;
+const OP_TIMER: u8 = 1;
+
+/// Per-constituent framing: `[am_idx u16][len u16][epoch u32]`, little
+/// endian, followed by `len` payload bytes.
+const SUBHDR: usize = 8;
+
+/// Type-erased AM dispatch entry (the typed closure behind a decode).
+type AmFn = Arc<dyn Fn(&mut PeCtx, PeId, Bytes) + Send + Sync>;
+
+/// Global (per-cluster) AM state: the dispatch table, the lazily
+/// registered batch/timer Converse handler, and the aggregation policy.
+/// Shared immutably by workers during parallel windows.
+#[derive(Default)]
+pub(crate) struct AmRegistry {
+    pub(crate) handlers: Vec<AmFn>,
+    pub(crate) dispatch: Option<HandlerId>,
+    pub(crate) cfg: AmConfig,
+}
+
+/// One destination's coalescing buffer.
+#[derive(Default)]
+struct DstBuf {
+    /// Framed batch bytes (`OP_BATCH` + constituent frames); empty when
+    /// nothing is buffered (the backing `Vec` is then in the pool).
+    data: Vec<u8>,
+    /// Whether a flush-timer tick is already in flight for this
+    /// destination (one timer per destination at a time).
+    timer_armed: bool,
+}
+
+/// Per-PE AM state: destination buffers plus the host-side recyclers for
+/// coalescing buffers and the receiver's scatter scratch. Lives in
+/// `PeState`, wiped with the rest of volatile PE state on crash and
+/// rollback. Purely host-memory pools — virtual time never observes them.
+pub(crate) struct AmPe {
+    /// BTreeMap so flush-all order is deterministic.
+    bufs: BTreeMap<PeId, DstBuf>,
+    /// Recycles coalescing-buffer allocations (flush reclaims the sent
+    /// buffer via `Bytes::try_reclaim`, so steady-state batching does not
+    /// allocate per batch).
+    pool: mempool::ObjPool<Vec<u8>>,
+    /// Recycles the receiver walk's `(am_idx, epoch, start, end)` scatter
+    /// scratch.
+    scatter: mempool::ObjPool<Vec<(u16, u32, u32, u32)>>,
+}
+
+impl Default for AmPe {
+    fn default() -> Self {
+        AmPe {
+            bufs: BTreeMap::new(),
+            pool: mempool::ObjPool::new(16),
+            scatter: mempool::ObjPool::new(4),
+        }
+    }
+}
+
+impl AmPe {
+    /// Drop all buffered constituents (node crash / rollback-replay):
+    /// they were sent in the dying epoch and the replay re-sends them.
+    pub(crate) fn wipe(&mut self) {
+        self.bufs.clear();
+    }
+
+    /// Host-side recycler stats of the coalescing-buffer pool.
+    pub(crate) fn pool_stats(&self) -> mempool::ObjPoolStats {
+        self.pool.stats.clone()
+    }
+}
+
+impl Cluster {
+    /// Set the aggregation policy (call before `run`, like handler
+    /// registration).
+    pub fn am_config(&mut self, cfg: AmConfig) {
+        self.am.cfg = cfg;
+    }
+
+    /// Register a typed active-message handler. The returned [`AmId`] is
+    /// `Copy` and is all a sender needs: [`PeCtx::am_send`] encodes the
+    /// typed value, the runtime routes it (directly or batched), and `f`
+    /// runs at the destination with the decoded value and the source PE.
+    pub fn register_am<T: AmData>(
+        &mut self,
+        f: impl Fn(&mut PeCtx, PeId, T) + Send + Sync + 'static,
+    ) -> AmId {
+        self.am_ensure_dispatch();
+        let f = Arc::new(f);
+        let g = f.clone();
+        let idx = self.am.handlers.len();
+        assert!(idx <= u16::MAX as usize, "too many registered AMs");
+        self.am
+            .handlers
+            .push(Arc::new(move |ctx, src, b| g(ctx, src, T::decode(b))));
+        // The dedicated Converse handler carries the direct path: its wire
+        // envelope is indistinguishable from a hand-rolled handler's.
+        let h = self.register_handler(move |ctx, env| {
+            let src = env.src_pe;
+            f(ctx, src, T::decode(env.payload));
+        });
+        AmId { idx: idx as u16, h }
+    }
+
+    /// Register the shared batch/timer dispatch handler once, as a
+    /// *system* handler: batches are transport framing, not application
+    /// traffic — the QD ledger and the membership-epoch gate account per
+    /// constituent instead (in `am_send` and the batch walk).
+    fn am_ensure_dispatch(&mut self) {
+        if self.am.dispatch.is_some() {
+            return;
+        }
+        let h = self.register_handler(am_dispatch);
+        self.am.dispatch = Some(h);
+        self.system_handlers.insert(h.0);
+    }
+
+    /// Coalescing-buffer pool counters for one PE (test diagnostics).
+    pub fn am_pool_stats(&mut self, pe: PeId) -> mempool::ObjPoolStats {
+        self.pes.get_mut(pe as usize).am.pool_stats()
+    }
+}
+
+impl PeCtx<'_> {
+    /// Send a typed active message. Small AMs to remote destinations are
+    /// coalesced when aggregation is on; self-sends, oversized AMs, and
+    /// aggregation-off sends take the direct path (a plain [`PeCtx::send`]
+    /// on the AM's dedicated handler — identical charges and wire bytes).
+    pub fn am_send<T: AmData>(&mut self, dst: PeId, am: AmId, data: T) {
+        let acfg = &self.am_reg.cfg;
+        if !acfg.aggregation || dst == self.pe() {
+            let payload = data.into_direct();
+            return self.send(dst, am.h, payload);
+        }
+        let (max_batch, per_send, flush_delay) = (
+            acfg.max_batch_bytes,
+            acfg.per_am_send_ns,
+            acfg.flush_delay_ns,
+        );
+
+        let mut scratch = self.am_pe.pool.get();
+        data.encode(&mut scratch);
+        if 1 + SUBHDR + scratch.len() > max_batch {
+            // Too big to ever fit a batch frame: direct send. The scratch
+            // allocation is consumed by the payload (and comes back to the
+            // pool on the next reclaim cycle if the encode path frees it).
+            let payload = Bytes::from(scratch);
+            return self.send(dst, am.h, payload);
+        }
+
+        // Size-triggered flush before appending, so a batch never exceeds
+        // the SMSG frame.
+        let need = SUBHDR + scratch.len();
+        let full = self
+            .am_pe
+            .bufs
+            .get(&dst)
+            .is_some_and(|b| !b.data.is_empty() && b.data.len() + need > max_batch);
+        if full {
+            self.am_flush_dst(dst);
+        }
+
+        let epoch = self.epoch();
+        let arm = {
+            let AmPe { bufs, pool, .. } = &mut *self.am_pe;
+            let buf = bufs.entry(dst).or_default();
+            if buf.data.is_empty() {
+                buf.data = pool.get();
+                buf.data.push(OP_BATCH);
+            }
+            buf.data.extend_from_slice(&am.idx.to_le_bytes());
+            buf.data
+                .extend_from_slice(&(scratch.len() as u16).to_le_bytes());
+            buf.data.extend_from_slice(&epoch.to_le_bytes());
+            buf.data.extend_from_slice(&scratch);
+            let arm = !buf.timer_armed;
+            buf.timer_armed = true;
+            arm
+        };
+        scratch.clear();
+        self.am_pe.pool.put(scratch);
+
+        // Constituent-level accounting: the batch envelope is system
+        // traffic, so the QD ledger and stats count the AM itself here.
+        self.charged_ovh += per_send;
+        self.qd_pe.sent += 1;
+        self.stats.am_agg_sent += 1;
+
+        if arm {
+            // One timer tick per destination at a time: a fixed virtual
+            // delay from the arming append, scheduled like any other
+            // event, so flush points are bit-replayable.
+            let dispatch = self.am_reg.dispatch.expect("am dispatch registered");
+            let mut tp = Vec::with_capacity(5);
+            tp.push(OP_TIMER);
+            tp.extend_from_slice(&dst.to_le_bytes());
+            let me = self.pe();
+            self.send_after_prio(flush_delay, me, dispatch, Bytes::from(tp), DEFAULT_PRIO);
+        }
+    }
+
+    /// Flush every non-empty coalescing buffer (deterministic destination
+    /// order). QD's collect handler calls this before reading the ledger;
+    /// apps may call it at phase boundaries.
+    pub fn am_flush_all(&mut self) {
+        let first = match self.am_pe.bufs.iter().find(|(_, b)| !b.data.is_empty()) {
+            Some((d, _)) => *d,
+            None => return,
+        };
+        let mut cur = Some(first);
+        while let Some(dst) = cur {
+            self.am_flush_dst(dst);
+            cur = self
+                .am_pe
+                .bufs
+                .range(dst + 1..)
+                .find(|(_, b)| !b.data.is_empty())
+                .map(|(d, _)| *d);
+        }
+    }
+
+    /// Flush one destination's buffer as a single batch envelope on the
+    /// dispatch handler. Mirrors the manual half of [`PeCtx::send`]
+    /// (charges, stats, outbox routing) but reclaims the coalescing
+    /// buffer through the pool instead of dropping it.
+    fn am_flush_dst(&mut self, dst: PeId) {
+        let data = match self.am_pe.bufs.get_mut(&dst) {
+            Some(buf) if !buf.data.is_empty() => std::mem::take(&mut buf.data),
+            _ => return,
+        };
+        debug_assert_ne!(dst, self.pe(), "self-sends never aggregate");
+        let dispatch = self.am_reg.dispatch.expect("am dispatch registered");
+        self.charged_ovh += self.cfg.send_overhead;
+        let at = self.now();
+        let env =
+            Envelope::new(self.pe(), dst, dispatch, Bytes::from(data)).with_epoch(self.epoch());
+        let bytes = env.encode();
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.stats.am_batches += 1;
+        let src = self.pe();
+        self.outbox
+            .push((at, Event::Cmd(src, Cmd::Send { dst, msg: bytes })));
+        // A batch is at most max_batch_bytes <= the inline-wire limit, so
+        // encode copied it into the wire buffer and the payload handle is
+        // the sole owner again: reclaim the allocation for the next batch.
+        if let Ok(mut v) = env.payload.try_reclaim() {
+            v.clear();
+            self.am_pe.pool.put(v);
+        }
+    }
+}
+
+/// The Converse handler behind every batch envelope and flush-timer tick.
+/// Worker-pure: everything it touches is per-PE state reached through
+/// `PeCtx`, and its sends go through the buffered outbox.
+pub(crate) fn am_dispatch(ctx: &mut PeCtx, env: Envelope) {
+    let p: &[u8] = &env.payload;
+    match p[0] {
+        OP_TIMER => {
+            let dst = PeId::from_le_bytes(p[1..5].try_into().expect("timer payload"));
+            if let Some(buf) = ctx.am_pe.bufs.get_mut(&dst) {
+                buf.timer_armed = false;
+            }
+            ctx.am_flush_dst(dst);
+        }
+        OP_BATCH => {
+            // Sub-header walk into pooled scatter scratch first, then
+            // dispatch: constituents may re-enter `am_send`, so no
+            // borrow of the AM state survives into the handler calls.
+            let mut segs = ctx.am_pe.scatter.get();
+            let mut o = 1usize;
+            while o + SUBHDR <= p.len() {
+                let idx = u16::from_le_bytes([p[o], p[o + 1]]);
+                let len = u16::from_le_bytes([p[o + 2], p[o + 3]]) as usize;
+                let epoch = u32::from_le_bytes([p[o + 4], p[o + 5], p[o + 6], p[o + 7]]);
+                segs.push((idx, epoch, (o + SUBHDR) as u32, (o + SUBHDR + len) as u32));
+                o += SUBHDR + len;
+            }
+            assert_eq!(o, p.len(), "malformed AM batch framing");
+            let cur = ctx.epoch();
+            let per_dispatch = ctx.am_reg.cfg.per_am_dispatch_ns;
+            for &(idx, am_epoch, a, b) in segs.iter() {
+                if am_epoch < cur {
+                    // Stale-epoch drop per constituent (exactly-once under
+                    // rollback-replay), mirroring the driver's gate for
+                    // unaggregated messages.
+                    ctx.stats.ft_stale_drops += 1;
+                    continue;
+                }
+                ctx.qd_pe.delivered += 1;
+                ctx.charged_ovh += per_dispatch;
+                let h = ctx.am_reg.handlers[idx as usize].clone();
+                h(ctx, env.src_pe, env.payload.slice(a as usize..b as usize));
+            }
+            segs.clear();
+            ctx.am_pe.scatter.put(segs);
+        }
+        op => panic!("unknown AM dispatch op {op}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterCfg;
+    use crate::ideal::IdealLayer;
+
+    fn cluster(pes: u32) -> Cluster {
+        Cluster::new(ClusterCfg::new(pes, 2), Box::new(IdealLayer::new(1_000)))
+    }
+
+    /// Per-PE test state: a running sum and a message count.
+    #[derive(Default)]
+    struct St {
+        sum: u64,
+        n: u64,
+        from: Vec<PeId>,
+    }
+
+    fn sum_app(c: &mut Cluster, agg: bool, sends_per_pe: u64) -> (u64, u64, Time) {
+        c.am_config(AmConfig {
+            aggregation: agg,
+            ..AmConfig::default()
+        });
+        c.init_user(|_| St::default());
+        let bump = c.register_am::<u64>(|ctx, src, v| {
+            let st = ctx.user::<St>();
+            st.sum += v;
+            st.n += 1;
+            st.from.push(src);
+        });
+        let kick = c.register_handler(move |ctx, _| {
+            let n = ctx.num_pes();
+            for i in 0..sends_per_pe {
+                let dst = (ctx.pe() + 1 + (i as u32 % (n - 1))) % n;
+                ctx.am_send(dst, bump, i);
+            }
+        });
+        for pe in 0..c.cfg.num_pes {
+            c.inject(0, pe, kick, Bytes::new());
+        }
+        let r = c.run();
+        let (mut sum, mut n) = (0, 0);
+        for pe in 0..c.cfg.num_pes {
+            let st = c.user::<St>(pe);
+            sum += st.sum;
+            n += st.n;
+        }
+        (sum, n, r.end_time)
+    }
+
+    #[test]
+    fn typed_round_trip_direct() {
+        let mut c = cluster(4);
+        let (sum, n, _) = sum_app(&mut c, false, 10);
+        assert_eq!(n, 40);
+        assert_eq!(sum, 4 * (0..10).sum::<u64>());
+        assert_eq!(c.stats().am_agg_sent, 0);
+        assert_eq!(c.stats().am_batches, 0);
+    }
+
+    #[test]
+    fn aggregated_run_same_results_fewer_envelopes_less_virtual_time() {
+        let mut direct = cluster(4);
+        let (ds, dn, dv) = sum_app(&mut direct, false, 50);
+        let mut agg = cluster(4);
+        let (asum, an, av) = sum_app(&mut agg, true, 50);
+        assert_eq!((asum, an), (ds, dn), "aggregation changed app results");
+        assert!(agg.stats().am_batches > 0, "nothing was batched");
+        assert_eq!(agg.stats().am_agg_sent, 200);
+        assert!(
+            agg.stats().msgs_sent < direct.stats().msgs_sent,
+            "batching must shrink envelope count: {} vs {}",
+            agg.stats().msgs_sent,
+            direct.stats().msgs_sent
+        );
+        assert!(
+            av < dv,
+            "many small AMs must finish earlier aggregated: {av} vs {dv}"
+        );
+    }
+
+    #[test]
+    fn aggregated_src_pe_is_preserved_per_constituent() {
+        let mut c = cluster(3);
+        c.am_config(AmConfig {
+            aggregation: true,
+            ..AmConfig::default()
+        });
+        c.init_user(|_| St::default());
+        let h = c.register_am::<u64>(|ctx, src, v| {
+            assert_eq!(v as u32, src, "payload encodes the true sender");
+            ctx.user::<St>().n += 1;
+        });
+        let kick = c.register_handler(move |ctx, _| {
+            for _ in 0..4 {
+                ctx.am_send(2, h, ctx.pe() as u64);
+            }
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.inject(0, 1, kick, Bytes::new());
+        c.run();
+        assert_eq!(c.user::<St>(2).n, 8);
+    }
+
+    #[test]
+    fn size_limit_splits_batches() {
+        let mut c = cluster(2);
+        c.am_config(AmConfig {
+            aggregation: true,
+            max_batch_bytes: 64, // 3 u64 frames (16 B each) per batch
+            flush_delay_ns: 1_000_000,
+            ..AmConfig::default()
+        });
+        c.init_user(|_| St::default());
+        let h = c.register_am::<u64>(|ctx, _, _| ctx.user::<St>().n += 1);
+        let kick = c.register_handler(move |ctx, _| {
+            for i in 0..10u64 {
+                ctx.am_send(1, h, i);
+            }
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.run();
+        assert_eq!(c.user::<St>(1).n, 10);
+        // 10 frames at 3 per batch: three full flushes plus the timer tail.
+        assert_eq!(c.stats().am_batches, 4);
+    }
+
+    #[test]
+    fn oversized_am_takes_the_direct_path() {
+        let mut c = cluster(2);
+        c.am_config(AmConfig {
+            aggregation: true,
+            max_batch_bytes: 32,
+            ..AmConfig::default()
+        });
+        c.init_user(|_| St::default());
+        let h = c.register_am::<Bytes>(|ctx, _, b| {
+            ctx.user::<St>().sum += b.len() as u64;
+            ctx.user::<St>().n += 1;
+        });
+        let kick = c.register_handler(move |ctx, _| {
+            ctx.am_send(1, h, Bytes::from(vec![0u8; 100]));
+            ctx.am_send(1, h, Bytes::from(vec![0u8; 4]));
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.run();
+        let st = c.user::<St>(1);
+        assert_eq!((st.n, st.sum), (2, 104));
+        assert_eq!(c.stats().am_agg_sent, 1, "only the small AM aggregates");
+    }
+
+    #[test]
+    fn timer_drains_a_sub_threshold_buffer() {
+        let mut c = cluster(2);
+        c.am_config(AmConfig {
+            aggregation: true,
+            ..AmConfig::default()
+        });
+        c.init_user(|_| St::default());
+        let h = c.register_am::<u64>(|ctx, _, v| ctx.user::<St>().sum += v);
+        let kick = c.register_handler(move |ctx, _| {
+            ctx.am_send(1, h, 41u64);
+            ctx.am_send(1, h, 1u64);
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        let r = c.run();
+        assert_eq!(c.user::<St>(1).sum, 42, "timer flush never fired");
+        assert_eq!(c.stats().am_batches, 1);
+        assert!(r.end_time > 5_000, "flush waited out the timer delay");
+    }
+
+    #[test]
+    fn flush_reclaims_buffers_through_the_pool() {
+        let mut c = cluster(2);
+        c.am_config(AmConfig {
+            aggregation: true,
+            max_batch_bytes: 64,
+            ..AmConfig::default()
+        });
+        c.init_user(|_| St::default());
+        let h = c.register_am::<u64>(|ctx, _, _| ctx.user::<St>().n += 1);
+        let kick = c.register_handler(move |ctx, _| {
+            for i in 0..60u64 {
+                ctx.am_send(1, h, i);
+            }
+        });
+        c.inject(0, 0, kick, Bytes::new());
+        c.run();
+        assert_eq!(c.user::<St>(1).n, 60);
+        let s = c.am_pool_stats(0);
+        assert!(
+            s.hits > s.misses,
+            "steady-state batching must recycle, not allocate: {s:?}"
+        );
+    }
+
+    #[test]
+    fn self_sends_and_aggregation_off_are_plain_sends() {
+        // Bit-identical end times: am_send with aggregation off vs the
+        // hand-rolled handler it replaces.
+        let run = |typed: bool| {
+            let mut c = cluster(4);
+            c.init_user(|_| St::default());
+            if typed {
+                let h = c.register_am::<u64>(|ctx, _, v| ctx.user::<St>().sum += v);
+                let kick = c.register_handler(move |ctx, _| {
+                    ctx.am_send(ctx.pe(), h, 7u64); // self-send
+                    ctx.am_send((ctx.pe() + 1) % 4, h, 9u64);
+                });
+                c.inject(0, 0, kick, Bytes::new());
+            } else {
+                // The hand-rolled equivalent: dispatch handler first so the
+                // handler-id layout matches register_am's.
+                let _dispatch_slot = c.register_handler(|_, _| {});
+                let h = c.register_handler(|ctx, env| {
+                    let v = u64::from_le_bytes(env.payload[..8].try_into().unwrap());
+                    ctx.user::<St>().sum += v;
+                });
+                let kick = c.register_handler(move |ctx, _| {
+                    ctx.send(ctx.pe(), h, crate::msg::wire::pack_u64s(&[7]));
+                    ctx.send((ctx.pe() + 1) % 4, h, crate::msg::wire::pack_u64s(&[9]));
+                });
+                c.inject(0, 0, kick, Bytes::new());
+            }
+            let r = c.run();
+            (
+                r.end_time,
+                r.stats.events,
+                c.user::<St>(0).sum + c.user::<St>(1).sum,
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

@@ -242,6 +242,9 @@ pub(crate) struct PeState {
     pub(crate) user: Box<dyn Any + Send>,
     rng: DetRng,
     pub(crate) charm: CharmPe,
+    /// Typed-AM per-PE state: destination coalescing buffers + host-side
+    /// buffer recyclers (am.rs).
+    pub(crate) am: crate::am::AmPe,
     qd: QdPe,
     /// Per-PE persistent-channel handle counter. Handles are namespaced by
     /// PE (`pe << 32 | local`) so allocation is identical no matter which
@@ -270,6 +273,7 @@ impl PeState {
             user: Box::new(()),
             rng: DetRng::derive(seed, pe),
             charm: CharmPe::default(),
+            am: crate::am::AmPe::default(),
             qd: QdPe::default(),
             next_persistent: 0,
             ft_local: None,
@@ -328,6 +332,11 @@ pub struct ClusterStats {
     /// Messages discarded because they were sent in a pre-recovery
     /// membership epoch (rollback-replay exactly-once).
     pub ft_stale_drops: u64,
+    /// Typed AMs that were appended to a destination coalescing buffer
+    /// (constituents, not envelopes — am.rs).
+    pub am_agg_sent: u64,
+    /// Batch envelopes flushed by the AM aggregation engine.
+    pub am_batches: u64,
 }
 
 /// Result of [`Cluster::run`].
@@ -351,6 +360,8 @@ pub struct Cluster {
     #[allow(clippy::type_complexity)]
     handlers: Vec<Arc<dyn Fn(&mut PeCtx, Envelope) + Send + Sync>>,
     pub(crate) charm: CharmRegistry,
+    /// Typed-AM dispatch table + aggregation policy (am.rs).
+    pub(crate) am: crate::am::AmRegistry,
     pub(crate) trace: Trace,
     stats: ClusterStats,
     stopped: bool,
@@ -400,6 +411,7 @@ impl Cluster {
             layer: Some(layer),
             handlers: Vec::new(),
             charm: CharmRegistry::default(),
+            am: crate::am::AmRegistry::default(),
             trace,
             stats: ClusterStats::default(),
             stopped: false,
@@ -771,6 +783,7 @@ impl Cluster {
                 st.parked_wake = false;
                 st.user = Box::new(());
                 st.charm.wipe();
+                st.am.wipe();
                 st.ft_local = None;
                 st.ft_buddy.clear();
             }
@@ -819,6 +832,12 @@ impl Cluster {
         let st = self.pes.get_mut(pe as usize);
         if st.busy_until > t {
             // Still finishing earlier work (overhead charges can extend it).
+            // A busy wakeup does no work; it is excluded from the event
+            // count because how many occur depends on engine scheduling
+            // internals (how often busy_until moved after the wakeup was
+            // scheduled), and the count must stay engine-invariant.
+            self.stats.events -= 1;
+            self.stats.event_kinds[0] -= 1;
             self.events.push(st.busy_until, Event::PeRun(pe));
             return;
         }
@@ -847,6 +866,8 @@ impl Cluster {
                 rng: &mut st.rng,
                 charm_pe: &mut st.charm,
                 charm_reg: &self.charm,
+                am_pe: &mut st.am,
+                am_reg: &self.am,
                 outbox: &mut outbox,
                 stop: &mut stop,
                 next_persistent: &mut st.next_persistent,
@@ -987,6 +1008,7 @@ impl Cluster {
                 layer,
                 handlers,
                 charm,
+                am,
                 trace,
                 stats,
                 system_handlers,
@@ -996,12 +1018,14 @@ impl Cluster {
                 cfg,
                 handlers,
                 charm_reg: charm,
+                am_reg: am,
                 system_handlers,
             };
             let mut driver = ParDriver {
                 cfg,
                 handlers,
                 charm_reg: charm,
+                am_reg: am,
                 system_handlers,
                 layer,
                 trace,
@@ -1285,6 +1309,8 @@ impl ClusterStats {
         self.net_bytes += o.net_bytes;
         self.ft_dead_drops += o.ft_dead_drops;
         self.ft_stale_drops += o.ft_stale_drops;
+        self.am_agg_sent += o.am_agg_sent;
+        self.am_batches += o.am_batches;
     }
 }
 
@@ -1295,6 +1321,7 @@ struct ExecEnv<'a> {
     #[allow(clippy::type_complexity)]
     handlers: &'a [Arc<dyn Fn(&mut PeCtx, Envelope) + Send + Sync>],
     charm_reg: &'a CharmRegistry,
+    am_reg: &'a crate::am::AmRegistry,
     system_handlers: &'a std::collections::HashSet<u16>,
 }
 
@@ -1408,14 +1435,16 @@ fn exec_local_event(
             }
         }
         Event::PeRun(pe) => {
-            out.stats.events += 1;
-            out.stats.event_kinds[0] += 1;
             let sti = (pe - base_pe) as usize;
             if pes[sti].busy_until > t {
+                // Busy wakeup: uncounted, mirroring `pe_run` — the event
+                // count must not depend on which engine ran the PE.
                 let at = pes[sti].busy_until;
                 q.push(mk_key(at), Event::PeRun(pe));
                 return;
             }
+            out.stats.events += 1;
+            out.stats.event_kinds[0] += 1;
             let Some(std::cmp::Reverse(PrioEnv { env: menv, .. })) = pes[sti].queue.pop() else {
                 pes[sti].run_scheduled = false;
                 return;
@@ -1444,6 +1473,8 @@ fn exec_local_event(
                     rng: &mut st.rng,
                     charm_pe: &mut st.charm,
                     charm_reg: env.charm_reg,
+                    am_pe: &mut st.am,
+                    am_reg: env.am_reg,
                     outbox: &mut outbox,
                     stop: &mut stop,
                     next_persistent: &mut st.next_persistent,
@@ -1705,6 +1736,7 @@ struct ParDriver<'a> {
     #[allow(clippy::type_complexity)]
     handlers: &'a [Arc<dyn Fn(&mut PeCtx, Envelope) + Send + Sync>],
     charm_reg: &'a CharmRegistry,
+    am_reg: &'a crate::am::AmRegistry,
     system_handlers: &'a std::collections::HashSet<u16>,
     layer: &'a mut Option<Box<dyn MachineLayer>>,
     trace: &'a mut Trace,
@@ -1872,6 +1904,7 @@ impl ParDriver<'_> {
             cfg: self.cfg,
             handlers: self.handlers,
             charm_reg: self.charm_reg,
+            am_reg: self.am_reg,
             system_handlers: self.system_handlers,
         };
         let mut ord = self.ord;
@@ -2302,17 +2335,20 @@ pub struct PeCtx<'a> {
     pe: PeId,
     start: Time,
     charged_app: Time,
-    charged_ovh: Time,
-    cfg: &'a ClusterCfg,
+    pub(crate) charged_ovh: Time,
+    pub(crate) cfg: &'a ClusterCfg,
     user: &'a mut Box<dyn Any + Send>,
     rng: &'a mut DetRng,
     pub(crate) charm_pe: &'a mut CharmPe,
     pub(crate) charm_reg: &'a CharmRegistry,
-    outbox: &'a mut Vec<(Time, Event)>,
+    /// Typed-AM per-PE state (coalescing buffers + recyclers — am.rs).
+    pub(crate) am_pe: &'a mut crate::am::AmPe,
+    pub(crate) am_reg: &'a crate::am::AmRegistry,
+    pub(crate) outbox: &'a mut Vec<(Time, Event)>,
     stop: &'a mut bool,
     next_persistent: &'a mut u64,
-    stats: &'a mut ClusterStats,
-    qd_pe: &'a mut QdPe,
+    pub(crate) stats: &'a mut ClusterStats,
+    pub(crate) qd_pe: &'a mut QdPe,
     qd_global: &'a mut Option<QdState>,
     system_handlers: &'a std::collections::HashSet<u16>,
     /// FT subsystem state (None when FT is off — FT forces the sequential

@@ -584,6 +584,10 @@ impl Cluster {
                 st.queue.push(std::cmp::Reverse(p));
             }
             st.charm.clear_reductions();
+            // Buffered (unflushed) typed AMs are pre-rollback sends: the
+            // replay from the checkpoint regenerates them, so delivering
+            // the stale copies too would double-deliver.
+            st.am.wipe();
             let mut bytes = 0u64;
             if let Some(snap) = own_snap {
                 st.charm.wipe();

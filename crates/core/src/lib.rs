@@ -17,23 +17,32 @@
 //!
 //! # Quickstart
 //!
+//! Typed active messages ([`am`]): register a handler once per message
+//! *type* and send typed values — no handler enums, no byte packing.
+//!
 //! ```
 //! use charm_rt::prelude::*;
 //! use bytes::Bytes;
+//! use std::sync::{Arc, OnceLock};
 //!
 //! let mut c = Cluster::new(ClusterCfg::new(4, 2), Box::new(IdealLayer::new(1_000)));
-//! let hello = c.register_handler(|ctx, env| {
+//! let hop_cell: Arc<OnceLock<AmId>> = Arc::new(OnceLock::new());
+//! let cell = hop_cell.clone();
+//! let hop = c.register_am::<u64>(move |ctx, _src, count| {
 //!     if ctx.pe() + 1 < ctx.num_pes() {
-//!         ctx.send(ctx.pe() + 1, env.handler, env.payload);
+//!         ctx.am_send(ctx.pe() + 1, *cell.get().unwrap(), count + 1);
 //!     } else {
+//!         assert_eq!(count, 3);
 //!         ctx.stop();
 //!     }
 //! });
-//! c.inject(0, 0, hello, Bytes::from_static(b"hi"));
+//! hop_cell.set(hop).unwrap();
+//! c.inject(0, 0, hop.handler(), Bytes::from(vec![0u8; 8]));
 //! let report = c.run();
 //! assert!(report.stopped_early);
 //! ```
 
+pub mod am;
 pub mod charm;
 pub mod cluster;
 pub mod ft;
@@ -47,6 +56,7 @@ pub mod trace;
 
 /// The commonly used names, for `use charm_rt::prelude::*`.
 pub mod prelude {
+    pub use crate::am::{AmConfig, AmData, AmId};
     pub use crate::charm::{ArrayId, EntryId, RedOp, CHARM_HANDLER};
     pub use crate::cluster::{
         default_batch_windows, default_handoff_min_events, default_threads,

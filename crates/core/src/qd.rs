@@ -62,6 +62,11 @@ pub fn register(cluster: &mut Cluster, client: HandlerId, client_pe: PeId, perio
     let report_cell = std::sync::Arc::new(std::sync::OnceLock::new());
     let rc = report_cell.clone();
     let collect = cluster.register_handler(move |ctx, _env| {
+        // Drain any coalescing AM buffers first: a buffered constituent is
+        // counted as sent but not yet delivered, so flushing here both
+        // prevents a false quiescence verdict and guarantees buffered AMs
+        // cannot outlive an idle machine (ISSUE flush trigger (c)).
+        ctx.am_flush_all();
         let (sent, delivered) = ctx.qd_counters();
         ctx.send(
             QD_COORDINATOR,

@@ -161,6 +161,25 @@ impl Bytes {
             end,
         }
     }
+
+    /// Recover the backing `Vec` when this handle is the sole owner of a
+    /// contiguous, un-sliced buffer — the recycling fast path for pooled
+    /// send buffers (`Bytes::from(vec)` out, `try_reclaim` back in, zero
+    /// allocation per round trip). Returns the handle unchanged in the
+    /// `Err` when the buffer is shared, chained, or a sub-slice.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { repr, start, end } = self;
+        match repr {
+            Repr::Contig(arc) if start == 0 && end == arc.len() => {
+                Arc::try_unwrap(arc).map_err(|arc| Bytes {
+                    repr: Repr::Contig(arc),
+                    start,
+                    end,
+                })
+            }
+            repr => Err(Bytes { repr, start, end }),
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -490,5 +509,39 @@ mod tests {
         let inner = Bytes::chained(Bytes::from(vec![1]), Bytes::from(vec![2]));
         let outer = Bytes::chained(inner, Bytes::from(vec![3]));
         assert_eq!(&outer[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn try_reclaim_recovers_sole_contiguous_allocation() {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(&[1, 2, 3]);
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.try_reclaim().expect("sole owner reclaims");
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(back.as_ptr(), ptr, "same allocation, no copy");
+        assert!(back.capacity() >= 64);
+    }
+
+    #[test]
+    fn try_reclaim_refuses_shared_sliced_and_chained() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        let clone = b.clone();
+        let b = b.try_reclaim().expect_err("shared buffer stays shared");
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        drop(clone);
+
+        let s = b.slice(1..3);
+        assert_eq!(&s.try_reclaim().expect_err("sub-slice")[..], &[2, 3]);
+
+        let c = Bytes::chained(Bytes::from(vec![1; 8]), Bytes::from(vec![2; 8]));
+        assert_eq!(c.try_reclaim().expect_err("chain").len(), 16);
+    }
+
+    #[test]
+    fn try_reclaim_succeeds_once_clones_drop() {
+        let b = Bytes::from(vec![7; 5]);
+        drop(b.clone());
+        assert_eq!(b.try_reclaim().expect("sole again"), vec![7; 5]);
     }
 }

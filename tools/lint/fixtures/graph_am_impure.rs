@@ -1,0 +1,20 @@
+// Fixture: a named fn registered as a typed-AM handler is a worker root
+// (the batch dispatch walk runs it inside a parallel window), so the
+// impurities behind it must fire `worker-purity` with a witness chain.
+// Never compiled; fed to graph::analyze by tools/lint/tests/graph.rs.
+use std::sync::Mutex;
+
+static AM_SEED: u32 = 3;
+
+fn tally(x: u32) -> u32 {
+    let m = Mutex::new(x);
+    *m.lock().expect("poisoned")
+}
+
+fn on_ping(x: u32) -> u32 {
+    tally(x) + AM_SEED
+}
+
+pub fn wire_handlers(c: &mut Cluster) {
+    let _id = c.register_am::<u32>(on_ping);
+}

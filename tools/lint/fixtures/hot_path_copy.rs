@@ -12,6 +12,11 @@ pub fn deliver(&mut self, buf: &[u8]) {
     self.inbox.push(Bytes::from(vec![0u8; 8])); // FIRES: per-message alloc
 }
 
+pub fn am_flush_dst(&mut self) {
+    let batch = self.buf.to_vec(); // FIRES: batch flush is a hot path in sim and core
+    self.outbox.push(batch);
+}
+
 pub fn drain_smsg(&mut self) {
     let framed = self.hdr.to_vec(); // copy-ok: 8-byte mailbox frame header
     self.rx.push(framed);

@@ -28,7 +28,9 @@
 //! workspace-defined behavior. Dynamic calls through `dyn Fn` handler
 //! objects are invisible to name resolution; the handler side of the
 //! worker is covered by rooting `worker-purity` at every `PeCtx` method
-//! (the only capability surface handlers receive).
+//! (the only capability surface handlers receive), at the typed-AM batch
+//! dispatcher `am_dispatch`, and at every named fn registered as a
+//! typed-AM handler at a `register_am(...)` call site.
 
 use crate::{
     boundary_match, find_fn_kw, is_ident_char, is_parallel_driver_file, name_has_keyword, sanitize,
@@ -47,9 +49,12 @@ pub const WORKER_OK_MARKER: &str = "worker-ok:";
 /// Line escape for `charge-coverage` findings.
 pub const CHARGE_OK_MARKER: &str = "charge-ok:";
 
-/// Worker entry points by function name: the two functions that execute
-/// `PeRun`/`Deliver` events inside a parallel window.
-const WORKER_ROOT_FNS: &[&str] = &["exec_local_event", "phase_run"];
+/// Worker entry points by function name: the functions that execute
+/// `PeRun`/`Deliver` events inside a parallel window, plus the typed-AM
+/// batch dispatcher — it is registered as a `dyn Fn` Converse handler
+/// (invisible to name resolution) but runs on workers, walking batch
+/// envelopes and invoking every constituent's typed handler.
+const WORKER_ROOT_FNS: &[&str] = &["exec_local_event", "phase_run", "am_dispatch"];
 
 /// Worker entry points by receiver type: handlers run on workers and
 /// `PeCtx` is the entire capability surface they are handed.
@@ -769,11 +774,92 @@ fn push_unique(out: &mut Vec<Finding>, seen: &mut BTreeSet<(String, usize)>, f: 
     }
 }
 
+/// Typed-AM handler roots: a named fn mentioned as a *value* inside a
+/// `register_am(...)` argument list is a handler body the batch dispatch
+/// walk runs on a worker, so it roots `worker-purity`. Only bare
+/// fn-value mentions count — an identifier not followed by `(` (that is
+/// a call, attributed to the registering fn) and not path- or
+/// field-qualified (`Type::f`, `x.f`). Closure registrations are covered
+/// separately through the `PeCtx` method roots.
+fn am_handler_roots(g: &Graph) -> Vec<usize> {
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, f) in g.fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(id);
+    }
+    let mut roots = Vec::new();
+    for file in &g.files {
+        let lines: Vec<&str> = file.clean.iter().map(|s| s.as_str()).collect();
+        let tests = test_ranges(&lines);
+        for (i, line) in lines.iter().enumerate() {
+            let Some(pos) = line.find("register_am") else {
+                continue;
+            };
+            if tests.iter().any(|&(a, b)| i >= a && i <= b) {
+                continue;
+            }
+            // Collect the balanced `(...)` argument span (bounded — an
+            // unclosed paren in a fixture must not scan the whole file).
+            let mut span = String::new();
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut col = pos + "register_am".len();
+            let mut j = i;
+            'span: while j < lines.len() && j < i + 200 {
+                for c in lines[j][col.min(lines[j].len())..].chars() {
+                    match c {
+                        '(' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        ')' => {
+                            depth -= 1;
+                            if opened && depth <= 0 {
+                                break 'span;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if opened {
+                        span.push(c);
+                    }
+                }
+                span.push(' ');
+                j += 1;
+                col = 0;
+            }
+            // Bare fn-value identifiers in the span become roots.
+            let chars: Vec<char> = span.chars().collect();
+            let mut k = 0;
+            while k < chars.len() {
+                if !is_ident_char(chars[k]) || chars[k].is_ascii_digit() {
+                    k += 1;
+                    continue;
+                }
+                let start = k;
+                while k < chars.len() && is_ident_char(chars[k]) {
+                    k += 1;
+                }
+                let tok: String = chars[start..k].iter().collect();
+                let before = chars[..start].iter().rev().find(|c| !c.is_whitespace());
+                let after = chars[k..].iter().find(|c| !c.is_whitespace());
+                if matches!(before, Some(':') | Some('.')) || matches!(after, Some('(') | Some(':'))
+                {
+                    continue;
+                }
+                if let Some(ids) = by_name.get(tok.as_str()) {
+                    roots.extend(ids.iter().copied());
+                }
+            }
+        }
+    }
+    roots
+}
+
 /// worker-purity: nothing reachable from a parallel-window worker entry
 /// point may touch statics or thread primitives, or call a fn marked
 /// `// serial-only:`. Escape: `// worker-ok: <why>` on the line.
 fn check_worker_purity(g: &Graph, out: &mut Vec<Finding>) {
-    let roots: Vec<usize> = g
+    let mut roots: Vec<usize> = g
         .fns
         .iter()
         .enumerate()
@@ -785,6 +871,9 @@ fn check_worker_purity(g: &Graph, out: &mut Vec<Finding>) {
         })
         .map(|(id, _)| id)
         .collect();
+    roots.extend(am_handler_roots(g));
+    roots.sort_unstable();
+    roots.dedup();
     if roots.is_empty() {
         return;
     }

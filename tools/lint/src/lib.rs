@@ -42,11 +42,14 @@
 //! * **hot-path-copy** — no `.to_vec()` / `.to_owned()` /
 //!   `copy_from_slice(` / `Bytes::from(vec!` inside per-message
 //!   functions (name has a `_`-segment equal to `send`, `deliver`,
-//!   `recv`, `post`, `progress` or `drain`, and the segment is not a
-//!   counter compound like `send_count`) of the simulation crates.
+//!   `recv`, `post`, `progress`, `drain` or `flush`, and the segment is
+//!   not a counter compound like `send_count`) of the simulation crates.
 //!   Payloads travel as refcounted `Bytes`; a host-side copy per message
-//!   is exactly the cost the zero-copy fast path removed. Deliberate
-//!   copies carry a `// copy-ok: <why>` comment on the same line.
+//!   is exactly the cost the zero-copy fast path removed. In
+//!   `crates/core` the rule covers only `flush`/`drain` functions — the
+//!   AM aggregation engine's batch hot path, whose buffer recycling a
+//!   copy would silently defeat. Deliberate copies carry a
+//!   `// copy-ok: <why>` comment on the same line.
 //! * **thread-outside-parallel** — no `std::thread` / `std::sync`
 //!   concurrency (spawns, locks, atomics, channels) in the simulation
 //!   crates outside `sim-core/src/parallel.rs`. All parallelism flows
@@ -99,7 +102,17 @@ pub const RECOVERY_KEYWORDS: &[&str] = &[
 
 /// Function-name fragments that mark per-message hot paths: code that
 /// runs once per simulated message and must not copy payload bytes.
-pub const HOT_PATH_KEYWORDS: &[&str] = &["send", "deliver", "recv", "post", "progress", "drain"];
+pub const HOT_PATH_KEYWORDS: &[&str] = &[
+    "send", "deliver", "recv", "post", "progress", "drain", "flush",
+];
+
+/// The subset of hot-path verbs checked in `crates/core`: the AM
+/// aggregation engine's flush/drain functions run once per *batch* on the
+/// critical path, and their whole point is recycling buffers instead of
+/// allocating — a payload copy there silently undoes the optimization.
+/// The rest of `core` (registration, config, reporting) is setup code
+/// where copies are fine, so the full sim-crate keyword list stays off.
+pub const CORE_HOT_PATH_KEYWORDS: &[&str] = &["flush", "drain"];
 
 /// Segments that turn a matched keyword into a *counter/reporting* name
 /// rather than a hot-path verb: `send_count`, `recv_stats` and friends
@@ -673,13 +686,22 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    if sim {
-        // hot-path-copy
+    // hot-path-copy: full verb list in the simulation crates; in
+    // `crates/core` only the AM flush/drain functions, whose buffer
+    // recycling a copy would defeat.
+    let hot_keywords: Option<&[&str]> = if sim {
+        Some(HOT_PATH_KEYWORDS)
+    } else if crate_dir == "core" {
+        Some(CORE_HOT_PATH_KEYWORDS)
+    } else {
+        None
+    };
+    if let Some(keywords) = hot_keywords {
         for (name, a, b) in fn_spans(&lines) {
             if in_ranges(&tests, a) {
                 continue;
             }
-            if !HOT_PATH_KEYWORDS.iter().any(|k| name_has_keyword(&name, k)) {
+            if !keywords.iter().any(|k| name_has_keyword(&name, k)) {
                 continue;
             }
             for (idx, line) in lines.iter().enumerate().take(b + 1).skip(a) {
@@ -700,6 +722,9 @@ pub fn lint_source(crate_dir: &str, file: &str, src: &str) -> Vec<Finding> {
                 ));
             }
         }
+    }
+
+    if sim {
         // thread-outside-parallel: the parallel driver and its sync layer
         // are the sanctioned home for every one of these constructs.
         if !is_parallel_driver_file(file) {
@@ -908,7 +933,8 @@ pub fn rule_descriptions() -> Vec<(&'static str, &'static str)> {
         ),
         (
             "hot-path-copy",
-            "no payload copies in per-message fns (escape: copy-ok:)",
+            "no payload copies in per-message fns (core: flush/drain fns only; \
+             escape: copy-ok:)",
         ),
         (
             "thread-outside-parallel",

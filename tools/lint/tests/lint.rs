@@ -86,11 +86,12 @@ fn hot_path_copy_fixture_fires() {
     let src = fixture("hot_path_copy.rs");
     let f = lint_source("lrts-ugni", "fixtures/hot_path_copy.rs", &src);
     assert_eq!(rules(&f), ["hot-path-copy"], "findings: {f:?}");
-    // to_vec in sync_send, copy_from_slice + Bytes::from(vec! in deliver —
-    // but NOT the copy-ok: line in drain_smsg, and NOT setup_buffers
-    // (not a per-message function name).
-    assert_eq!(f.len(), 3, "findings: {f:?}");
+    // to_vec in sync_send, copy_from_slice + Bytes::from(vec! in deliver,
+    // to_vec in am_flush_dst — but NOT the copy-ok: line in drain_smsg,
+    // and NOT setup_buffers (not a per-message function name).
+    assert_eq!(f.len(), 4, "findings: {f:?}");
     assert!(f.iter().any(|x| x.msg.contains("sync_send")));
+    assert!(f.iter().any(|x| x.msg.contains("am_flush_dst")));
     assert!(f.iter().filter(|x| x.msg.contains("deliver")).count() == 2);
     assert!(!f.iter().any(|x| x.msg.contains("drain_smsg")));
     assert!(!f.iter().any(|x| x.msg.contains("setup_buffers")));
@@ -106,6 +107,18 @@ fn hot_path_copy_only_applies_to_sim_crates() {
     // Figure drivers and apps may build payloads however they like.
     let f = lint_source("apps", "fixtures/hot_path_copy.rs", &src);
     assert!(f.is_empty(), "findings: {f:?}");
+}
+
+#[test]
+fn hot_path_copy_core_arm_covers_only_flush_and_drain() {
+    let src = fixture("hot_path_copy.rs");
+    let f = lint_source("core", "fixtures/hot_path_copy.rs", &src);
+    assert_eq!(rules(&f), ["hot-path-copy"], "findings: {f:?}");
+    // In `core` only the AM batch flush/drain fns are hot paths:
+    // send/deliver names are registration-grade there, and drain_smsg's
+    // copy carries its copy-ok escape.
+    assert_eq!(f.len(), 1, "findings: {f:?}");
+    assert!(f[0].msg.contains("am_flush_dst"));
 }
 
 #[test]
